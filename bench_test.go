@@ -1,0 +1,346 @@
+package leaksig
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, ablation benchmarks for the design choices DESIGN.md calls
+// out, and microbenchmarks for the hot paths. Rates are attached as custom
+// benchmark metrics (tp@N%, fn@N%, fp@N%), so
+//
+//	go test -bench=Figure4 -benchmem
+//
+// prints the series Figure 4 reports.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"leaksig/internal/cluster"
+	"leaksig/internal/core"
+	"leaksig/internal/detect"
+	"leaksig/internal/distance"
+	"leaksig/internal/eval"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/ncd"
+	"leaksig/internal/signature"
+	"leaksig/internal/trafficgen"
+	"leaksig/internal/whois"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *eval.Env
+)
+
+// env returns the full-scale dataset (1,188 apps / ~107,859 packets),
+// built once per process.
+func env() *eval.Env {
+	benchEnvOnce.Do(func() {
+		benchEnv = eval.NewEnv(trafficgen.Config{Seed: 1})
+	})
+	return benchEnv
+}
+
+// --- Table and figure benchmarks -------------------------------------------
+
+// BenchmarkTableIPermissions regenerates Table I (applications per
+// dangerous permission combination).
+func BenchmarkTableIPermissions(b *testing.B) {
+	e := env()
+	b.ResetTimer()
+	var rows []eval.TableIRow
+	for i := 0; i < b.N; i++ {
+		rows = e.TableI()
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Apps), "apps_"+shortCombo(r.Combo.String()))
+	}
+}
+
+func shortCombo(s string) string {
+	if len(s) > 24 {
+		return s[:24]
+	}
+	return s
+}
+
+// BenchmarkTableIIDestinations regenerates Table II (packets and apps per
+// HTTP host destination).
+func BenchmarkTableIIDestinations(b *testing.B) {
+	e := env()
+	b.ResetTimer()
+	var rows []eval.TableIIRow
+	for i := 0; i < b.N; i++ {
+		rows = e.TableII(26)
+	}
+	b.StopTimer()
+	if len(rows) > 0 {
+		b.ReportMetric(float64(rows[0].Packets), "top_host_packets")
+		b.ReportMetric(float64(rows[0].Apps), "top_host_apps")
+	}
+}
+
+// BenchmarkTableIIISensitive regenerates Table III (packets, apps and
+// destinations per sensitive-information kind).
+func BenchmarkTableIIISensitive(b *testing.B) {
+	e := env()
+	b.ResetTimer()
+	var rows []eval.TableIIIRow
+	for i := 0; i < b.N; i++ {
+		rows = e.TableIII()
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Kind.String() == "ANDROID ID MD5" {
+			b.ReportMetric(float64(r.Packets), "aid_md5_packets")
+		}
+	}
+}
+
+// BenchmarkFigure2DestinationCDF regenerates Figure 2 (cumulative frequency
+// distribution of destinations per application).
+func BenchmarkFigure2DestinationCDF(b *testing.B) {
+	e := env()
+	b.ResetTimer()
+	var f eval.Figure2Result
+	for i := 0; i < b.N; i++ {
+		f = e.Figure2()
+	}
+	b.StopTimer()
+	b.ReportMetric(f.Mean, "mean_destinations")
+	b.ReportMetric(f.FracOne*100, "pct_one_destination")
+	b.ReportMetric(f.FracLE10*100, "pct_le10")
+	b.ReportMetric(float64(f.Max), "max_destinations")
+}
+
+// BenchmarkFigure4DetectionRate regenerates Figure 4: the full N=100..500
+// sweep of signature generation and dataset-wide detection. Custom metrics
+// carry the three series.
+func BenchmarkFigure4DetectionRate(b *testing.B) {
+	e := env()
+	b.ResetTimer()
+	var pts []eval.Figure4Point
+	for i := 0; i < b.N; i++ {
+		pts = e.Figure4(eval.Figure4Config{SampleSeed: 42})
+	}
+	b.StopTimer()
+	for _, p := range pts {
+		suffix := "@" + itoa(p.N)
+		b.ReportMetric(p.TP, "tp"+suffix+"%")
+		b.ReportMetric(p.FN, "fn"+suffix+"%")
+		b.ReportMetric(p.FP, "fp"+suffix+"%")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Ablation benchmarks ----------------------------------------------------
+
+// ablationPoint runs the Figure 4 experiment at N=300 under one pipeline
+// configuration and reports the rates.
+func ablationPoint(b *testing.B, cfg core.Config) {
+	e := env()
+	b.ResetTimer()
+	var pts []eval.Figure4Point
+	for i := 0; i < b.N; i++ {
+		pts = e.Figure4(eval.Figure4Config{
+			Ns:         []int{300},
+			SampleSeed: 42,
+			Pipeline:   cfg,
+		})
+	}
+	b.StopTimer()
+	b.ReportMetric(pts[0].TP, "tp%")
+	b.ReportMetric(pts[0].FN, "fn%")
+	b.ReportMetric(pts[0].FP, "fp%")
+	b.ReportMetric(float64(pts[0].Signatures), "signatures")
+}
+
+// BenchmarkAblationDistanceMode compares the normalized destination terms
+// (repository default) against the paper's literal formulas, which score
+// identical destinations as maximally far apart (DESIGN.md §3).
+func BenchmarkAblationDistanceMode(b *testing.B) {
+	b.Run("normalized", func(b *testing.B) {
+		ablationPoint(b, core.Config{Distance: distance.Config{Mode: distance.ModeNormalized}})
+	})
+	b.Run("literal", func(b *testing.B) {
+		ablationPoint(b, core.Config{Distance: distance.Config{Mode: distance.ModeLiteral}})
+	})
+}
+
+// BenchmarkAblationDestinationTerm isolates the paper's key claim: adding
+// the destination distance to the content distance produces better
+// module-specific signatures than content alone (§IV-A).
+func BenchmarkAblationDestinationTerm(b *testing.B) {
+	b.Run("destination+content", func(b *testing.B) {
+		ablationPoint(b, core.Config{})
+	})
+	b.Run("content-only", func(b *testing.B) {
+		ablationPoint(b, core.Config{Distance: distance.Config{DestinationWeight: -1}})
+	})
+}
+
+// BenchmarkAblationLinkage compares the paper's group-average criterion
+// with single and complete linkage.
+func BenchmarkAblationLinkage(b *testing.B) {
+	for _, l := range []cluster.Linkage{cluster.GroupAverage, cluster.Single, cluster.Complete} {
+		l := l
+		b.Run(l.String(), func(b *testing.B) {
+			ablationPoint(b, core.Config{Linkage: l})
+		})
+	}
+}
+
+// BenchmarkAblationSingletonClusters compares the repository default
+// (MinClusterSize=2) with the paper's every-cluster signature generation.
+func BenchmarkAblationSingletonClusters(b *testing.B) {
+	b.Run("skip-singletons", func(b *testing.B) {
+		ablationPoint(b, core.Config{Signature: signature.Options{MinClusterSize: 2}})
+	})
+	b.Run("paper-every-cluster", func(b *testing.B) {
+		ablationPoint(b, core.Config{Signature: signature.Options{MinClusterSize: 1}})
+	})
+}
+
+// BenchmarkExtSignatureTypes compares the paper's conjunction signatures
+// with the probabilistic (Bayes) and token-subsequence classes it names as
+// future work (§VI), all trained on the same N=300 sample.
+func BenchmarkExtSignatureTypes(b *testing.B) {
+	e := env()
+	b.ResetTimer()
+	var rows []eval.SignatureTypeRow
+	for i := 0; i < b.N; i++ {
+		rows = e.CompareSignatureTypes(300, 42, core.Config{})
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		b.ReportMetric(r.TP, r.Type+"_tp%")
+		b.ReportMetric(r.FP, r.Type+"_fp%")
+	}
+}
+
+// BenchmarkExtWhoisVerifiedDistance runs the N=300 detection point with the
+// §VI WHOIS verification wired into the IP term: organizational identity
+// replaces raw prefix similarity wherever the registry knows the answer.
+func BenchmarkExtWhoisVerifiedDistance(b *testing.B) {
+	e := env()
+	reg := whois.NewRegistry(e.Dataset.Universe.OrgBlocks())
+	b.Run("prefix-only", func(b *testing.B) {
+		ablationPoint(b, core.Config{})
+	})
+	b.Run("whois-verified", func(b *testing.B) {
+		ablationPoint(b, core.Config{
+			Distance: distance.Config{OrgResolver: reg.MetricResolver()},
+		})
+	})
+}
+
+// --- Microbenchmarks ---------------------------------------------------------
+
+func benchPackets(n int) []*httpmodel.Packet {
+	e := env()
+	rng := rand.New(rand.NewSource(7))
+	return e.Suspicious.Sample(rng, n).Packets
+}
+
+// BenchmarkPacketDistance measures one dpkt evaluation (§IV-B/C).
+func BenchmarkPacketDistance(b *testing.B) {
+	ps := benchPackets(2)
+	m := distance.New(distance.Config{Compressor: ncd.NewCache(ncd.Default())})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Packet(ps[0], ps[1])
+	}
+}
+
+// BenchmarkDistanceMatrix200 measures the parallel 200-packet matrix.
+func BenchmarkDistanceMatrix200(b *testing.B) {
+	ps := benchPackets(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := distance.New(distance.Config{})
+		distance.NewMatrix(m, ps)
+	}
+}
+
+// BenchmarkClusterNNChain500 measures agglomeration of a 500-point matrix.
+func BenchmarkClusterNNChain500(b *testing.B) {
+	n := 500
+	rng := rand.New(rand.NewSource(1))
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	mx := benchMatrix{d}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Agglomerate(mx, cluster.GroupAverage)
+	}
+}
+
+type benchMatrix struct{ d [][]float64 }
+
+func (m benchMatrix) N() int              { return len(m.d) }
+func (m benchMatrix) At(i, j int) float64 { return m.d[i][j] }
+
+// BenchmarkSignatureGeneration measures the full pipeline on 200 packets.
+func BenchmarkSignatureGeneration(b *testing.B) {
+	ps := benchPackets(200)
+	pl := core.NewPipeline(core.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.GenerateSignatures(ps)
+	}
+}
+
+// BenchmarkDetectionThroughput measures signature matching over the full
+// 107,859-packet trace; bytes/op approximates scanned content volume.
+func BenchmarkDetectionThroughput(b *testing.B) {
+	e := env()
+	rng := rand.New(rand.NewSource(3))
+	sample := e.Suspicious.Sample(rng, 300)
+	set := core.NewPipeline(core.Config{}).GenerateSignatures(sample.Packets)
+	eng := detect.NewEngine(set)
+	var bytes int64
+	for _, p := range e.Dataset.Capture.Packets {
+		bytes += int64(len(p.Content()))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatchSet(e.Dataset.Capture)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.Dataset.Capture.Len()), "packets")
+}
+
+// BenchmarkNCDPair measures the content-distance primitive.
+func BenchmarkNCDPair(b *testing.B) {
+	ps := benchPackets(2)
+	comp := ncd.Default()
+	x, y := ps[0].Content(), ps[1].Content()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ncd.Distance(comp, x, y)
+	}
+}

@@ -1,0 +1,102 @@
+// Command flowproxy runs the on-device information flow control
+// application of the paper's Figure 3(b) as a local HTTP forward proxy:
+// point applications (or a test client) at it, and it vets every request
+// against the signature set, blocking or logging transmissions of
+// sensitive information.
+//
+// Usage:
+//
+//	flowproxy -addr :8080 -sigs signatures.json -policy block
+//	flowproxy -addr :8080 -server http://sigserver:8700 -refresh 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"leaksig/internal/flowcontrol"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowproxy: ")
+	var (
+		addr    = flag.String("addr", ":8080", "proxy listen address")
+		sigsIn  = flag.String("sigs", "", "signature set file (static)")
+		server  = flag.String("server", "", "signature server base URL (dynamic)")
+		refresh = flag.Duration("refresh", 30*time.Second, "poll interval with -server")
+		policy  = flag.String("policy", "block", "block | log (log allows but records)")
+	)
+	flag.Parse()
+
+	set := &signature.Set{}
+	if *sigsIn != "" {
+		f, err := os.Open(*sigsIn)
+		if err != nil {
+			log.Fatalf("opening signatures: %v", err)
+		}
+		set, err = signature.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading signatures: %v", err)
+		}
+	}
+
+	var pol flowcontrol.Policy
+	switch *policy {
+	case "block":
+		pol = flowcontrol.BlockMatched()
+	case "log":
+		pol = flowcontrol.PolicyFunc(func(p *httpmodel.Packet, matched []int) flowcontrol.Action {
+			if len(matched) > 0 {
+				log.Printf("LEAK (allowed by policy): %s %s%s matched %v", p.Method, p.Host, p.Path, matched)
+			}
+			return flowcontrol.Allow
+		})
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	proxy := flowcontrol.NewProxy(set, pol, nil)
+	fmt.Printf("flow control proxy on %s with %d signatures (policy: %s)\n",
+		*addr, set.Len(), *policy)
+
+	if *server != "" {
+		client := sigserver.NewClient(*server, nil)
+		go func() {
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				newSet, changed, err := client.Fetch(ctx)
+				cancel()
+				switch {
+				case err != nil:
+					log.Printf("signature refresh failed: %v", err)
+				case changed:
+					proxy.SetSignatures(newSet)
+					log.Printf("signatures updated: %d entries, version %d", newSet.Len(), newSet.Version)
+				}
+				time.Sleep(*refresh)
+			}
+		}()
+	}
+
+	go func() {
+		ticker := time.NewTicker(time.Minute)
+		for range ticker.C {
+			allowed, blocked := proxy.Stats()
+			log.Printf("stats: %d allowed, %d blocked", allowed, blocked)
+		}
+	}()
+
+	if err := http.ListenAndServe(*addr, proxy); err != nil {
+		log.Fatal(err)
+	}
+}

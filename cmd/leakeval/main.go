@@ -1,0 +1,145 @@
+// Command leakeval reproduces the paper's evaluation artifacts from the
+// synthetic dataset: Tables I-III and Figures 2 and 4.
+//
+// Usage:
+//
+//	leakeval -all                 # everything (Figure 4 takes ~15s)
+//	leakeval -table 1 -table 3    # specific tables
+//	leakeval -figure 4 -repeats 3 # averaged detection sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+
+	"leaksig/internal/core"
+	"leaksig/internal/eval"
+	"leaksig/internal/report"
+	"leaksig/internal/trafficgen"
+)
+
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint([]int(*l)) }
+func (l *intList) Set(s string) error {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, n)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("leakeval: ")
+	var (
+		tables  intList
+		figures intList
+		all     = flag.Bool("all", false, "run every table and figure")
+		seed    = flag.Int64("seed", 1, "dataset seed")
+		apps    = flag.Int("apps", 1188, "number of applications")
+		packets = flag.Int("packets", 107859, "total packet budget")
+		repeats = flag.Int("repeats", 1, "Figure 4: average over this many sample draws")
+		sample  = flag.Int64("sample-seed", 42, "Figure 4: sampling seed")
+		compare = flag.Bool("compare", false, "also compare signature classes (conjunction/subsequence/bayes) at N=300")
+	)
+	flag.Var(&tables, "table", "table to reproduce (1, 2 or 3); repeatable")
+	flag.Var(&figures, "figure", "figure to reproduce (2 or 4); repeatable")
+	flag.Parse()
+
+	if *all {
+		tables = intList{1, 2, 3}
+		figures = intList{2, 4}
+	}
+	if len(tables) == 0 && len(figures) == 0 && !*compare {
+		flag.Usage()
+		log.Fatal("nothing selected; use -all, -table, -figure or -compare")
+	}
+
+	fmt.Println("building dataset...")
+	env := eval.NewEnv(trafficgen.Config{Seed: *seed, NumApps: *apps, TotalPackets: *packets})
+	fmt.Println(env.Describe())
+	fmt.Println()
+
+	for _, t := range tables {
+		switch t {
+		case 1:
+			tbl := report.NewTable("Table I — applications per dangerous permission combination",
+				"combination", "# apps")
+			for _, r := range env.TableI() {
+				tbl.AddRow(r.Combo.String(), r.Apps)
+			}
+			fmt.Println(tbl.String())
+		case 2:
+			tbl := report.NewTable("Table II — HTTP packet destinations",
+				"host", "# packets", "# apps")
+			for _, r := range env.TableII(26) {
+				tbl.AddRow(r.Host, r.Packets, r.Apps)
+			}
+			fmt.Println(tbl.String())
+		case 3:
+			tbl := report.NewTable("Table III — sensitive information",
+				"kind", "# packets", "# apps", "# destinations")
+			for _, r := range env.TableIII() {
+				tbl.AddRow(r.Kind.String(), r.Packets, r.Apps, r.Hosts)
+			}
+			fmt.Println(tbl.String())
+		default:
+			log.Fatalf("unknown table %d", t)
+		}
+	}
+
+	for _, f := range figures {
+		switch f {
+		case 2:
+			fig := env.Figure2()
+			fmt.Println("Figure 2 — cumulative frequency distribution of destinations per app")
+			fmt.Printf("  mean %.1f, max %d, %0.f%% have 1, %0.f%% <=10, %0.f%% <=16\n",
+				fig.Mean, fig.Max, fig.FracOne*100, fig.FracLE10*100, fig.FracLE16*100)
+			for _, marker := range []int{1, 2, 4, 8, 10, 16, 24, 32, 64, fig.Max} {
+				frac := 0.0
+				for _, p := range fig.Points {
+					if p.Value <= marker {
+						frac = p.Fraction
+					}
+				}
+				fmt.Printf("  <=%-3d %6.1f%%\n", marker, frac*100)
+			}
+			fmt.Println()
+		case 4:
+			fmt.Println("Figure 4 — detection rate sweep (this runs the full pipeline; ~15s)")
+			pts := env.Figure4(eval.Figure4Config{SampleSeed: *sample, Repeats: *repeats})
+			xs := make([]int, len(pts))
+			tp := make([]float64, len(pts))
+			fn := make([]float64, len(pts))
+			fp := make([]float64, len(pts))
+			tbl := report.NewTable("", "N", "signatures", "TP%", "FN%", "FP%")
+			for i, p := range pts {
+				xs[i] = p.N
+				tp[i], fn[i], fp[i] = p.TP, p.FN, p.FP
+				tbl.AddRow(p.N, p.Signatures,
+					fmt.Sprintf("%.2f", p.TP), fmt.Sprintf("%.2f", p.FN), fmt.Sprintf("%.3f", p.FP))
+			}
+			fmt.Println(tbl.String())
+			fmt.Println(report.Series("detection rates vs N", xs,
+				map[string][]float64{"true positive": tp, "false negative": fn, "false positive": fp},
+				[]string{"true positive", "false negative", "false positive"}))
+		default:
+			log.Fatalf("unknown figure %d", f)
+		}
+	}
+
+	if *compare {
+		fmt.Println("Signature-class comparison at N=300 (paper \u00a7VI future work)")
+		rows := env.CompareSignatureTypes(300, *sample, core.Config{})
+		tbl := report.NewTable("", "class", "signatures/tokens", "TP%", "FN%", "FP%")
+		for _, r := range rows {
+			tbl.AddRow(r.Type, r.Signatures,
+				fmt.Sprintf("%.2f", r.TP), fmt.Sprintf("%.2f", r.FN), fmt.Sprintf("%.3f", r.FP))
+		}
+		fmt.Println(tbl.String())
+	}
+}

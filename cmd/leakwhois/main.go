@@ -1,0 +1,89 @@
+// Command leakwhois answers allocation queries against the synthetic
+// registry exported by leakgen -orgs — the paper's §VI proposal to verify
+// IP-prefix closeness through registration data.
+//
+// Usage:
+//
+//	leakwhois -orgs orgs.json 203.0.113.9              # lookup
+//	leakwhois -orgs orgs.json -verify 23.16.0.1,23.16.9.9 -prefix 16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"leaksig/internal/ipaddr"
+	"leaksig/internal/whois"
+)
+
+func loadRegistry(path string) (*whois.Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var raw map[string]string
+	if err := json.NewDecoder(f).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("decoding orgs file: %w", err)
+	}
+	blocks := make(map[string]ipaddr.Block, len(raw))
+	for org, cidr := range raw {
+		b, err := ipaddr.ParseBlock(cidr)
+		if err != nil {
+			return nil, fmt.Errorf("org %s: %w", org, err)
+		}
+		blocks[org] = b
+	}
+	return whois.NewRegistry(blocks), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("leakwhois: ")
+	var (
+		orgs   = flag.String("orgs", "orgs.json", "organization registry from leakgen -orgs")
+		verify = flag.String("verify", "", "comma-separated address pair to verify")
+		prefix = flag.Int("prefix", 16, "shared-prefix claim to verify (bits)")
+	)
+	flag.Parse()
+
+	reg, err := loadRegistry(*orgs)
+	if err != nil {
+		log.Fatalf("loading registry: %v", err)
+	}
+
+	if *verify != "" {
+		parts := strings.SplitN(*verify, ",", 2)
+		if len(parts) != 2 {
+			log.Fatal("-verify wants ADDR,ADDR")
+		}
+		a, err := ipaddr.Parse(strings.TrimSpace(parts[0]))
+		if err != nil {
+			log.Fatalf("first address: %v", err)
+		}
+		b, err := ipaddr.Parse(strings.TrimSpace(parts[1]))
+		if err != nil {
+			log.Fatalf("second address: %v", err)
+		}
+		shared := ipaddr.CommonPrefixLen(a, b)
+		verdict := reg.VerifyCloseness(a, b, *prefix)
+		fmt.Printf("%s and %s share %d bits; claim at /%d: %s\n",
+			a, b, shared, *prefix, verdict)
+		return
+	}
+
+	if flag.NArg() == 0 {
+		log.Fatal("give addresses to look up, or use -verify")
+	}
+	for _, arg := range flag.Args() {
+		a, err := ipaddr.Parse(arg)
+		if err != nil {
+			log.Fatalf("address %q: %v", arg, err)
+		}
+		fmt.Print(reg.Text(a))
+	}
+}

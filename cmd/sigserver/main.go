@@ -1,0 +1,47 @@
+// Command sigserver serves a signature set over HTTP — the distribution
+// half of the paper's Figure 3(a). Devices running flowproxy poll it for
+// updates.
+//
+// Usage:
+//
+//	sigserver -addr :8700 -sigs signatures.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sigserver: ")
+	var (
+		addr   = flag.String("addr", ":8700", "listen address")
+		sigsIn = flag.String("sigs", "signatures.json", "signature set to publish")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*sigsIn)
+	if err != nil {
+		log.Fatalf("opening signatures: %v", err)
+	}
+	set, err := signature.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("reading signatures: %v", err)
+	}
+
+	srv := sigserver.New()
+	version := srv.Publish(set)
+	fmt.Printf("published %d signatures as version %d\n", set.Len(), version)
+	fmt.Printf("serving on %s (GET /signatures, /version, /healthz)\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package leaksig
+
+// End-to-end integration test across the file-based workflow the command
+// line tools implement: generate a capture to disk, reload it, rebuild the
+// ground truth from the device file, learn signatures, persist them, reload
+// them, and verify detection — every serialization boundary crossed once.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leaksig/internal/android"
+	"leaksig/internal/capture"
+	"leaksig/internal/collector"
+	"leaksig/internal/core"
+	"leaksig/internal/detect"
+	"leaksig/internal/sensitive"
+	"leaksig/internal/signature"
+	"leaksig/internal/trafficgen"
+)
+
+func TestFileBasedPipeline(t *testing.T) {
+	dir := t.TempDir()
+	capPath := filepath.Join(dir, "capture.jsonl")
+	devPath := filepath.Join(dir, "device.json")
+	sigPath := filepath.Join(dir, "signatures.json")
+
+	// --- leakgen ---
+	ds := trafficgen.Generate(trafficgen.Config{Seed: 21, NumApps: 120, TotalPackets: 10000})
+	if err := ds.Capture.SaveJSONL(capPath); err != nil {
+		t.Fatal(err)
+	}
+	devRaw, err := json.Marshal(ds.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(devPath, devRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- leakcluster: reload everything from disk ---
+	set, err := capture.LoadJSONL(capPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != ds.Capture.Len() {
+		t.Fatalf("capture round trip lost packets: %d vs %d", set.Len(), ds.Capture.Len())
+	}
+	var dev android.Device
+	if err := json.Unmarshal(mustRead(t, devPath), &dev); err != nil {
+		t.Fatal(err)
+	}
+	oracle := sensitive.NewOracle(&dev)
+	suspicious := set.Filter(oracle.IsSensitive)
+	if suspicious.Len() == 0 {
+		t.Fatal("no suspicious packets after reload")
+	}
+	sample := suspicious.Sample(rand.New(rand.NewSource(5)), 120)
+	sigs := core.NewPipeline(core.Config{}).GenerateSignatures(sample.Packets)
+	if sigs.Len() == 0 {
+		t.Fatal("no signatures")
+	}
+	sf, err := os.Create(sigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sigs.WriteJSON(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	// --- leakdetect: reload signatures, score ---
+	sf2, err := os.Open(sigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := signature.ReadJSON(sf2)
+	sf2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != sigs.Len() {
+		t.Fatalf("signature round trip: %d vs %d", reloaded.Len(), sigs.Len())
+	}
+	labels := make([]bool, set.Len())
+	for i, p := range set.Packets {
+		labels[i] = oracle.IsSensitive(p)
+	}
+	res := detect.Evaluate(detect.NewEngine(reloaded), set, labels, sample.Len())
+	if res.TruePositiveRate < 0.4 {
+		t.Errorf("end-to-end TP = %.2f, implausibly low", res.TruePositiveRate)
+	}
+	if res.FalsePositiveRate > 0.1 {
+		t.Errorf("end-to-end FP = %.3f, implausibly high", res.FalsePositiveRate)
+	}
+}
+
+func TestCollectorFeedsPipeline(t *testing.T) {
+	// Devices upload raw wire requests; the collected capture must be
+	// directly usable for signature generation (Figure 3a end to end).
+	ds := trafficgen.Generate(trafficgen.Config{Seed: 31, NumApps: 60, TotalPackets: 4000})
+	oracle := sensitive.NewOracle(ds.Device)
+	rec := collector.New(nil)
+	uploaded := 0
+	for _, p := range ds.Capture.Packets {
+		if !oracle.IsSensitive(p) {
+			continue
+		}
+		if _, err := rec.RecordWire(p.App, p.WireBytes(), p.DstIP, p.DstPort); err != nil {
+			t.Fatalf("upload failed: %v", err)
+		}
+		uploaded++
+		if uploaded >= 150 {
+			break
+		}
+	}
+	collected := rec.Snapshot()
+	if collected.Len() != uploaded {
+		t.Fatalf("collected %d of %d uploads", collected.Len(), uploaded)
+	}
+	sigs := core.NewPipeline(core.Config{}).GenerateSignatures(collected.Packets)
+	if sigs.Len() == 0 {
+		t.Fatal("no signatures from collected traffic")
+	}
+	// Signatures learned from wire-round-tripped packets must still detect
+	// the original in-memory packets.
+	eng := detect.NewEngine(sigs)
+	hits := 0
+	for _, p := range ds.Capture.Packets {
+		if oracle.IsSensitive(p) && eng.Matches(p) {
+			hits++
+		}
+	}
+	if hits < uploaded/2 {
+		t.Errorf("wire-trained signatures detected only %d packets", hits)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

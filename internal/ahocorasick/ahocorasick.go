@@ -1,0 +1,144 @@
+// Package ahocorasick implements the Aho–Corasick multi-pattern string
+// matching automaton.
+//
+// The detection engine (§IV/Figure 3(b) of the paper) must test every HTTP
+// packet against the union of all signature tokens. A single Aho–Corasick
+// pass over the packet reports which tokens occur, after which conjunction
+// signatures are checked with per-signature token bitsets.
+package ahocorasick
+
+// Match records one occurrence of a pattern in the scanned text.
+type Match struct {
+	Pattern int // index of the pattern as passed to Compile
+	End     int // byte offset just past the end of the occurrence
+}
+
+type node struct {
+	next map[byte]int32
+	fail int32
+	out  []int32 // pattern indices ending at this node
+}
+
+// Matcher is a compiled Aho–Corasick automaton. It is immutable after
+// Compile and safe for concurrent use.
+type Matcher struct {
+	nodes    []node
+	patterns [][]byte
+}
+
+// Compile builds a matcher over the given patterns. Empty patterns are
+// permitted but never match. Duplicate patterns each report their own index.
+func Compile(patterns [][]byte) *Matcher {
+	m := &Matcher{
+		nodes:    make([]node, 1, 16),
+		patterns: patterns,
+	}
+	m.nodes[0].next = make(map[byte]int32)
+	for i, p := range patterns {
+		if len(p) == 0 {
+			continue
+		}
+		cur := int32(0)
+		for _, c := range p {
+			nxt, ok := m.nodes[cur].next[c]
+			if !ok {
+				m.nodes = append(m.nodes, node{next: make(map[byte]int32)})
+				nxt = int32(len(m.nodes) - 1)
+				m.nodes[cur].next[c] = nxt
+			}
+			cur = nxt
+		}
+		m.nodes[cur].out = append(m.nodes[cur].out, int32(i))
+	}
+	// BFS to assign failure links and merge outputs.
+	queue := make([]int32, 0, len(m.nodes))
+	for _, v := range m.nodes[0].next {
+		m.nodes[v].fail = 0
+		queue = append(queue, v)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for c, v := range m.nodes[u].next {
+			queue = append(queue, v)
+			f := m.nodes[u].fail
+			for {
+				if nxt, ok := m.nodes[f].next[c]; ok && nxt != v {
+					m.nodes[v].fail = nxt
+					break
+				}
+				if f == 0 {
+					m.nodes[v].fail = 0
+					break
+				}
+				f = m.nodes[f].fail
+			}
+			m.nodes[v].out = append(m.nodes[v].out, m.nodes[m.nodes[v].fail].out...)
+		}
+	}
+	return m
+}
+
+// NumPatterns returns the number of patterns the matcher was compiled with.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+func (m *Matcher) step(state int32, c byte) int32 {
+	for {
+		if nxt, ok := m.nodes[state].next[c]; ok {
+			return nxt
+		}
+		if state == 0 {
+			return 0
+		}
+		state = m.nodes[state].fail
+	}
+}
+
+// FindAll returns every occurrence of every pattern in text, in order of
+// end offset. Overlapping occurrences are all reported.
+func (m *Matcher) FindAll(text []byte) []Match {
+	var out []Match
+	state := int32(0)
+	for i, c := range text {
+		state = m.step(state, c)
+		for _, p := range m.nodes[state].out {
+			out = append(out, Match{Pattern: int(p), End: i + 1})
+		}
+	}
+	return out
+}
+
+// Occurs returns a boolean slice, indexed by pattern, reporting which
+// patterns occur at least once in text. It allocates one slice per call and
+// stops descending into output lists already fully seen.
+func (m *Matcher) Occurs(text []byte) []bool {
+	seen := make([]bool, len(m.patterns))
+	m.OccursInto(text, seen)
+	return seen
+}
+
+// OccursInto is like Occurs but writes into a caller-provided slice, which
+// must have length NumPatterns(). It does not reset the slice first, so a
+// caller can accumulate occurrences across multiple fields of one packet.
+func (m *Matcher) OccursInto(text []byte, seen []bool) {
+	if len(seen) != len(m.patterns) {
+		panic("ahocorasick: OccursInto slice length mismatch")
+	}
+	state := int32(0)
+	for _, c := range text {
+		state = m.step(state, c)
+		for _, p := range m.nodes[state].out {
+			seen[p] = true
+		}
+	}
+}
+
+// Count returns the total number of pattern occurrences in text.
+func (m *Matcher) Count(text []byte) int {
+	n := 0
+	state := int32(0)
+	for _, c := range text {
+		state = m.step(state, c)
+		n += len(m.nodes[state].out)
+	}
+	return n
+}

@@ -1,0 +1,268 @@
+package android
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLuhnKnownValues(t *testing.T) {
+	// 49015420323751 -> check digit 8 (classic IMEI example).
+	if got := LuhnCheckDigit("49015420323751"); got != '8' {
+		t.Errorf("LuhnCheckDigit = %c, want 8", got)
+	}
+	if !LuhnValid("490154203237518") {
+		t.Error("LuhnValid(known IMEI) = false")
+	}
+	if LuhnValid("490154203237519") {
+		t.Error("LuhnValid(corrupted IMEI) = true")
+	}
+	if LuhnValid("") || LuhnValid("5") || LuhnValid("12a4") {
+		t.Error("LuhnValid accepted malformed input")
+	}
+}
+
+func TestLuhnAppendProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		body := randDigits(rng, 1+rng.Intn(20))
+		full := body + string(LuhnCheckDigit(body))
+		if !LuhnValid(full) {
+			t.Fatalf("LuhnValid(%q) = false", full)
+		}
+		// Mutating any single digit must break the check.
+		pos := rng.Intn(len(full))
+		mut := []byte(full)
+		mut[pos] = byte('0' + (int(mut[pos]-'0')+1+rng.Intn(8))%10)
+		if string(mut) != full && LuhnValid(string(mut)) {
+			t.Fatalf("LuhnValid accepted single-digit mutation %q of %q", mut, full)
+		}
+	}
+}
+
+func TestLuhnPanicsOnNonDigit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LuhnCheckDigit("12x4")
+}
+
+func TestGenerateIMEI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		imei := GenerateIMEI(rng)
+		if len(imei) != 15 {
+			t.Fatalf("IMEI length = %d", len(imei))
+		}
+		if !LuhnValid(imei) {
+			t.Fatalf("IMEI %q fails Luhn", imei)
+		}
+		tacOK := false
+		for _, tac := range tacCodes {
+			if strings.HasPrefix(imei, tac) {
+				tacOK = true
+			}
+		}
+		if !tacOK {
+			t.Fatalf("IMEI %q has unknown TAC", imei)
+		}
+		seen[imei] = true
+	}
+	if len(seen) < 190 {
+		t.Errorf("IMEI collisions: only %d distinct of 200", len(seen))
+	}
+}
+
+func TestGenerateIMSI(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	imsi := GenerateIMSI(rng, CarrierDocomo)
+	if len(imsi) != 15 {
+		t.Fatalf("IMSI length = %d", len(imsi))
+	}
+	if !strings.HasPrefix(imsi, "44010") {
+		t.Errorf("IMSI %q missing docomo MCC+MNC", imsi)
+	}
+}
+
+func TestGenerateICCID(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		iccid := GenerateICCID(rng)
+		if len(iccid) != 19 {
+			t.Fatalf("ICCID length = %d", len(iccid))
+		}
+		if !strings.HasPrefix(iccid, "8981") {
+			t.Errorf("ICCID %q missing 8981 prefix", iccid)
+		}
+		if !LuhnValid(iccid) {
+			t.Errorf("ICCID %q fails Luhn", iccid)
+		}
+	}
+}
+
+func TestGenerateAndroidID(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	id := GenerateAndroidID(rng)
+	if len(id) != 16 {
+		t.Fatalf("AndroidID length = %d", len(id))
+	}
+	for _, c := range id {
+		if !strings.ContainsRune(hexDigits, c) {
+			t.Fatalf("AndroidID %q has non-hex char", id)
+		}
+	}
+}
+
+func TestNewDeviceDeterministic(t *testing.T) {
+	a := NewDevice(rand.New(rand.NewSource(77)), CarrierDocomo)
+	b := NewDevice(rand.New(rand.NewSource(77)), CarrierDocomo)
+	if *a != *b {
+		t.Error("same seed produced different devices")
+	}
+	c := NewDevice(rand.New(rand.NewSource(78)), CarrierDocomo)
+	if a.IMEI == c.IMEI && a.AndroidID == c.AndroidID {
+		t.Error("different seeds produced identical identifiers")
+	}
+	if !strings.Contains(a.UserAgent(), "Android 2.3.4") {
+		t.Errorf("UserAgent = %q", a.UserAgent())
+	}
+}
+
+func TestPermissionShort(t *testing.T) {
+	if PermInternet.Short() != "INTERNET" {
+		t.Errorf("Short = %q", PermInternet.Short())
+	}
+	if Permission("BARE").Short() != "BARE" {
+		t.Error("Short on bare name failed")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet(PermInternet, PermReadPhoneState)
+	if !s.Has(PermInternet) || s.Has(PermReadContacts) {
+		t.Error("Has failed")
+	}
+	if s.HasLocation() {
+		t.Error("HasLocation false positive")
+	}
+	s.Add(PermAccessCoarseLocation)
+	if !s.HasLocation() {
+		t.Error("HasLocation missed coarse location")
+	}
+	sorted := s.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Error("Sorted not sorted")
+		}
+	}
+}
+
+func TestDangerousComboTableIRows(t *testing.T) {
+	cases := []struct {
+		perms []Permission
+		want  Combo
+	}{
+		{[]Permission{PermInternet}, ComboInternetOnly},
+		{[]Permission{PermInternet, PermVibrate}, ComboInternetOnly},
+		{[]Permission{PermInternet, PermReadPhoneState}, ComboInternetPhone},
+		{[]Permission{PermInternet, PermAccessFineLocation, PermReadPhoneState}, ComboInternetLocationPhone},
+		{[]Permission{PermInternet, PermAccessCoarseLocation}, ComboInternetLocation},
+		{[]Permission{PermInternet, PermAccessFineLocation, PermReadPhoneState, PermReadContacts}, ComboInternetLocationPhoneContacts},
+		{[]Permission{PermReadPhoneState}, ComboOther},             // no INTERNET
+		{[]Permission{PermInternet, PermReadContacts}, ComboOther}, // off-table combo
+		{[]Permission{}, ComboOther},
+	}
+	for i, c := range cases {
+		m := &Manifest{Package: "p", Permissions: NewSet(c.perms...)}
+		if got := m.DangerousCombo(); got != c.want {
+			t.Errorf("case %d: combo = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestCanLeak(t *testing.T) {
+	leaky := &Manifest{Permissions: NewSet(PermInternet, PermReadPhoneState)}
+	if !leaky.CanLeak() {
+		t.Error("INTERNET+PHONE should leak")
+	}
+	netOnly := &Manifest{Permissions: NewSet(PermInternet)}
+	if netOnly.CanLeak() {
+		t.Error("INTERNET only should not leak")
+	}
+	noNet := &Manifest{Permissions: NewSet(PermReadPhoneState, PermReadContacts)}
+	if noNet.CanLeak() {
+		t.Error("no INTERNET should not leak")
+	}
+}
+
+func TestComboString(t *testing.T) {
+	if ComboInternetOnly.String() != "INTERNET" {
+		t.Errorf("String = %q", ComboInternetOnly.String())
+	}
+	if !strings.Contains(Combo(99).String(), "99") {
+		t.Error("unknown combo String")
+	}
+}
+
+func TestReferenceMonitor(t *testing.T) {
+	rm := NewReferenceMonitor()
+	m := &Manifest{Package: "com.example", Permissions: NewSet(PermInternet, PermAccessFineLocation)}
+	if err := rm.Check(m, ResourceNetwork); err != nil {
+		t.Errorf("network access denied: %v", err)
+	}
+	if err := rm.Check(m, ResourceLocation); err != nil {
+		t.Errorf("location access denied: %v", err)
+	}
+	err := rm.Check(m, ResourcePhoneState)
+	if err == nil {
+		t.Fatal("phone state access granted without permission")
+	}
+	var denied *AccessDenied
+	if !errors.As(err, &denied) {
+		t.Fatalf("error type = %T", err)
+	}
+	if denied.Resource != ResourcePhoneState || denied.Package != "com.example" {
+		t.Errorf("denial = %+v", denied)
+	}
+	if got := len(rm.Log()); got != 3 {
+		t.Errorf("log entries = %d, want 3", got)
+	}
+	if got := len(rm.Denials()); got != 1 {
+		t.Errorf("denials = %d, want 1", got)
+	}
+}
+
+func TestReferenceMonitorUnknownResource(t *testing.T) {
+	rm := NewReferenceMonitor()
+	m := &Manifest{Package: "p", Permissions: NewSet(PermInternet)}
+	if err := rm.Check(m, Resource("bogus")); err == nil {
+		t.Error("unknown resource granted")
+	}
+}
+
+func TestIMSIAllCarriers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, c := range Carriers() {
+		imsi := GenerateIMSI(rng, c)
+		if !strings.HasPrefix(imsi, c.MCC+c.MNC) {
+			t.Errorf("IMSI %q missing %s%s for %s", imsi, c.MCC, c.MNC, c.Name)
+		}
+	}
+}
+
+func TestLuhnQuickCheckDigitIsDigit(t *testing.T) {
+	f := func(n uint32) bool {
+		rng := rand.New(rand.NewSource(int64(n)))
+		body := randDigits(rng, 1+int(n%25))
+		d := LuhnCheckDigit(body)
+		return d >= '0' && d <= '9'
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

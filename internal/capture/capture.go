@@ -1,0 +1,297 @@
+// Package capture stores and transports HTTP packet datasets.
+//
+// The paper's pipeline (Figure 3a) begins with "a separate server collects
+// application traffic". Set is that collected trace: an ordered list of
+// packets plus helpers for the operations the evaluation performs on it —
+// filtering, random sampling of the signature-generation subset P ⊂ H
+// (§IV-D), and splitting into suspicious/normal groups (§V-A).
+//
+// Two interchange formats are provided: JSONL (one packet per line, human
+// inspectable) and a length-prefixed binary framing of the raw HTTP wire
+// format (compact, mirrors what an on-path collector would store).
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/ipaddr"
+)
+
+// Set is an ordered collection of captured packets.
+type Set struct {
+	Packets []*httpmodel.Packet
+}
+
+// New returns a Set over the given packets.
+func New(ps []*httpmodel.Packet) *Set { return &Set{Packets: ps} }
+
+// Len returns the number of packets.
+func (s *Set) Len() int { return len(s.Packets) }
+
+// Append adds packets to the set.
+func (s *Set) Append(ps ...*httpmodel.Packet) { s.Packets = append(s.Packets, ps...) }
+
+// Filter returns a new Set holding the packets for which keep returns true.
+// Packets are shared, not copied.
+func (s *Set) Filter(keep func(*httpmodel.Packet) bool) *Set {
+	out := &Set{}
+	for _, p := range s.Packets {
+		if keep(p) {
+			out.Packets = append(out.Packets, p)
+		}
+	}
+	return out
+}
+
+// Split partitions the set into (true-side, false-side) by predicate.
+func (s *Set) Split(pred func(*httpmodel.Packet) bool) (*Set, *Set) {
+	yes, no := &Set{}, &Set{}
+	for _, p := range s.Packets {
+		if pred(p) {
+			yes.Packets = append(yes.Packets, p)
+		} else {
+			no.Packets = append(no.Packets, p)
+		}
+	}
+	return yes, no
+}
+
+// Sample returns n packets drawn uniformly without replacement, in stable
+// order of their original position. If n >= Len, all packets are returned.
+// This implements the paper's "selected N HTTP packets at random out of the
+// suspicious group" (§V-A).
+func (s *Set) Sample(rng *rand.Rand, n int) *Set {
+	if n >= len(s.Packets) {
+		out := make([]*httpmodel.Packet, len(s.Packets))
+		copy(out, s.Packets)
+		return &Set{Packets: out}
+	}
+	idx := rng.Perm(len(s.Packets))[:n]
+	// Preserve capture order for determinism downstream.
+	chosen := make(map[int]bool, n)
+	for _, i := range idx {
+		chosen[i] = true
+	}
+	out := make([]*httpmodel.Packet, 0, n)
+	for i, p := range s.Packets {
+		if chosen[i] {
+			out = append(out, p)
+		}
+	}
+	return &Set{Packets: out}
+}
+
+// Apps returns the distinct application names in first-seen order.
+func (s *Set) Apps() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range s.Packets {
+		if p.App != "" && !seen[p.App] {
+			seen[p.App] = true
+			out = append(out, p.App)
+		}
+	}
+	return out
+}
+
+// Hosts returns the distinct destination hosts in first-seen order.
+func (s *Set) Hosts() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range s.Packets {
+		if !seen[p.Host] {
+			seen[p.Host] = true
+			out = append(out, p.Host)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per packet.
+func (s *Set) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, p := range s.Packets {
+		if err := enc.Encode(p); err != nil {
+			return fmt.Errorf("capture: encoding packet %d: %w", p.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a JSONL stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Set, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	s := &Set{}
+	for {
+		var p httpmodel.Packet
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("capture: decoding packet %d: %w", len(s.Packets), err)
+		}
+		s.Packets = append(s.Packets, &p)
+	}
+	return s, nil
+}
+
+// Binary framing: a magic header, then per packet
+//
+//	uint32 frameLen | uint64 id | uint32 ip | uint16 port |
+//	uint32 appLen | app | uint64 time | uint32 rawLen | raw-HTTP
+//
+// all big-endian. The raw HTTP request carries everything else.
+var binaryMagic = [8]byte{'L', 'S', 'I', 'G', 'C', 'A', 'P', '1'}
+
+// WriteBinary writes the compact binary capture format.
+func (s *Set) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	for _, p := range s.Packets {
+		raw := p.WireBytes()
+		app := []byte(p.App)
+		frame := 8 + 4 + 2 + 4 + len(app) + 8 + 4 + len(raw)
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(frame))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		var fixed [8]byte
+		binary.BigEndian.PutUint64(fixed[:], uint64(p.ID))
+		bw.Write(fixed[:])
+		binary.BigEndian.PutUint32(fixed[:4], uint32(p.DstIP))
+		bw.Write(fixed[:4])
+		binary.BigEndian.PutUint16(fixed[:2], p.DstPort)
+		bw.Write(fixed[:2])
+		binary.BigEndian.PutUint32(fixed[:4], uint32(len(app)))
+		bw.Write(fixed[:4])
+		bw.Write(app)
+		binary.BigEndian.PutUint64(fixed[:], uint64(p.Time))
+		bw.Write(fixed[:])
+		binary.BigEndian.PutUint32(fixed[:4], uint32(len(raw)))
+		bw.Write(fixed[:4])
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the binary capture format.
+func ReadBinary(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("capture: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("capture: bad magic %q", magic)
+	}
+	s := &Set{}
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("capture: reading frame header: %w", err)
+		}
+		frame := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, fmt.Errorf("capture: reading frame: %w", err)
+		}
+		p, err := decodeFrame(frame)
+		if err != nil {
+			return nil, err
+		}
+		s.Packets = append(s.Packets, p)
+	}
+	return s, nil
+}
+
+func decodeFrame(frame []byte) (*httpmodel.Packet, error) {
+	const fixedMin = 8 + 4 + 2 + 4
+	if len(frame) < fixedMin {
+		return nil, fmt.Errorf("capture: frame too short (%d bytes)", len(frame))
+	}
+	id := int64(binary.BigEndian.Uint64(frame[0:8]))
+	ip := ipaddr.Addr(binary.BigEndian.Uint32(frame[8:12]))
+	port := binary.BigEndian.Uint16(frame[12:14])
+	appLen := int(binary.BigEndian.Uint32(frame[14:18]))
+	rest := frame[18:]
+	if len(rest) < appLen+8+4 {
+		return nil, fmt.Errorf("capture: truncated frame")
+	}
+	app := string(rest[:appLen])
+	rest = rest[appLen:]
+	tm := int64(binary.BigEndian.Uint64(rest[0:8]))
+	rawLen := int(binary.BigEndian.Uint32(rest[8:12]))
+	rest = rest[12:]
+	if len(rest) != rawLen {
+		return nil, fmt.Errorf("capture: raw length %d does not match remainder %d", rawLen, len(rest))
+	}
+	p, err := httpmodel.ParseWireBytes(rest, ip, port)
+	if err != nil {
+		return nil, fmt.Errorf("capture: frame id %d: %w", id, err)
+	}
+	p.ID = id
+	p.App = app
+	p.Time = tm
+	return p, nil
+}
+
+// SaveJSONL writes the set to a file in JSONL format.
+func (s *Set) SaveJSONL(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJSONL reads a JSONL capture file.
+func LoadJSONL(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}
+
+// SaveBinary writes the set to a file in binary format.
+func (s *Set) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinary reads a binary capture file.
+func LoadBinary(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,224 @@
+package capture
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/ipaddr"
+)
+
+func sampleSet() *Set {
+	mk := func(id int64, app, host, path string) *httpmodel.Packet {
+		return httpmodel.Get(host, path).
+			ID(id).App(app).Time(1325376000+id).
+			Dest(ipaddr.MustParse("203.0.113.9"), 80).
+			UserAgent("Dalvik/1.4").
+			Build()
+	}
+	s := New(nil)
+	s.Append(
+		mk(1, "com.a", "admob.com", "/ads?id=1"),
+		mk(2, "com.a", "gstatic.com", "/img/x.png"),
+		mk(3, "com.b", "admob.com", "/ads?id=2"),
+		httpmodel.Post("flurry.com", "/aap.do").
+			ID(4).App("com.c").Time(1325376100).
+			Dest(ipaddr.MustParse("198.51.100.77"), 80).
+			Cookie("s=1").
+			BodyString("imei=353918051234563&os=android").
+			Build(),
+	)
+	return s
+}
+
+func TestFilterAndSplit(t *testing.T) {
+	s := sampleSet()
+	ads := s.Filter(func(p *httpmodel.Packet) bool { return p.Host == "admob.com" })
+	if ads.Len() != 2 {
+		t.Fatalf("Filter len = %d", ads.Len())
+	}
+	yes, no := s.Split(func(p *httpmodel.Packet) bool { return p.Method == "POST" })
+	if yes.Len() != 1 || no.Len() != 3 {
+		t.Fatalf("Split = %d/%d", yes.Len(), no.Len())
+	}
+	if s.Len() != 4 {
+		t.Error("source mutated")
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := sampleSet()
+	rng := rand.New(rand.NewSource(1))
+	got := s.Sample(rng, 2)
+	if got.Len() != 2 {
+		t.Fatalf("Sample len = %d", got.Len())
+	}
+	// Stable order: IDs ascending because source was ascending.
+	if got.Packets[0].ID >= got.Packets[1].ID {
+		t.Errorf("sample order not stable: %d, %d", got.Packets[0].ID, got.Packets[1].ID)
+	}
+	all := s.Sample(rng, 100)
+	if all.Len() != s.Len() {
+		t.Errorf("oversized sample len = %d", all.Len())
+	}
+	all.Packets[0] = nil
+	if s.Packets[0] == nil {
+		t.Error("oversized sample aliases source slice")
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	// Every packet should be selected roughly equally often.
+	s := sampleSet()
+	counts := make(map[int64]int)
+	rng := rand.New(rand.NewSource(42))
+	const iters = 4000
+	for i := 0; i < iters; i++ {
+		for _, p := range s.Sample(rng, 2).Packets {
+			counts[p.ID]++
+		}
+	}
+	for id, c := range counts {
+		frac := float64(c) / float64(iters)
+		if frac < 0.40 || frac > 0.60 { // expected 0.5 each
+			t.Errorf("packet %d selected fraction %.3f, want ~0.5", id, frac)
+		}
+	}
+}
+
+func TestAppsHosts(t *testing.T) {
+	s := sampleSet()
+	apps := s.Apps()
+	if strings.Join(apps, ",") != "com.a,com.b,com.c" {
+		t.Errorf("Apps = %v", apps)
+	}
+	hosts := s.Hosts()
+	if strings.Join(hosts, ",") != "admob.com,gstatic.com,flurry.com" {
+		t.Errorf("Hosts = %v", hosts)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := sampleSet()
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSetsEqual(t, s, got)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := sampleSet()
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSetsEqual(t, s, got)
+}
+
+func assertSetsEqual(t *testing.T, want, got *Set) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Packets {
+		w, g := want.Packets[i], got.Packets[i]
+		if g.ID != w.ID || g.App != w.App || g.Time != w.Time {
+			t.Errorf("packet %d metadata mismatch: %+v vs %+v", i, g, w)
+		}
+		if g.RequestLine() != w.RequestLine() || g.Host != w.Host {
+			t.Errorf("packet %d request mismatch", i)
+		}
+		if g.DstIP != w.DstIP || g.DstPort != w.DstPort {
+			t.Errorf("packet %d destination mismatch", i)
+		}
+		if !bytes.Equal(g.Body, w.Body) {
+			t.Errorf("packet %d body mismatch", i)
+		}
+		if g.Cookie() != w.Cookie() {
+			t.Errorf("packet %d cookie mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOTMAGIC rest"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	s := sampleSet()
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{len(raw) - 1, len(raw) / 2, 9} {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncated stream (cut %d) accepted", cut)
+		}
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("garbage JSONL accepted")
+	}
+}
+
+func TestFileRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	s := sampleSet()
+
+	jp := filepath.Join(dir, "cap.jsonl")
+	if err := s.SaveJSONL(jp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSONL(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSetsEqual(t, s, got)
+
+	bp := filepath.Join(dir, "cap.bin")
+	if err := s.SaveBinary(bp); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadBinary(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSetsEqual(t, s, got)
+}
+
+func TestEmptySetRoundTrips(t *testing.T) {
+	s := New(nil)
+	var jbuf, bbuf bytes.Buffer
+	if err := s.WriteJSONL(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadJSONL(&jbuf); err != nil || got.Len() != 0 {
+		t.Errorf("empty JSONL round trip: %v, len %d", err, got.Len())
+	}
+	if err := s.WriteBinary(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadBinary(&bbuf); err != nil || got.Len() != 0 {
+		t.Errorf("empty binary round trip: %v", err)
+	}
+}

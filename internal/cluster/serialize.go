@@ -1,0 +1,38 @@
+package cluster
+
+// Dendrogram serialization: the clustering server (Figure 3a) can persist
+// or ship merge histories so signature generation, visualization, and audit
+// happen offline from distance computation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// dendrogramJSON is the wire form of a Dendrogram.
+type dendrogramJSON struct {
+	NumLeaves int     `json:"num_leaves"`
+	Merges    []Merge `json:"merges"`
+}
+
+// WriteJSON serializes the dendrogram.
+func (d *Dendrogram) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dendrogramJSON{NumLeaves: d.NumLeaves, Merges: d.Merges})
+}
+
+// ReadJSON deserializes a dendrogram written by WriteJSON and validates
+// its structural invariants before returning it.
+func ReadJSON(r io.Reader) (*Dendrogram, error) {
+	var dj dendrogramJSON
+	if err := json.NewDecoder(r).Decode(&dj); err != nil {
+		return nil, fmt.Errorf("cluster: decoding dendrogram: %w", err)
+	}
+	d := &Dendrogram{NumLeaves: dj.NumLeaves, Merges: dj.Merges}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,120 @@
+// Package collector implements the traffic-collection entry point of the
+// paper's Figure 3(a): "a separate server collects application traffic,
+// clustering the data and generating signatures." The Recorder observes
+// HTTP requests (as raw wire bytes or model packets), stamps capture
+// metadata, and accumulates them into a capture.Set ready for the
+// clustering pipeline. It is safe for concurrent use so a fleet of devices
+// can upload simultaneously.
+package collector
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"leaksig/internal/capture"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/ipaddr"
+)
+
+// Recorder accumulates observed packets.
+type Recorder struct {
+	mu     sync.Mutex
+	nextID int64
+	set    *capture.Set
+	now    func() int64
+}
+
+// New returns an empty recorder. now may be nil for wall-clock time; tests
+// inject a deterministic clock.
+func New(now func() int64) *Recorder {
+	if now == nil {
+		now = func() int64 { return time.Now().Unix() }
+	}
+	return &Recorder{set: capture.New(nil), now: now, nextID: 1}
+}
+
+// Record stores a copy of the packet with a fresh capture ID and timestamp
+// (existing values are overwritten — the collector owns capture identity).
+func (r *Recorder) Record(app string, p *httpmodel.Packet) *httpmodel.Packet {
+	cp := p.Clone()
+	if app != "" {
+		cp.App = app
+	}
+	r.mu.Lock()
+	cp.ID = r.nextID
+	r.nextID++
+	cp.Time = r.now()
+	r.set.Append(cp)
+	r.mu.Unlock()
+	return cp
+}
+
+// RecordWire parses one raw HTTP request and records it.
+func (r *Recorder) RecordWire(app string, raw []byte, dstIP ipaddr.Addr, dstPort uint16) (*httpmodel.Packet, error) {
+	p, err := httpmodel.ParseWireBytes(raw, dstIP, dstPort)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	return r.Record(app, p), nil
+}
+
+// Len returns the number of recorded packets.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.set.Len()
+}
+
+// Snapshot returns a copy of the capture set collected so far. The packets
+// are shared (the recorder never mutates them after recording); the slice
+// is fresh.
+func (r *Recorder) Snapshot() *capture.Set {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ps := make([]*httpmodel.Packet, r.set.Len())
+	copy(ps, r.set.Packets)
+	return capture.New(ps)
+}
+
+// UploadHandler returns the HTTP ingestion API devices POST raw requests
+// to:
+//
+//	POST /upload?app=<package>&ip=<dst-ip>&port=<dst-port>
+//
+// with the raw HTTP request as the body. Responses: 204 on success, 400 on
+// malformed input. A GET /stats endpoint reports the collected count.
+func (r *Recorder) UploadHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /upload", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		app := q.Get("app")
+		ip, err := ipaddr.Parse(q.Get("ip"))
+		if err != nil {
+			http.Error(w, "bad ip: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		port64, err := strconv.ParseUint(q.Get("port"), 10, 16)
+		if err != nil {
+			http.Error(w, "bad port", http.StatusBadRequest)
+			return
+		}
+		raw, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "reading body", http.StatusBadRequest)
+			return
+		}
+		if _, err := r.RecordWire(app, raw, ip, uint16(port64)); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintf(w, "%d", r.Len())
+	})
+	return mux
+}

@@ -1,0 +1,167 @@
+package collector
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/ipaddr"
+)
+
+func fixedClock() func() int64 {
+	t := int64(1325376000)
+	return func() int64 { t++; return t }
+}
+
+func TestRecordAssignsIdentity(t *testing.T) {
+	r := New(fixedClock())
+	p := httpmodel.Get("admob.com", "/mads/gma?udid=x").
+		Dest(ipaddr.MustParse("203.0.113.1"), 80).Build()
+	got := r.Record("com.example", p)
+	if got.ID != 1 || got.App != "com.example" || got.Time != 1325376001 {
+		t.Errorf("recorded metadata = id %d app %q time %d", got.ID, got.App, got.Time)
+	}
+	got2 := r.Record("com.example", p)
+	if got2.ID != 2 {
+		t.Errorf("second ID = %d", got2.ID)
+	}
+	// The original packet is untouched.
+	if p.ID != 0 || p.App != "" {
+		t.Error("Record mutated the input packet")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRecordWire(t *testing.T) {
+	r := New(fixedClock())
+	raw := []byte("GET /x?q=1 HTTP/1.1\r\nHost: api.example.jp\r\n\r\n")
+	p, err := r.RecordWire("com.app", raw, ipaddr.MustParse("198.51.100.1"), 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Host != "api.example.jp" || p.DstPort != 8080 {
+		t.Errorf("parsed packet = %+v", p)
+	}
+	if _, err := r.RecordWire("com.app", []byte("garbage"), 1, 80); err == nil {
+		t.Error("garbage wire accepted")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len after failure = %d", r.Len())
+	}
+}
+
+func TestSnapshotIsolated(t *testing.T) {
+	r := New(fixedClock())
+	p := httpmodel.Get("a.example", "/1").Dest(1, 80).Build()
+	r.Record("app", p)
+	snap := r.Snapshot()
+	r.Record("app", p)
+	if snap.Len() != 1 {
+		t.Errorf("snapshot grew with recorder: %d", snap.Len())
+	}
+	if r.Len() != 2 {
+		t.Errorf("recorder len = %d", r.Len())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(nil)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 50
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := httpmodel.Get("x.example", "/p").Dest(1, 80).Build()
+			for i := 0; i < each; i++ {
+				r.Record(fmt.Sprintf("app%d", g), p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != goroutines*each {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// IDs must be unique.
+	seen := make(map[int64]bool)
+	for _, p := range r.Snapshot().Packets {
+		if seen[p.ID] {
+			t.Fatalf("duplicate ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestUploadHandler(t *testing.T) {
+	r := New(fixedClock())
+	ts := httptest.NewServer(r.UploadHandler())
+	defer ts.Close()
+
+	raw := "GET /ad?imei=353918051234563 HTTP/1.1\r\nHost: ad-maker.info\r\n\r\n"
+	url := ts.URL + "/upload?app=com.example.game&ip=203.0.113.9&port=80"
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader([]byte(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("upload status = %s", resp.Status)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	got := r.Snapshot().Packets[0]
+	if got.App != "com.example.game" || got.Host != "ad-maker.info" {
+		t.Errorf("uploaded packet = %+v", got)
+	}
+
+	// Stats endpoint.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if string(body) != "1" {
+		t.Errorf("stats = %q", body)
+	}
+}
+
+func TestUploadHandlerRejectsBadInput(t *testing.T) {
+	r := New(nil)
+	ts := httptest.NewServer(r.UploadHandler())
+	defer ts.Close()
+	cases := []string{
+		"/upload?app=a&ip=notanip&port=80",
+		"/upload?app=a&ip=1.2.3.4&port=notaport",
+		"/upload?app=a&ip=1.2.3.4&port=99999",
+	}
+	for _, path := range cases {
+		resp, err := http.Post(ts.URL+path, "application/octet-stream",
+			bytes.NewReader([]byte("GET / HTTP/1.1\r\nHost: h\r\n\r\n")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %s, want 400", path, resp.Status)
+		}
+	}
+	// Malformed wire body.
+	resp, _ := http.Post(ts.URL+"/upload?app=a&ip=1.2.3.4&port=80",
+		"application/octet-stream", bytes.NewReader([]byte("garbage")))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body status = %s", resp.Status)
+	}
+	if r.Len() != 0 {
+		t.Errorf("rejected uploads were recorded: %d", r.Len())
+	}
+}

@@ -1,0 +1,197 @@
+// Package detect applies conjunction signature sets to HTTP packets and
+// computes the paper's evaluation rates (§V-B).
+//
+// Matching runs one Aho–Corasick pass per packet over the union of every
+// signature's tokens, then checks each signature's token bitset and optional
+// destination constraint. Evaluation implements the paper's equations
+// verbatim:
+//
+//	TP = (#detected sensitive packets − N) / (#sensitive packets − N)
+//	FN =  #undetected sensitive packets   / (#sensitive packets − N)
+//	FP =  #detected non-sensitive packets / (#non-sensitive packets − N)
+//
+// where N is the number of (sensitive) packets the signatures were
+// generated from. The N subtraction in the FP denominator is the paper's
+// own formulation and is kept literal.
+package detect
+
+import (
+	"runtime"
+	"sync"
+
+	"leaksig/internal/ahocorasick"
+	"leaksig/internal/capture"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+// Engine matches packets against a compiled signature set. It is immutable
+// after construction and safe for concurrent use.
+type Engine struct {
+	set      *signature.Set
+	matcher  *ahocorasick.Matcher
+	tokenIDs [][]int // per signature: indices into the matcher's pattern list
+}
+
+// NewEngine compiles the signature set.
+func NewEngine(set *signature.Set) *Engine {
+	tokenIndex := make(map[string]int)
+	var patterns [][]byte
+	tokenIDs := make([][]int, len(set.Signatures))
+	for si, sig := range set.Signatures {
+		ids := make([]int, 0, len(sig.Tokens))
+		for _, tok := range sig.Tokens {
+			id, ok := tokenIndex[tok]
+			if !ok {
+				id = len(patterns)
+				tokenIndex[tok] = id
+				patterns = append(patterns, []byte(tok))
+			}
+			ids = append(ids, id)
+		}
+		tokenIDs[si] = ids
+	}
+	return &Engine{
+		set:      set,
+		matcher:  ahocorasick.Compile(patterns),
+		tokenIDs: tokenIDs,
+	}
+}
+
+// Set returns the engine's signature set.
+func (e *Engine) Set() *signature.Set { return e.set }
+
+// MatchPacket returns the IDs of every signature the packet matches.
+func (e *Engine) MatchPacket(p *httpmodel.Packet) []int {
+	occ := e.matcher.Occurs(p.Content())
+	var out []int
+	for si, sig := range e.set.Signatures {
+		if len(e.tokenIDs[si]) == 0 {
+			continue
+		}
+		if !signature.HostMatchesSuffix(p.Host, sig.HostSuffix) {
+			continue
+		}
+		all := true
+		for _, id := range e.tokenIDs[si] {
+			if !occ[id] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, sig.ID)
+		}
+	}
+	return out
+}
+
+// Matches reports whether any signature matches the packet.
+func (e *Engine) Matches(p *httpmodel.Packet) bool {
+	occ := e.matcher.Occurs(p.Content())
+	for si, sig := range e.set.Signatures {
+		if len(e.tokenIDs[si]) == 0 {
+			continue
+		}
+		if !signature.HostMatchesSuffix(p.Host, sig.HostSuffix) {
+			continue
+		}
+		all := true
+		for _, id := range e.tokenIDs[si] {
+			if !occ[id] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchSet evaluates every packet of the set in parallel and returns one
+// boolean per packet in order.
+func (e *Engine) MatchSet(s *capture.Set) []bool {
+	n := len(s.Packets)
+	out := make([]bool, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.Matches(s.Packets[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Result holds the counts and rates of one detection run.
+type Result struct {
+	N int // signature-generation sample size
+
+	SensitiveTotal int // packets in the suspicious group
+	NormalTotal    int // packets in the normal group
+
+	DetectedSensitive   int // sensitive packets matched by a signature
+	UndetectedSensitive int // sensitive packets missed
+	DetectedNormal      int // normal packets matched (false alarms)
+
+	TruePositiveRate  float64 // paper's TP
+	FalseNegativeRate float64 // paper's FN
+	FalsePositiveRate float64 // paper's FP
+}
+
+// Evaluate runs the engine over the whole dataset and scores it against the
+// ground-truth sensitivity labels. sensitive[i] must correspond to
+// ds.Packets[i]; n is the paper's N (size of the training sample drawn from
+// the suspicious group).
+func Evaluate(e *Engine, ds *capture.Set, sensitive []bool, n int) Result {
+	if len(sensitive) != len(ds.Packets) {
+		panic("detect: sensitivity label length mismatch")
+	}
+	matched := e.MatchSet(ds)
+	r := Result{N: n}
+	for i := range ds.Packets {
+		if sensitive[i] {
+			r.SensitiveTotal++
+			if matched[i] {
+				r.DetectedSensitive++
+			} else {
+				r.UndetectedSensitive++
+			}
+		} else {
+			r.NormalTotal++
+			if matched[i] {
+				r.DetectedNormal++
+			}
+		}
+	}
+	if denom := r.SensitiveTotal - n; denom > 0 {
+		r.TruePositiveRate = float64(r.DetectedSensitive-n) / float64(denom)
+		r.FalseNegativeRate = float64(r.UndetectedSensitive) / float64(denom)
+	}
+	if denom := r.NormalTotal - n; denom > 0 {
+		r.FalsePositiveRate = float64(r.DetectedNormal) / float64(denom)
+	}
+	return r
+}

@@ -1,0 +1,84 @@
+package detect
+
+import (
+	"runtime"
+	"sync"
+
+	"leaksig/internal/capture"
+	"leaksig/internal/httpmodel"
+)
+
+// Matcher is any packet-level detector: the conjunction Engine, a Bayes
+// signature, or a token-subsequence set. Implementations must be safe for
+// concurrent use.
+type Matcher interface {
+	Matches(p *httpmodel.Packet) bool
+}
+
+// MatchSetWith evaluates every packet of the set against an arbitrary
+// Matcher in parallel, returning one verdict per packet in order.
+func MatchSetWith(m Matcher, s *capture.Set) []bool {
+	n := len(s.Packets)
+	out := make([]bool, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.Matches(s.Packets[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// EvaluateMatcher scores an arbitrary Matcher with the paper's equations,
+// mirroring Evaluate for non-conjunction signature types.
+func EvaluateMatcher(m Matcher, ds *capture.Set, sensitive []bool, n int) Result {
+	if len(sensitive) != len(ds.Packets) {
+		panic("detect: sensitivity label length mismatch")
+	}
+	matched := MatchSetWith(m, ds)
+	r := Result{N: n}
+	for i := range ds.Packets {
+		if sensitive[i] {
+			r.SensitiveTotal++
+			if matched[i] {
+				r.DetectedSensitive++
+			} else {
+				r.UndetectedSensitive++
+			}
+		} else {
+			r.NormalTotal++
+			if matched[i] {
+				r.DetectedNormal++
+			}
+		}
+	}
+	if denom := r.SensitiveTotal - n; denom > 0 {
+		r.TruePositiveRate = float64(r.DetectedSensitive-n) / float64(denom)
+		r.FalseNegativeRate = float64(r.UndetectedSensitive) / float64(denom)
+	}
+	if denom := r.NormalTotal - n; denom > 0 {
+		r.FalsePositiveRate = float64(r.DetectedNormal) / float64(denom)
+	}
+	return r
+}

@@ -1,0 +1,263 @@
+// Package distance implements the paper's HTTP packet distance (§IV-B/C):
+//
+//	dpkt(px, py)    = ddst(px, py) + dheader(px, py)
+//	ddst(px, py)    = dip + dport + dhost
+//	dheader(px, py) = ncd(request-line) + ncd(cookie) + ncd(body)
+//
+// The destination terms as printed are internally inconsistent: dip =
+// lmatch/32 and dport = match(port) score *identical* destinations highest,
+// i.e. they are similarities, while dhost and the NCD terms are distances
+// (0 for identical inputs). Summing them as printed pushes same-destination
+// packets apart. This package offers both conventions:
+//
+//   - ModeLiteral follows the paper's formulas verbatim.
+//   - ModeNormalized (default) flips the two similarity terms
+//     (dip' = 1 − lmatch/32, dport' = 1 − match) so every component is a
+//     distance in [0, 1] and packets to the same server cluster together —
+//     the behaviour the paper's prose describes ("results sent to the same
+//     server to be clustered together", §IV-A).
+//
+// See DESIGN.md §3 for the rationale; an ablation benchmark compares both.
+package distance
+
+import (
+	"runtime"
+	"sync"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/ipaddr"
+	"leaksig/internal/ncd"
+	"leaksig/internal/strdist"
+)
+
+// Mode selects the destination-term convention.
+type Mode int
+
+// Modes. See the package comment.
+const (
+	ModeNormalized Mode = iota
+	ModeLiteral
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNormalized:
+		return "normalized"
+	case ModeLiteral:
+		return "literal"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the metric. The zero value gives the repository
+// defaults: normalized mode, DEFLATE-backed cached NCD, unit weights.
+type Config struct {
+	Mode Mode
+
+	// Compressor used for the NCD content terms. Nil selects a fresh
+	// memoizing DEFLATE compressor.
+	Compressor ncd.Compressor
+
+	// DestinationWeight and ContentWeight scale ddst and dheader in dpkt.
+	// Zero values mean 1.0. Setting DestinationWeight to -1 disables the
+	// destination term entirely (content-only ablation).
+	DestinationWeight float64
+	ContentWeight     float64
+
+	// OrgResolver, when non-nil, implements the paper's §VI WHOIS
+	// verification: for a pair of destination addresses it reports whether
+	// they belong to one organization (and whether that is known at all).
+	// When the resolver knows the answer, the IP term uses organizational
+	// identity instead of the raw prefix length — close addresses owned by
+	// different organizations stop looking related.
+	OrgResolver func(a, b ipaddr.Addr) (same, known bool)
+}
+
+// Metric computes packet distances under one configuration. It is safe for
+// concurrent use.
+type Metric struct {
+	mode    Mode
+	comp    ncd.Compressor
+	wDst    float64
+	wHeader float64
+	orgRes  func(a, b ipaddr.Addr) (same, known bool)
+}
+
+// New builds a Metric from cfg.
+func New(cfg Config) *Metric {
+	comp := cfg.Compressor
+	if comp == nil {
+		comp = ncd.NewCache(ncd.Default())
+	}
+	wd := cfg.DestinationWeight
+	switch {
+	case wd == 0:
+		wd = 1
+	case wd < 0:
+		wd = 0
+	}
+	wh := cfg.ContentWeight
+	if wh == 0 {
+		wh = 1
+	}
+	return &Metric{mode: cfg.Mode, comp: comp, wDst: wd, wHeader: wh, orgRes: cfg.OrgResolver}
+}
+
+// Default returns the metric with repository-default configuration.
+func Default() *Metric { return New(Config{}) }
+
+// IPTerm returns dip for the two destination addresses. With an
+// OrgResolver configured and a known answer, organizational identity
+// replaces the prefix similarity (the §VI WHOIS verification).
+func (m *Metric) IPTerm(a, b ipaddr.Addr) float64 {
+	sim := float64(ipaddr.CommonPrefixLen(a, b)) / 32
+	if m.orgRes != nil {
+		if same, known := m.orgRes(a, b); known {
+			if same {
+				sim = 1
+			} else {
+				sim = 0
+			}
+		}
+	}
+	if m.mode == ModeLiteral {
+		return sim
+	}
+	return 1 - sim
+}
+
+// PortTerm returns dport for the two destination ports.
+func (m *Metric) PortTerm(a, b uint16) float64 {
+	match := 0.0
+	if a == b {
+		match = 1.0
+	}
+	if m.mode == ModeLiteral {
+		return match
+	}
+	return 1 - match
+}
+
+// HostTerm returns dhost: edit distance over the FQDNs normalized by the
+// longer length. Both modes use the paper's formula (it is already a
+// distance).
+func (m *Metric) HostTerm(a, b string) float64 {
+	return strdist.Normalized(a, b)
+}
+
+// Destination returns ddst(px, py) = dip + dport + dhost.
+func (m *Metric) Destination(px, py *httpmodel.Packet) float64 {
+	return m.IPTerm(px.DstIP, py.DstIP) +
+		m.PortTerm(px.DstPort, py.DstPort) +
+		m.HostTerm(px.Host, py.Host)
+}
+
+// Content returns dheader(px, py): the sum of NCD over request-line,
+// cookie, and message-body (§IV-C).
+func (m *Metric) Content(px, py *httpmodel.Packet) float64 {
+	fx := px.ContentFields()
+	fy := py.ContentFields()
+	d := 0.0
+	for i := 0; i < 3; i++ {
+		d += ncd.Distance(m.comp, fx[i], fy[i])
+	}
+	return d
+}
+
+// Packet returns the full dpkt(px, py) = w_dst·ddst + w_hdr·dheader.
+func (m *Metric) Packet(px, py *httpmodel.Packet) float64 {
+	d := 0.0
+	if m.wDst > 0 {
+		d += m.wDst * m.Destination(px, py)
+	}
+	if m.wHeader > 0 {
+		d += m.wHeader * m.Content(px, py)
+	}
+	return d
+}
+
+// MaxValue returns an upper bound of dpkt under this configuration, used to
+// normalize dendrogram cut thresholds. Each of the six component terms lies
+// in [0, 1] (NCD can marginally exceed 1; the bound is adequate for
+// thresholding).
+func (m *Metric) MaxValue() float64 {
+	return 3*m.wDst + 3*m.wHeader
+}
+
+// Matrix is a symmetric pairwise distance matrix over n packets, stored as
+// the condensed upper triangle.
+type Matrix struct {
+	n    int
+	vals []float64 // len n*(n-1)/2
+}
+
+// NewMatrix computes all pairwise distances among packets using the metric,
+// fanning work out over min(GOMAXPROCS, pairs) goroutines.
+func NewMatrix(m *Metric, packets []*httpmodel.Packet) *Matrix {
+	n := len(packets)
+	mx := &Matrix{n: n, vals: make([]float64, n*(n-1)/2)}
+	if n < 2 {
+		return mx
+	}
+	// Pre-warm the NCD cache sequentially-by-row in parallel chunks: each
+	// worker takes whole rows so cache contention stays low.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n-1 {
+		workers = n - 1
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < n; j++ {
+					mx.vals[condensedIndex(n, i, j)] = m.Packet(packets[i], packets[j])
+				}
+			}
+		}()
+	}
+	for i := 0; i < n-1; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return mx
+}
+
+// condensedIndex maps (i, j) with i < j to the condensed triangle offset.
+func condensedIndex(n, i, j int) int {
+	// Offset of row i is sum_{k<i} (n-1-k) = i*(n-1) - i*(i-1)/2.
+	return i*(n-1) - i*(i-1)/2 + (j - i - 1)
+}
+
+// N returns the matrix dimension.
+func (mx *Matrix) N() int { return mx.n }
+
+// At returns the distance between packets i and j. At(i, i) is 0.
+func (mx *Matrix) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return mx.vals[condensedIndex(mx.n, i, j)]
+}
+
+// Dense expands the matrix into a full n×n slice-of-slices. Used by the
+// clustering algorithm, which mutates its own working copy.
+func (mx *Matrix) Dense() [][]float64 {
+	out := make([][]float64, mx.n)
+	flat := make([]float64, mx.n*mx.n)
+	for i := range out {
+		out[i] = flat[i*mx.n : (i+1)*mx.n]
+		for j := range out[i] {
+			out[i][j] = mx.At(i, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package flowcontrol implements the on-device half of the paper's system
+// (Figure 3b): "The information flow control application inspects network
+// traffic using the Android API and detects sensitive information leakage
+// using the ... server generated signatures. It does not require any
+// special privileges."
+//
+// The reproduction realizes the interposition point as a local HTTP forward
+// proxy — the same vantage an unprivileged Android 2.x application gets by
+// registering itself as the APN proxy. Every outgoing request is converted
+// to the packet model, matched against the current signature set, and
+// subjected to a policy (allow / block / prompt); every decision lands in
+// an audit log, giving the user exactly the per-transmission control the
+// paper argues Android lacks (§III-A).
+package flowcontrol
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leaksig/internal/detect"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+// Action is a policy outcome for one request.
+type Action int
+
+// Actions. Prompt defers to the policy's interactive callback; in headless
+// deployments it degrades to Block.
+const (
+	Allow Action = iota
+	Block
+	Prompt
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Block:
+		return "block"
+	case Prompt:
+		return "prompt"
+	default:
+		return "unknown"
+	}
+}
+
+// Policy decides what to do with a request given the signatures it matched.
+type Policy interface {
+	Decide(p *httpmodel.Packet, matched []int) Action
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(p *httpmodel.Packet, matched []int) Action
+
+// Decide implements Policy.
+func (f PolicyFunc) Decide(p *httpmodel.Packet, matched []int) Action { return f(p, matched) }
+
+// BlockMatched blocks any request matching at least one signature — the
+// strictest default.
+func BlockMatched() Policy {
+	return PolicyFunc(func(_ *httpmodel.Packet, matched []int) Action {
+		if len(matched) > 0 {
+			return Block
+		}
+		return Allow
+	})
+}
+
+// PromptMatched asks the user about each matching request via confirm and
+// allows everything else. A nil confirm blocks every match (headless).
+func PromptMatched(confirm func(p *httpmodel.Packet, matched []int) bool) Policy {
+	return PolicyFunc(func(p *httpmodel.Packet, matched []int) Action {
+		if len(matched) == 0 {
+			return Allow
+		}
+		if confirm == nil {
+			return Block
+		}
+		if confirm(p, matched) {
+			return Allow
+		}
+		return Block
+	})
+}
+
+// AuditEntry records one decision.
+type AuditEntry struct {
+	Time    time.Time
+	Method  string
+	Host    string
+	Path    string
+	Matched []int // signature IDs
+	Action  Action
+}
+
+// Proxy is the flow-control forward proxy. Engines are swappable at
+// runtime, so a sigserver.Client refresh loop can hot-reload signatures.
+type Proxy struct {
+	engine    atomic.Pointer[detect.Engine]
+	policy    Policy
+	transport http.RoundTripper
+
+	mu    sync.Mutex
+	audit []AuditEntry
+
+	allowed atomic.Int64
+	blocked atomic.Int64
+}
+
+// NewProxy builds a proxy enforcing the signature set with the policy.
+// transport may be nil for http.DefaultTransport.
+func NewProxy(set *signature.Set, policy Policy, transport http.RoundTripper) *Proxy {
+	if policy == nil {
+		policy = BlockMatched()
+	}
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	p := &Proxy{policy: policy, transport: transport}
+	p.SetSignatures(set)
+	return p
+}
+
+// SetSignatures hot-swaps the signature set.
+func (p *Proxy) SetSignatures(set *signature.Set) {
+	if set == nil {
+		set = &signature.Set{}
+	}
+	p.engine.Store(detect.NewEngine(set))
+}
+
+// Engine returns the current detection engine.
+func (p *Proxy) Engine() *detect.Engine { return p.engine.Load() }
+
+// Stats returns how many requests were allowed and blocked.
+func (p *Proxy) Stats() (allowed, blocked int64) {
+	return p.allowed.Load(), p.blocked.Load()
+}
+
+// Audit returns a copy of the audit log.
+func (p *Proxy) Audit() []AuditEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]AuditEntry(nil), p.audit...)
+}
+
+func (p *Proxy) record(e AuditEntry) {
+	p.mu.Lock()
+	p.audit = append(p.audit, e)
+	p.mu.Unlock()
+}
+
+// packetFromRequest converts an outgoing proxied request into the packet
+// model. The body is read and restored so the request can still be
+// forwarded.
+func packetFromRequest(r *http.Request) (*httpmodel.Packet, error) {
+	pkt := &httpmodel.Packet{
+		Method: r.Method,
+		Proto:  "HTTP/1.1",
+		Host:   r.Host,
+	}
+	if pkt.Host == "" {
+		pkt.Host = r.URL.Host
+	}
+	if h, port, ok := strings.Cut(pkt.Host, ":"); ok {
+		pkt.Host = h
+		if n, err := strconv.Atoi(port); err == nil {
+			pkt.DstPort = uint16(n)
+		}
+	} else if pkt.DstPort == 0 {
+		pkt.DstPort = 80
+	}
+	pkt.Path = r.URL.RequestURI()
+	for name, vals := range r.Header {
+		for _, v := range vals {
+			pkt.Headers = append(pkt.Headers, httpmodel.Header{Name: name, Value: v})
+		}
+	}
+	if r.Body != nil && r.Body != http.NoBody {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return nil, fmt.Errorf("flowcontrol: reading request body: %w", err)
+		}
+		r.Body.Close()
+		pkt.Body = body
+		r.Body = io.NopCloser(strings.NewReader(string(body)))
+		r.ContentLength = int64(len(body))
+	}
+	return pkt, nil
+}
+
+// ServeHTTP implements the forward proxy: vet, then forward or refuse.
+// Blocked requests receive 451 Unavailable For Legal Reasons with a
+// description of the matched signatures.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodConnect {
+		// HTTPS tunneling would blind the inspector; the paper's scope is
+		// cleartext HTTP (§VI), so tunnels are refused.
+		http.Error(w, "flowcontrol: CONNECT tunnels are not inspected", http.StatusNotImplemented)
+		return
+	}
+	pkt, err := packetFromRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	eng := p.engine.Load()
+	matched := eng.MatchPacket(pkt)
+	action := p.policy.Decide(pkt, matched)
+	if action == Prompt {
+		action = Block
+	}
+	p.record(AuditEntry{
+		Time:    time.Now(),
+		Method:  pkt.Method,
+		Host:    pkt.Host,
+		Path:    pkt.Path,
+		Matched: matched,
+		Action:  action,
+	})
+	if action == Block {
+		p.blocked.Add(1)
+		w.Header().Set("X-Leaksig-Matched", fmt.Sprint(matched))
+		http.Error(w,
+			fmt.Sprintf("leaksig: transmission blocked: matched signatures %v", matched),
+			http.StatusUnavailableForLegalReasons)
+		return
+	}
+	p.allowed.Add(1)
+	p.forward(w, r)
+}
+
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
+	out := r.Clone(r.Context())
+	out.RequestURI = "" // client requests must not carry RequestURI
+	if out.URL.Scheme == "" {
+		out.URL.Scheme = "http"
+	}
+	if out.URL.Host == "" {
+		out.URL.Host = r.Host
+	}
+	resp, err := p.transport.RoundTrip(out)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("flowcontrol: upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for name, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(name, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) // best effort; the client sees a truncated body on error
+}

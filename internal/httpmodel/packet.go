@@ -1,0 +1,187 @@
+// Package httpmodel defines the HTTP packet representation the whole system
+// operates on, plus a raw wire-format parser and serializer.
+//
+// The paper (§IV-B/C) models an HTTP packet p as two tuples:
+//
+//	destination: {ip, port, host}
+//	content:     {request-line, cookie, message-body}
+//
+// Packet carries both tuples plus capture metadata (application, sequence
+// number, synthetic timestamp) used by the evaluation harness. Only the two
+// tuples ever enter the distance computation.
+package httpmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"leaksig/internal/ipaddr"
+)
+
+// Header is one HTTP header field.
+type Header struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Packet is one captured GET/POST HTTP request.
+type Packet struct {
+	// Capture metadata.
+	ID   int64  `json:"id"`             // unique per capture
+	App  string `json:"app,omitempty"`  // application package name
+	Time int64  `json:"time,omitempty"` // synthetic unix timestamp
+
+	// Destination tuple (§IV-B).
+	Host    string      `json:"host"`
+	DstIP   ipaddr.Addr `json:"dst_ip"`
+	DstPort uint16      `json:"dst_port"`
+
+	// Content tuple (§IV-C).
+	Method  string   `json:"method"`            // "GET" or "POST"
+	Path    string   `json:"path"`              // request target, including query
+	Proto   string   `json:"proto"`             // e.g. "HTTP/1.1"
+	Headers []Header `json:"headers,omitempty"` // all headers except Host
+	Body    []byte   `json:"body,omitempty"`
+}
+
+// RequestLine returns the HTTP request line without the trailing CRLF,
+// e.g. "GET /ad?zone=1 HTTP/1.1".
+func (p *Packet) RequestLine() string {
+	return p.Method + " " + p.Path + " " + p.Proto
+}
+
+// Cookie returns the concatenation of all Cookie header values, joined by
+// "; " in header order. It returns "" when the request carries no cookie.
+func (p *Packet) Cookie() string {
+	var parts []string
+	for _, h := range p.Headers {
+		if strings.EqualFold(h.Name, "Cookie") {
+			parts = append(parts, h.Value)
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// HeaderValue returns the first value of the named header (case-insensitive)
+// and whether it was present.
+func (p *Packet) HeaderValue(name string) (string, bool) {
+	for _, h := range p.Headers {
+		if strings.EqualFold(h.Name, name) {
+			return h.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetHeader replaces every existing value of the named header with one value,
+// or appends it if absent.
+func (p *Packet) SetHeader(name, value string) {
+	out := p.Headers[:0]
+	for _, h := range p.Headers {
+		if !strings.EqualFold(h.Name, name) {
+			out = append(out, h)
+		}
+	}
+	p.Headers = append(out, Header{Name: name, Value: value})
+}
+
+// Content returns the bytes the signature matcher scans: request line,
+// cookie, and body, separated by newlines. The separator prevents tokens
+// from spanning two fields.
+func (p *Packet) Content() []byte {
+	rl := p.RequestLine()
+	ck := p.Cookie()
+	n := len(rl) + 1 + len(ck) + 1 + len(p.Body)
+	buf := make([]byte, 0, n)
+	buf = append(buf, rl...)
+	buf = append(buf, '\n')
+	buf = append(buf, ck...)
+	buf = append(buf, '\n')
+	buf = append(buf, p.Body...)
+	return buf
+}
+
+// ContentFields returns the three content components in the order the paper
+// sums their NCD terms: request-line, cookie, message-body.
+func (p *Packet) ContentFields() [3][]byte {
+	return [3][]byte{
+		[]byte(p.RequestLine()),
+		[]byte(p.Cookie()),
+		p.Body,
+	}
+}
+
+// Query parses the query portion of the path into key/value pairs in
+// order of appearance. Keys without '=' get an empty value. It performs no
+// percent-decoding: signatures operate on raw bytes.
+func (p *Packet) Query() []Header {
+	qi := strings.IndexByte(p.Path, '?')
+	if qi < 0 || qi == len(p.Path)-1 {
+		return nil
+	}
+	var out []Header
+	for _, kv := range strings.Split(p.Path[qi+1:], "&") {
+		if kv == "" {
+			continue
+		}
+		if eq := strings.IndexByte(kv, '='); eq >= 0 {
+			out = append(out, Header{Name: kv[:eq], Value: kv[eq+1:]})
+		} else {
+			out = append(out, Header{Name: kv})
+		}
+	}
+	return out
+}
+
+// QueryValue returns the first value of the named query parameter.
+func (p *Packet) QueryValue(key string) (string, bool) {
+	for _, kv := range p.Query() {
+		if kv.Name == key {
+			return kv.Value, true
+		}
+	}
+	return "", false
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Headers = append([]Header(nil), p.Headers...)
+	q.Body = append([]byte(nil), p.Body...)
+	return &q
+}
+
+// Validate checks structural invariants: method is GET or POST, path is
+// non-empty and starts with '/', protocol is HTTP/1.x, host is non-empty,
+// and GET requests carry no body.
+func (p *Packet) Validate() error {
+	switch p.Method {
+	case "GET", "POST":
+	default:
+		return fmt.Errorf("httpmodel: packet %d: unsupported method %q", p.ID, p.Method)
+	}
+	if p.Path == "" || p.Path[0] != '/' {
+		return fmt.Errorf("httpmodel: packet %d: bad path %q", p.ID, p.Path)
+	}
+	if p.Proto != "HTTP/1.0" && p.Proto != "HTTP/1.1" {
+		return fmt.Errorf("httpmodel: packet %d: bad protocol %q", p.ID, p.Proto)
+	}
+	if p.Host == "" {
+		return fmt.Errorf("httpmodel: packet %d: missing host", p.ID)
+	}
+	if p.Method == "GET" && len(p.Body) > 0 {
+		return fmt.Errorf("httpmodel: packet %d: GET with body", p.ID)
+	}
+	return nil
+}
+
+// String returns a short human-readable description of the packet.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %s%s -> %s:%d", p.Method, p.Host, p.Path, p.DstIP, p.DstPort)
+}
+
+// ByID sorts packets in place by capture ID.
+func ByID(ps []*Packet) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+}

@@ -1,0 +1,149 @@
+package httpmodel
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"leaksig/internal/ipaddr"
+)
+
+// maxLineLen bounds a single request or header line when parsing.
+const maxLineLen = 64 * 1024
+
+// WriteWire serializes the packet as a raw HTTP/1.x request:
+// request line, Host header, remaining headers, blank line, body.
+// A Content-Length header is emitted for non-empty bodies unless one is
+// already present.
+func (p *Packet) WriteWire(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %s %s\r\n", p.Method, p.Path, p.Proto); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "Host: %s\r\n", p.Host); err != nil {
+		return err
+	}
+	hasCL := false
+	for _, h := range p.Headers {
+		if strings.EqualFold(h.Name, "Content-Length") {
+			hasCL = true
+		}
+		if _, err := fmt.Fprintf(bw, "%s: %s\r\n", h.Name, h.Value); err != nil {
+			return err
+		}
+	}
+	if len(p.Body) > 0 && !hasCL {
+		if _, err := fmt.Fprintf(bw, "Content-Length: %d\r\n", len(p.Body)); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\r\n"); err != nil {
+		return err
+	}
+	if _, err := bw.Write(p.Body); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WireBytes returns the raw HTTP/1.x request bytes.
+func (p *Packet) WireBytes() []byte {
+	var buf bytes.Buffer
+	// Writes to bytes.Buffer cannot fail.
+	_ = p.WriteWire(&buf)
+	return buf.Bytes()
+}
+
+// ParseWire parses one raw HTTP/1.x request. The destination IP and port are
+// transport-level facts the wire format does not carry, so the caller
+// supplies them (a capture tool knows the socket address). The Host header
+// is lifted into Packet.Host and removed from Headers.
+func ParseWire(r io.Reader, dstIP ipaddr.Addr, dstPort uint16) (*Packet, error) {
+	br := bufio.NewReader(r)
+	line, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("httpmodel: reading request line: %w", err)
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("httpmodel: malformed request line %q", line)
+	}
+	p := &Packet{
+		Method:  parts[0],
+		Path:    parts[1],
+		Proto:   parts[2],
+		DstIP:   dstIP,
+		DstPort: dstPort,
+	}
+	contentLength := -1
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("httpmodel: reading headers: %w", err)
+		}
+		if line == "" {
+			break
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("httpmodel: malformed header line %q", line)
+		}
+		name := strings.TrimSpace(line[:colon])
+		value := strings.TrimSpace(line[colon+1:])
+		switch {
+		case strings.EqualFold(name, "Host"):
+			p.Host = value
+		case strings.EqualFold(name, "Content-Length"):
+			n, err := strconv.Atoi(value)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("httpmodel: bad Content-Length %q", value)
+			}
+			contentLength = n
+			p.Headers = append(p.Headers, Header{Name: name, Value: value})
+		default:
+			p.Headers = append(p.Headers, Header{Name: name, Value: value})
+		}
+	}
+	if contentLength > 0 {
+		body := make([]byte, contentLength)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("httpmodel: reading body: %w", err)
+		}
+		p.Body = body
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseWireBytes is ParseWire over an in-memory buffer.
+func ParseWireBytes(raw []byte, dstIP ipaddr.Addr, dstPort uint16) (*Packet, error) {
+	return ParseWire(bytes.NewReader(raw), dstIP, dstPort)
+}
+
+// readLine reads one CRLF- or LF-terminated line, returning it without the
+// terminator. It rejects lines longer than maxLineLen.
+func readLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, err := br.ReadString('\n')
+		sb.WriteString(chunk)
+		if err != nil {
+			return "", err
+		}
+		if sb.Len() > maxLineLen {
+			return "", fmt.Errorf("line exceeds %d bytes", maxLineLen)
+		}
+		if strings.HasSuffix(chunk, "\n") {
+			break
+		}
+	}
+	s := sb.String()
+	s = strings.TrimSuffix(s, "\n")
+	s = strings.TrimSuffix(s, "\r")
+	return s, nil
+}

@@ -1,0 +1,144 @@
+package httpmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leaksig/internal/ipaddr"
+)
+
+func TestWireRoundTripGet(t *testing.T) {
+	p := samplePacket()
+	raw := p.WireBytes()
+	got, err := ParseWireBytes(raw, p.DstIP, p.DstPort)
+	if err != nil {
+		t.Fatalf("ParseWireBytes: %v", err)
+	}
+	if got.Method != p.Method || got.Path != p.Path || got.Proto != p.Proto || got.Host != p.Host {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, p)
+	}
+	if got.Cookie() != p.Cookie() {
+		t.Errorf("cookie mismatch: %q vs %q", got.Cookie(), p.Cookie())
+	}
+	if got.DstIP != p.DstIP || got.DstPort != p.DstPort {
+		t.Error("destination not preserved")
+	}
+}
+
+func TestWireRoundTripPostBody(t *testing.T) {
+	p := Post("api.example.jp", "/v1/events").
+		Dest(ipaddr.MustParse("198.51.100.20"), 8080).
+		Form("imei", "353918051234563", "os", "android").
+		Build()
+	raw := p.WireBytes()
+	if !bytes.Contains(raw, []byte("Content-Length: ")) {
+		t.Fatalf("wire form missing Content-Length:\n%s", raw)
+	}
+	got, err := ParseWireBytes(raw, p.DstIP, p.DstPort)
+	if err != nil {
+		t.Fatalf("ParseWireBytes: %v", err)
+	}
+	if !bytes.Equal(got.Body, p.Body) {
+		t.Errorf("body mismatch: %q vs %q", got.Body, p.Body)
+	}
+}
+
+func TestWireFormatShape(t *testing.T) {
+	p := Get("example.com", "/x").Dest(1, 80).Header("Accept", "*/*").Build()
+	raw := string(p.WireBytes())
+	want := "GET /x HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n\r\n"
+	if raw != want {
+		t.Errorf("wire =\n%q\nwant\n%q", raw, want)
+	}
+}
+
+func TestParseWireLFOnly(t *testing.T) {
+	raw := "GET /p HTTP/1.1\nHost: h.example\nUser-Agent: test\n\n"
+	p, err := ParseWireBytes([]byte(raw), 9, 80)
+	if err != nil {
+		t.Fatalf("LF-only parse failed: %v", err)
+	}
+	if p.Host != "h.example" {
+		t.Errorf("Host = %q", p.Host)
+	}
+}
+
+func TestParseWireHostLifted(t *testing.T) {
+	p, err := ParseWireBytes([]byte("GET / HTTP/1.1\r\nHost: a.example\r\nX-Y: z\r\n\r\n"), 1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range p.Headers {
+		if strings.EqualFold(h.Name, "Host") {
+			t.Error("Host header not lifted out of Headers")
+		}
+	}
+	if p.Host != "a.example" {
+		t.Errorf("Host = %q", p.Host)
+	}
+}
+
+func TestParseWireErrors(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"GARBAGE\r\n\r\n",                       // bad request line
+		"GET /\r\n\r\n",                         // two-field request line
+		"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", // bad header
+		"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: xx\r\n\r\n",     // bad CL
+		"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\n\r\nabc", // short body
+		"PUT / HTTP/1.1\r\nHost: h\r\n\r\n",                           // bad method (Validate)
+		"GET relative HTTP/1.1\r\nHost: h\r\n\r\n",                    // bad path
+		"GET / HTTP/1.1\r\n\r\n",                                      // no host
+	}
+	for _, raw := range cases {
+		if _, err := ParseWireBytes([]byte(raw), 1, 80); err == nil {
+			t.Errorf("ParseWireBytes(%q) succeeded, want error", raw)
+		}
+	}
+}
+
+func TestParseWireNegativeContentLength(t *testing.T) {
+	raw := "POST / HTTP/1.1\r\nHost: h\r\nContent-Length: -5\r\n\r\n"
+	if _, err := ParseWireBytes([]byte(raw), 1, 80); err == nil {
+		t.Error("negative Content-Length accepted")
+	}
+}
+
+func TestParseWirePreservesHeaderOrder(t *testing.T) {
+	raw := "GET / HTTP/1.1\r\nHost: h\r\nB: 2\r\nA: 1\r\nB: 3\r\n\r\n"
+	p, err := ParseWireBytes([]byte(raw), 1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, h := range p.Headers {
+		names = append(names, h.Name+"="+h.Value)
+	}
+	want := "B=2,A=1,B=3"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("header order = %s, want %s", got, want)
+	}
+}
+
+func TestWireRoundTripPropertyMany(t *testing.T) {
+	builders := []*Builder{
+		Get("admob.com", "/ads?id=1").Dest(100, 80),
+		Post("flurry.com", "/aap.do").Dest(200, 443).BodyString("binary\x00payload\xff"),
+		Get("x.jp", "/?").Dest(1, 80),
+		Post("y.jp", "/p").Dest(2, 80).Cookie("a=b; c=d").BodyString(strings.Repeat("z", 4096)),
+	}
+	for i, b := range builders {
+		p := b.Build()
+		got, err := ParseWireBytes(p.WireBytes(), p.DstIP, p.DstPort)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.RequestLine() != p.RequestLine() {
+			t.Errorf("case %d: request line %q vs %q", i, got.RequestLine(), p.RequestLine())
+		}
+		if !bytes.Equal(got.Body, p.Body) {
+			t.Errorf("case %d: body mismatch", i)
+		}
+	}
+}

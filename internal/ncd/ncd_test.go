@@ -1,0 +1,192 @@
+package ncd
+
+import (
+	"bytes"
+	"compress/flate"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestFlateCompressedLenMatchesManual(t *testing.T) {
+	f := Default()
+	data := bytes.Repeat([]byte("abcabc"), 50)
+	var buf bytes.Buffer
+	w, _ := flate.NewWriter(&buf, flate.BestCompression)
+	w.Write(data)
+	w.Close()
+	if got := f.CompressedLen(data); got != buf.Len() {
+		t.Errorf("CompressedLen = %d, manual flate = %d", got, buf.Len())
+	}
+}
+
+func TestCompressedLen2EqualsConcat(t *testing.T) {
+	f := Default()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		a := make([]byte, rng.Intn(300))
+		b := make([]byte, rng.Intn(300))
+		rng.Read(a)
+		rng.Read(b)
+		concat := append(append([]byte{}, a...), b...)
+		if got, want := f.CompressedLen2(a, b), f.CompressedLen(concat); got != want {
+			t.Fatalf("CompressedLen2 = %d, CompressedLen(concat) = %d", got, want)
+		}
+	}
+}
+
+func TestDistanceIdenticalIsSmall(t *testing.T) {
+	f := Default()
+	x := bytes.Repeat([]byte("GET /ad?udid=f3a9c1d2&zone=7 HTTP/1.1\r\n"), 4)
+	d := Distance(f, x, x)
+	if d < 0 || d > 0.35 {
+		t.Errorf("NCD(x, x) = %v, want near 0", d)
+	}
+}
+
+func TestDistanceRandomIsLarge(t *testing.T) {
+	f := Default()
+	rng := rand.New(rand.NewSource(9))
+	x := make([]byte, 512)
+	y := make([]byte, 512)
+	rng.Read(x)
+	rng.Read(y)
+	d := Distance(f, x, y)
+	if d < 0.7 {
+		t.Errorf("NCD(random, random) = %v, want > 0.7", d)
+	}
+}
+
+func TestDistanceOrdering(t *testing.T) {
+	// Similar strings must score lower than dissimilar ones.
+	f := Default()
+	base := []byte("GET /track/v1?udid=8a6b1c9f33d200e7&carrier=docomo&os=android2.3 HTTP/1.1")
+	near := []byte("GET /track/v1?udid=8a6b1c9f33d200e7&carrier=docomo&os=android4.0 HTTP/1.1")
+	rng := rand.New(rand.NewSource(1))
+	far := make([]byte, len(base))
+	rng.Read(far)
+	dNear := Distance(f, base, near)
+	dFar := Distance(f, base, far)
+	if dNear >= dFar {
+		t.Errorf("NCD(base, near) = %v should be < NCD(base, far) = %v", dNear, dFar)
+	}
+}
+
+func TestDistanceSymmetryApprox(t *testing.T) {
+	// NCD is symmetric up to compressor asymmetry on concatenation order;
+	// for flate on textual inputs the difference should be tiny.
+	f := Default()
+	x := []byte("udid=8a6b1c9f33d200e7&app=com.example.game&zone=12")
+	y := []byte("udid=8a6b1c9f33d200e7&app=com.example.tool&zone=99")
+	dxy := Distance(f, x, y)
+	dyx := Distance(f, y, x)
+	diff := dxy - dyx
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.1 {
+		t.Errorf("NCD asymmetry too large: d(x,y)=%v d(y,x)=%v", dxy, dyx)
+	}
+}
+
+func TestDistanceEmptyInputs(t *testing.T) {
+	f := Default()
+	if d := Distance(f, nil, nil); d != 0 {
+		t.Errorf("NCD(empty, empty) = %v, want 0", d)
+	}
+	// One empty side: distance should be high (shares nothing).
+	d := Distance(f, nil, bytes.Repeat([]byte("abcdefgh"), 32))
+	if d <= 0.5 {
+		t.Errorf("NCD(empty, x) = %v, want > 0.5", d)
+	}
+}
+
+func TestDistanceNonNegative(t *testing.T) {
+	f := Default()
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		a := make([]byte, rng.Intn(200))
+		b := make([]byte, rng.Intn(200))
+		rng.Read(a)
+		rng.Read(b)
+		if d := Distance(f, a, b); d < 0 {
+			t.Fatalf("NCD < 0: %v", d)
+		}
+	}
+}
+
+func TestCacheAgreesAndMemoizes(t *testing.T) {
+	f := Default()
+	c := NewCache(f)
+	x := []byte("GET /a?b=c HTTP/1.1")
+	y := []byte("GET /a?b=d HTTP/1.1")
+	if got, want := Distance(c, x, y), Distance(f, x, y); got != want {
+		t.Errorf("cached distance %v != direct %v", got, want)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache entries = %d, want 2", c.Len())
+	}
+	// Second evaluation should not add entries.
+	Distance(c, x, y)
+	if c.Len() != 2 {
+		t.Errorf("cache entries after repeat = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(Default())
+	inputs := make([][]byte, 16)
+	rng := rand.New(rand.NewSource(2))
+	for i := range inputs {
+		inputs[i] = make([]byte, 64)
+		rng.Read(inputs[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				a := inputs[r.Intn(len(inputs))]
+				b := inputs[r.Intn(len(inputs))]
+				if d := Distance(c, a, b); d < 0 {
+					t.Errorf("negative distance %v", d)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if c.Len() != len(inputs) {
+		t.Errorf("cache entries = %d, want %d", c.Len(), len(inputs))
+	}
+}
+
+func TestNewFlateInvalidLevelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFlate(99) did not panic")
+		}
+	}()
+	NewFlate(99)
+}
+
+func BenchmarkCompressedLen256(b *testing.B) {
+	f := Default()
+	data := bytes.Repeat([]byte("GET /ad?udid=f3a9c1d2&zone=7\r\n"), 9)[:256]
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.CompressedLen(data)
+	}
+}
+
+func BenchmarkDistanceCached(b *testing.B) {
+	c := NewCache(Default())
+	x := bytes.Repeat([]byte("GET /ad?udid=f3a9c1d2&zone=7\r\n"), 6)
+	y := bytes.Repeat([]byte("GET /ad?udid=99aa88bb&zone=9\r\n"), 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Distance(c, x, y)
+	}
+}

@@ -1,0 +1,106 @@
+// Package report renders evaluation results as fixed-width text tables and
+// simple ASCII series, matching the artifacts the paper prints (Tables I-III,
+// Figures 2 and 4).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends one row; values are formatted with fmt.Sprint.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series renders (x, y-per-line) points as an ASCII chart with a left axis,
+// used for the Figure 4 sweep. Values are percentages in [0, 100].
+func Series(title string, xs []int, series map[string][]float64, order []string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	const barWidth = 50
+	for _, name := range order {
+		ys := series[name]
+		fmt.Fprintf(&b, "%s\n", name)
+		for i, x := range xs {
+			if i >= len(ys) {
+				break
+			}
+			n := int(ys[i] / 100 * barWidth)
+			if n < 0 {
+				n = 0
+			}
+			if n > barWidth {
+				n = barWidth
+			}
+			fmt.Fprintf(&b, "  N=%-5d %6.2f%% |%s\n", x, ys[i], strings.Repeat("#", n))
+		}
+	}
+	return b.String()
+}
+
+// Percent formats a fraction as a percentage string.
+func Percent(f float64) string {
+	return fmt.Sprintf("%.2f%%", f*100)
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("Title", "host", "packets")
+	tbl.AddRow("doubleclick.net", 5786)
+	tbl.AddRow("x.jp", 12)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "host") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns align: "packets" column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "packets")
+	if idx < 0 {
+		t.Fatal("packets header missing")
+	}
+	if got := strings.TrimSpace(lines[3][idx:]); got != "5786" {
+		t.Errorf("row 1 value column = %q", got)
+	}
+	if got := strings.TrimSpace(lines[4][idx:]); got != "12" {
+		t.Errorf("row 2 value column = %q", got)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := NewTable("", "rate")
+	tbl.AddRow(3.14159)
+	if !strings.Contains(tbl.String(), "3.14") {
+		t.Errorf("float not formatted: %q", tbl.String())
+	}
+	if strings.Contains(tbl.String(), "3.14159") {
+		t.Error("float not truncated to two decimals")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("x")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Error("empty title produced leading newline")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("detection", []int{100, 200},
+		map[string][]float64{"tp": {50, 100}},
+		[]string{"tp"})
+	if !strings.Contains(out, "detection") || !strings.Contains(out, "tp") {
+		t.Errorf("series missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "N=100") || !strings.Contains(out, "N=200") {
+		t.Errorf("series missing x values:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var bar50, bar100 int
+	for _, l := range lines {
+		if strings.Contains(l, "N=100") {
+			bar50 = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "N=200") {
+			bar100 = strings.Count(l, "#")
+		}
+	}
+	if bar100 != 2*bar50 {
+		t.Errorf("bars not proportional: %d vs %d", bar50, bar100)
+	}
+}
+
+func TestSeriesClampsOutOfRange(t *testing.T) {
+	out := Series("t", []int{1, 2}, map[string][]float64{"s": {-5, 150}}, []string{"s"})
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if n := strings.Count(l, "#"); n > 50 {
+			t.Errorf("bar exceeds width: %d", n)
+		}
+	}
+}
+
+func TestSeriesShortSeries(t *testing.T) {
+	// Fewer y values than x values must not panic.
+	out := Series("t", []int{1, 2, 3}, map[string][]float64{"s": {10}}, []string{"s"})
+	if !strings.Contains(out, "N=1") {
+		t.Error("first point missing")
+	}
+	if strings.Contains(out, "N=2 ") && strings.Count(out, "N=") > 1 {
+		t.Error("points beyond series length rendered")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.941); got != "94.10%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(0); got != "0.00%" {
+		t.Errorf("Percent(0) = %q", got)
+	}
+}

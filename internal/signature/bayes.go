@@ -1,0 +1,217 @@
+package signature
+
+// Probabilistic signatures — the upgrade path the paper names in §VI:
+// "Probabilistic signatures [14], [30], [31] might improve detection of
+// information leakage on Android applications, and we hope to include them
+// in our scheme in future work." This file implements the Bayes signature
+// of Polygraph [14]: every token carries a log-likelihood-ratio score and a
+// packet matches when the summed score of its present tokens exceeds a
+// threshold calibrated against benign traffic.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"leaksig/internal/ahocorasick"
+	"leaksig/internal/httpmodel"
+)
+
+// BayesOptions configures GenerateBayes. The zero value selects the noted
+// defaults.
+type BayesOptions struct {
+	// MinTokenLen and MaxTokensPerCluster bound token extraction
+	// (defaults 6 and 12, matching conjunction generation).
+	MinTokenLen         int
+	MaxTokensPerCluster int
+	// Smoothing is the Laplace pseudo-count for occurrence probabilities
+	// (default 1).
+	Smoothing float64
+	// TargetTrainFP bounds the fraction of the benign sample the calibrated
+	// threshold may match (default 0.005).
+	TargetTrainFP float64
+	// Stoplist overrides DefaultStoplist when non-nil.
+	Stoplist []string
+}
+
+func (o BayesOptions) withDefaults() BayesOptions {
+	if o.MinTokenLen == 0 {
+		o.MinTokenLen = 6
+	}
+	if o.MaxTokensPerCluster == 0 {
+		o.MaxTokensPerCluster = 12
+	}
+	if o.Smoothing == 0 {
+		o.Smoothing = 1
+	}
+	if o.TargetTrainFP == 0 {
+		o.TargetTrainFP = 0.005
+	}
+	if o.Stoplist == nil {
+		o.Stoplist = DefaultStoplist()
+	}
+	return o
+}
+
+// BayesSignature is one trained probabilistic signature: a token vocabulary
+// with per-token scores and a decision threshold.
+type BayesSignature struct {
+	Tokens    []string  `json:"tokens"`
+	Scores    []float64 `json:"scores"`
+	Threshold float64   `json:"threshold"`
+	// TrainingSize is the number of suspicious packets trained on.
+	TrainingSize int `json:"training_size"`
+
+	matcher *ahocorasick.Matcher
+}
+
+// GenerateBayes trains a Bayes signature. Token candidates come from the
+// same per-cluster longest-common-substring extraction the conjunction
+// generator uses; scores are smoothed log likelihood ratios of token
+// occurrence in the suspicious sample versus the benign sample; the
+// threshold is the smallest value whose benign false-match rate does not
+// exceed TargetTrainFP.
+func GenerateBayes(clusters [][]*httpmodel.Packet, benign []*httpmodel.Packet, opts BayesOptions) *BayesSignature {
+	o := opts.withDefaults()
+
+	// Candidate vocabulary: union of every cluster's invariant tokens.
+	seen := make(map[string]bool)
+	var vocab []string
+	var suspicious []*httpmodel.Packet
+	for _, cl := range clusters {
+		suspicious = append(suspicious, cl...)
+		contents := make([][]byte, len(cl))
+		for i, p := range cl {
+			contents[i] = p.Content()
+		}
+		for _, tok := range ExtractTokens(contents, o.MinTokenLen, o.MaxTokensPerCluster) {
+			if seen[tok] || InformativeLen(tok, o.Stoplist) < o.MinTokenLen {
+				continue
+			}
+			seen[tok] = true
+			vocab = append(vocab, tok)
+		}
+	}
+	sort.Strings(vocab)
+	sig := &BayesSignature{Tokens: vocab, TrainingSize: len(suspicious)}
+	if len(vocab) == 0 {
+		sig.Threshold = math.Inf(1)
+		sig.compile()
+		return sig
+	}
+	sig.compile()
+
+	// Occurrence counts in both corpora.
+	suspCount := make([]float64, len(vocab))
+	benignCount := make([]float64, len(vocab))
+	countInto := func(ps []*httpmodel.Packet, counts []float64) {
+		for _, p := range ps {
+			occ := sig.matcher.Occurs(p.Content())
+			for i, hit := range occ {
+				if hit {
+					counts[i]++
+				}
+			}
+		}
+	}
+	countInto(suspicious, suspCount)
+	countInto(benign, benignCount)
+
+	nS := float64(len(suspicious)) + 2*o.Smoothing
+	nB := float64(len(benign)) + 2*o.Smoothing
+	sig.Scores = make([]float64, len(vocab))
+	for i := range vocab {
+		pS := (suspCount[i] + o.Smoothing) / nS
+		pB := (benignCount[i] + o.Smoothing) / nB
+		sig.Scores[i] = math.Log(pS / pB)
+	}
+
+	// Calibrate the threshold on the benign sample: the (1 - TargetTrainFP)
+	// quantile of benign scores, floored at a tiny positive value so empty
+	// content never matches.
+	if len(benign) == 0 {
+		sig.Threshold = sig.maxScore() / 2
+		return sig
+	}
+	scores := make([]float64, len(benign))
+	for i, p := range benign {
+		scores[i] = sig.ScoreContent(p.Content())
+	}
+	sort.Float64s(scores)
+	idx := int(float64(len(scores)) * (1 - o.TargetTrainFP))
+	if idx >= len(scores) {
+		idx = len(scores) - 1
+	}
+	thr := scores[idx]
+	if thr < 1e-9 {
+		thr = 1e-9
+	}
+	sig.Threshold = math.Nextafter(thr, math.Inf(1))
+	return sig
+}
+
+// maxScore returns the sum of positive token scores — the largest value any
+// packet can reach.
+func (b *BayesSignature) maxScore() float64 {
+	s := 0.0
+	for _, v := range b.Scores {
+		if v > 0 {
+			s += v
+		}
+	}
+	return s
+}
+
+func (b *BayesSignature) compile() {
+	patterns := make([][]byte, len(b.Tokens))
+	for i, t := range b.Tokens {
+		patterns[i] = []byte(t)
+	}
+	b.matcher = ahocorasick.Compile(patterns)
+}
+
+// ScoreContent returns the summed score of tokens present in content.
+func (b *BayesSignature) ScoreContent(content []byte) float64 {
+	if b.matcher == nil {
+		b.compile()
+	}
+	occ := b.matcher.Occurs(content)
+	s := 0.0
+	for i, hit := range occ {
+		if hit {
+			s += b.Scores[i]
+		}
+	}
+	return s
+}
+
+// Matches reports whether the packet's score exceeds the threshold.
+func (b *BayesSignature) Matches(p *httpmodel.Packet) bool {
+	return b.ScoreContent(p.Content()) > b.Threshold
+}
+
+// NumTokens returns the vocabulary size.
+func (b *BayesSignature) NumTokens() int { return len(b.Tokens) }
+
+// WriteJSON serializes the signature.
+func (b *BayesSignature) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBayesJSON deserializes a signature written by WriteJSON.
+func ReadBayesJSON(r io.Reader) (*BayesSignature, error) {
+	var b BayesSignature
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("signature: decoding bayes signature: %w", err)
+	}
+	if len(b.Scores) != len(b.Tokens) {
+		return nil, fmt.Errorf("signature: bayes signature has %d scores for %d tokens",
+			len(b.Scores), len(b.Tokens))
+	}
+	b.compile()
+	return &b, nil
+}

@@ -1,0 +1,356 @@
+// Package signature generates conjunction signatures from clustered HTTP
+// packets (§IV-E of the paper).
+//
+// A conjunction signature, following Polygraph [14], is a set of invariant
+// tokens; a packet matches when every token occurs in its content. For each
+// cluster in the hierarchical clustering result, the generator extracts
+// "the longest common substrings" of member contents: the longest substring
+// common to all members is a token, the members are split around it, and
+// the two sides are processed recursively, yielding an ordered token set.
+//
+// Clustering "applied carelessly ... can produce signatures that match most
+// network packets (e.g POST *, GET *, * HTTP/1.1)" (§VI). Two filters
+// address this: a stoplist of protocol boilerplate, and an optional
+// benign-frequency filter that drops tokens common in a sample of normal
+// traffic.
+package signature
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/suffix"
+)
+
+// Signature is one conjunction signature.
+type Signature struct {
+	ID          int      `json:"id"`
+	Tokens      []string `json:"tokens"`                // all must occur in packet content
+	HostSuffix  string   `json:"host_suffix,omitempty"` // optional destination constraint (label-aligned)
+	ClusterSize int      `json:"cluster_size"`          // provenance: member count of the source cluster
+}
+
+// Key returns a canonical identity for deduplication: the sorted token
+// multiset plus the host constraint.
+func (s *Signature) Key() string {
+	toks := append([]string(nil), s.Tokens...)
+	sort.Strings(toks)
+	return s.HostSuffix + "\x00" + strings.Join(toks, "\x00")
+}
+
+// String renders a compact human-readable form.
+func (s *Signature) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sig#%d", s.ID)
+	if s.HostSuffix != "" {
+		fmt.Fprintf(&b, " host~%s", s.HostSuffix)
+	}
+	for _, t := range s.Tokens {
+		fmt.Fprintf(&b, " %q", t)
+	}
+	return b.String()
+}
+
+// Set is an ordered collection of signatures plus generation metadata.
+type Set struct {
+	Signatures []*Signature `json:"signatures"`
+	// TrainingSize is the number of packets the signatures were generated
+	// from (the paper's N).
+	TrainingSize int `json:"training_size"`
+	// Version increases monotonically when a distribution server reissues
+	// the set (Figure 3a).
+	Version int64 `json:"version"`
+}
+
+// Len returns the number of signatures.
+func (s *Set) Len() int { return len(s.Signatures) }
+
+// WriteJSON serializes the set.
+func (s *Set) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON deserializes a set written by WriteJSON.
+func ReadJSON(r io.Reader) (*Set, error) {
+	var s Set
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("signature: decoding set: %w", err)
+	}
+	return &s, nil
+}
+
+// DefaultStoplist contains HTTP boilerplate that must never count toward a
+// token's informative content: fragments present in nearly every request.
+func DefaultStoplist() []string {
+	return []string{
+		"GET /", "POST /",
+		" HTTP/1.1", " HTTP/1.0", "HTTP/1.",
+		"http://", "https://",
+		"Content-Type", "application/x-www-form-urlencoded",
+		"User-Agent", "Mozilla/", "Dalvik/",
+		"&", "=", "?", "; ",
+	}
+}
+
+// Options configures Generate. The zero value selects the defaults noted on
+// each field.
+type Options struct {
+	// MinTokenLen is the minimum token length kept (default 6). The paper
+	// does not state a value; shorter tokens are dominated by boilerplate.
+	MinTokenLen int
+
+	// MaxTokensPerSignature bounds the token extraction recursion
+	// (default 12).
+	MaxTokensPerSignature int
+
+	// MinClusterSize skips clusters with fewer members (default 1 — the
+	// paper generates a signature for every cluster).
+	MinClusterSize int
+
+	// Stoplist overrides DefaultStoplist when non-nil.
+	Stoplist []string
+
+	// BenignSample, when non-empty, enables the frequency filter: a token
+	// occurring in more than MaxBenignFraction of the sample is dropped.
+	BenignSample []*httpmodel.Packet
+
+	// MaxBenignFraction defaults to 0.05 when BenignSample is set.
+	MaxBenignFraction float64
+
+	// HostConstraint attaches the common trailing host labels of each
+	// cluster to its signature as a destination constraint.
+	HostConstraint bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinTokenLen == 0 {
+		o.MinTokenLen = 6
+	}
+	if o.MaxTokensPerSignature == 0 {
+		o.MaxTokensPerSignature = 12
+	}
+	if o.MinClusterSize == 0 {
+		o.MinClusterSize = 1
+	}
+	if o.Stoplist == nil {
+		o.Stoplist = DefaultStoplist()
+	}
+	if o.MaxBenignFraction == 0 {
+		o.MaxBenignFraction = 0.05
+	}
+	return o
+}
+
+// Generate produces the conjunction signature set for the given clusters of
+// packets. Clusters yielding no tokens after filtering produce no
+// signature; duplicate signatures are emitted once (largest cluster wins).
+func Generate(clusters [][]*httpmodel.Packet, opts Options) *Set {
+	o := opts.withDefaults()
+	set := &Set{}
+	seen := make(map[string]*Signature)
+	total := 0
+	for _, cl := range clusters {
+		total += len(cl)
+		if len(cl) < o.MinClusterSize {
+			continue
+		}
+		contents := make([][]byte, len(cl))
+		for i, p := range cl {
+			contents[i] = p.Content()
+		}
+		tokens := ExtractTokens(contents, o.MinTokenLen, o.MaxTokensPerSignature)
+		tokens = filterTokens(tokens, o)
+		if len(tokens) == 0 {
+			continue
+		}
+		sig := &Signature{Tokens: tokens, ClusterSize: len(cl)}
+		if o.HostConstraint {
+			hosts := make([]string, len(cl))
+			for i, p := range cl {
+				hosts[i] = p.Host
+			}
+			sig.HostSuffix = CommonHostSuffix(hosts)
+		}
+		key := sig.Key()
+		if prev, ok := seen[key]; ok {
+			if sig.ClusterSize > prev.ClusterSize {
+				prev.ClusterSize = sig.ClusterSize
+			}
+			continue
+		}
+		sig.ID = len(set.Signatures)
+		seen[key] = sig
+		set.Signatures = append(set.Signatures, sig)
+	}
+	set.TrainingSize = total
+	return set
+}
+
+// ExtractTokens returns the ordered invariant tokens of the contents: the
+// longest substring common to every member, recursively applied to the
+// parts left and right of it (in-order), keeping tokens of at least minLen
+// bytes and at most maxTokens tokens.
+func ExtractTokens(contents [][]byte, minLen, maxTokens int) []string {
+	if len(contents) == 0 || maxTokens <= 0 {
+		return nil
+	}
+	var out []string
+	extractRec(contents, minLen, maxTokens, &out)
+	return out
+}
+
+func extractRec(contents [][]byte, minLen, maxTokens int, out *[]string) {
+	if len(*out) >= maxTokens {
+		return
+	}
+	for _, c := range contents {
+		if len(c) < minLen {
+			return
+		}
+	}
+	tok := suffix.LongestCommonSubstring(contents)
+	if len(tok) < minLen {
+		return
+	}
+	lefts := make([][]byte, len(contents))
+	rights := make([][]byte, len(contents))
+	for i, c := range contents {
+		pos := indexBytes(c, tok)
+		lefts[i] = c[:pos]
+		rights[i] = c[pos+len(tok):]
+	}
+	extractRec(lefts, minLen, maxTokens, out)
+	if len(*out) < maxTokens {
+		*out = append(*out, string(tok))
+	}
+	extractRec(rights, minLen, maxTokens, out)
+}
+
+func indexBytes(haystack, needle []byte) int {
+	// strings.Index on conversions avoids an import cycle with bytes’
+	// identical semantics; needle is guaranteed present.
+	return strings.Index(string(haystack), string(needle))
+}
+
+// filterTokens applies the stoplist and benign-frequency filters.
+func filterTokens(tokens []string, o Options) []string {
+	var benignContents [][]byte
+	if len(o.BenignSample) > 0 {
+		benignContents = make([][]byte, len(o.BenignSample))
+		for i, p := range o.BenignSample {
+			benignContents[i] = p.Content()
+		}
+	}
+	out := tokens[:0]
+	seen := make(map[string]bool)
+	for _, t := range tokens {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if InformativeLen(t, o.Stoplist) < o.MinTokenLen {
+			continue
+		}
+		if benignContents != nil && benignFraction(t, benignContents) > o.MaxBenignFraction {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// InformativeLen returns the number of bytes of t remaining after deleting
+// every occurrence of every stoplist entry (longest-match-first, repeated to
+// a fixed point). A token made of pure boilerplate scores near zero.
+func InformativeLen(t string, stoplist []string) int {
+	// Delete longer stop entries first so substring-of-stop entries do not
+	// shadow them.
+	sorted := append([]string(nil), stoplist...)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) > len(sorted[j]) })
+	cur := t
+	for {
+		next := cur
+		for _, s := range sorted {
+			if s == "" {
+				continue
+			}
+			next = strings.ReplaceAll(next, s, "")
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	// Whitespace and separators carry no information either.
+	cur = strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\r', '\n', '/', '.', ':', ';', ',':
+			return -1
+		}
+		return r
+	}, cur)
+	return len(cur)
+}
+
+func benignFraction(token string, benign [][]byte) float64 {
+	if len(benign) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, b := range benign {
+		if strings.Contains(string(b), token) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(benign))
+}
+
+// CommonHostSuffix returns the longest common label-aligned suffix of the
+// hosts, e.g. ["a.admob.com", "b.admob.com"] -> "admob.com". It returns ""
+// when fewer than two trailing labels are shared (a bare TLD is too generic
+// to constrain anything).
+func CommonHostSuffix(hosts []string) string {
+	if len(hosts) == 0 {
+		return ""
+	}
+	split := func(h string) []string { return strings.Split(h, ".") }
+	common := split(hosts[0])
+	for _, h := range hosts[1:] {
+		labels := split(h)
+		n := len(common)
+		if len(labels) < n {
+			n = len(labels)
+		}
+		k := 0
+		for k < n && common[len(common)-1-k] == labels[len(labels)-1-k] {
+			k++
+		}
+		common = common[len(common)-k:]
+		if len(common) < 2 {
+			return ""
+		}
+	}
+	if len(common) < 2 {
+		return ""
+	}
+	return strings.Join(common, ".")
+}
+
+// HostMatchesSuffix reports whether host ends with the label-aligned
+// suffix: either equal to it or ending in "."+suffix. An empty suffix
+// matches everything.
+func HostMatchesSuffix(host, suffix string) bool {
+	if suffix == "" {
+		return true
+	}
+	if host == suffix {
+		return true
+	}
+	return strings.HasSuffix(host, "."+suffix)
+}

@@ -1,0 +1,172 @@
+// Package sigserver implements the signature distribution side of the
+// paper's deployment (Figure 3a): "a separate server collects application
+// traffic, clustering the data and generating signatures", and the
+// on-device "information flow control application ... fetches signatures
+// from the servers".
+//
+// Server publishes versioned signature sets over HTTP; Client fetches them
+// with conditional requests so an unchanged set costs one cheap round trip.
+package sigserver
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"leaksig/internal/signature"
+)
+
+// Server holds the currently published signature set. It is safe for
+// concurrent use; the zero value is not usable, construct with New.
+type Server struct {
+	mu      sync.RWMutex
+	set     *signature.Set
+	version int64
+}
+
+// New returns a server with an empty signature set at version 0.
+func New() *Server {
+	return &Server{set: &signature.Set{}}
+}
+
+// Publish replaces the current signature set and bumps the version. The
+// set's Version field is overwritten with the server's new version.
+func (s *Server) Publish(set *signature.Set) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	set.Version = s.version
+	s.set = set
+	return s.version
+}
+
+// Current returns the published set and version.
+func (s *Server) Current() (*signature.Set, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.set, s.version
+}
+
+// Handler returns the HTTP API:
+//
+//	GET /signatures — the signature set as JSON, ETag = version;
+//	                  supports If-None-Match → 304
+//	GET /version    — the current version as text
+//	GET /healthz    — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /signatures", func(w http.ResponseWriter, r *http.Request) {
+		set, version := s.Current()
+		etag := fmt.Sprintf("%q", strconv.FormatInt(version, 10))
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			http.Error(w, "encoding failure", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", etag)
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		_, version := s.Current()
+		fmt.Fprintf(w, "%d", version)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	return mux
+}
+
+// Client fetches signature sets from a Server's HTTP API.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	mu     sync.Mutex
+	etag   string
+	cached *signature.Set
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8700"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// Fetch retrieves the current signature set, reusing the cached copy when
+// the server reports it unchanged. The second result reports whether the
+// set changed since the previous Fetch.
+func (c *Client) Fetch(ctx context.Context) (*signature.Set, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/signatures", nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("sigserver: building request: %w", err)
+	}
+	c.mu.Lock()
+	if c.etag != "" {
+		req.Header.Set("If-None-Match", c.etag)
+	}
+	c.mu.Unlock()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("sigserver: fetching signatures: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		c.mu.Lock()
+		cached := c.cached
+		c.mu.Unlock()
+		if cached == nil {
+			return nil, false, fmt.Errorf("sigserver: 304 without cached set")
+		}
+		return cached, false, nil
+	case http.StatusOK:
+		set, err := signature.ReadJSON(resp.Body)
+		if err != nil {
+			return nil, false, err
+		}
+		c.mu.Lock()
+		c.etag = resp.Header.Get("ETag")
+		c.cached = set
+		c.mu.Unlock()
+		return set, true, nil
+	default:
+		return nil, false, fmt.Errorf("sigserver: unexpected status %s", resp.Status)
+	}
+}
+
+// Version asks the server for its current version.
+func (c *Client) Version(ctx context.Context) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/version", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("sigserver: fetching version: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("sigserver: unexpected status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64))
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(string(bytes.TrimSpace(body)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sigserver: parsing version %q: %w", body, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,145 @@
+package sigserver
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"leaksig/internal/signature"
+)
+
+func testSet(tokens ...string) *signature.Set {
+	return &signature.Set{Signatures: []*signature.Signature{
+		{ID: 0, Tokens: tokens, ClusterSize: 2},
+	}}
+}
+
+func TestPublishBumpsVersion(t *testing.T) {
+	s := New()
+	if _, v := s.Current(); v != 0 {
+		t.Fatalf("initial version = %d", v)
+	}
+	v1 := s.Publish(testSet("tok-one"))
+	v2 := s.Publish(testSet("tok-two"))
+	if v1 != 1 || v2 != 2 {
+		t.Errorf("versions = %d, %d", v1, v2)
+	}
+	set, v := s.Current()
+	if v != 2 || set.Version != 2 || set.Signatures[0].Tokens[0] != "tok-two" {
+		t.Errorf("current = %+v at %d", set, v)
+	}
+}
+
+func TestFetchRoundTrip(t *testing.T) {
+	s := New()
+	s.Publish(testSet("udid=f3a9c1d2"))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	set, changed, err := c.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Error("first fetch should report change")
+	}
+	if set.Len() != 1 || set.Signatures[0].Tokens[0] != "udid=f3a9c1d2" {
+		t.Fatalf("fetched set = %+v", set)
+	}
+
+	// Second fetch: unchanged, served from cache via 304.
+	set2, changed, err := c.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("unchanged fetch reported change")
+	}
+	if set2 != set {
+		t.Error("cache not reused on 304")
+	}
+
+	// Publish a new set: fetch must see it.
+	s.Publish(testSet("imei=3539"))
+	set3, changed, err := c.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || set3.Signatures[0].Tokens[0] != "imei=3539" {
+		t.Errorf("update not observed: changed=%v set=%+v", changed, set3)
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	v, err := c.Version(context.Background())
+	if err != nil || v != 0 {
+		t.Fatalf("version = %d, %v", v, err)
+	}
+	s.Publish(testSet("x-token"))
+	v, err = c.Version(context.Background())
+	if err != nil || v != 1 {
+		t.Fatalf("version after publish = %d, %v", v, err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %s", resp.Status)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/signatures", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("POST /signatures succeeded")
+	}
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	// Unreachable server.
+	c := NewClient("http://127.0.0.1:1", nil)
+	if _, _, err := c.Fetch(context.Background()); err == nil {
+		t.Error("fetch from unreachable server succeeded")
+	}
+	if _, err := c.Version(context.Background()); err == nil {
+		t.Error("version from unreachable server succeeded")
+	}
+	// Garbage version body.
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not-a-number"))
+	}))
+	defer garbage.Close()
+	if _, err := NewClient(garbage.URL, nil).Version(context.Background()); err == nil {
+		t.Error("garbage version parsed")
+	}
+}
+
+func TestFetchContextCancelled(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := NewClient(ts.URL, nil).Fetch(ctx); err == nil {
+		t.Error("cancelled fetch succeeded")
+	}
+}

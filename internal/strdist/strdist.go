@@ -1,0 +1,177 @@
+// Package strdist implements string edit distances used by the HTTP host
+// component of the packet destination distance (§IV-B of the paper).
+//
+// The paper defines the host distance as
+//
+//	dhost(px, py) = ed(hostx, hosty) / max(len(hostx), len(hosty))
+//
+// where ed is the (unit-cost Levenshtein) edit distance. The package provides
+// a two-row dynamic-programming implementation, an early-exit bounded
+// variant, and the normalized form.
+package strdist
+
+// Levenshtein returns the unit-cost edit distance (insertions, deletions,
+// substitutions) between a and b, operating on bytes. Hostnames are ASCII,
+// so byte-level distance matches rune-level distance for our inputs.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// Ensure b is the shorter string so the DP row is minimal.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[i-1][j-1]
+		row[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cur := row[j]
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev + cost
+			if v := row[j] + 1; v < m {
+				m = v
+			}
+			if v := row[j-1] + 1; v < m {
+				m = v
+			}
+			row[j] = m
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}
+
+// LevenshteinBounded returns the edit distance between a and b if it is at
+// most maxDist; otherwise it returns maxDist+1. It prunes DP cells outside
+// the diagonal band of width 2*maxDist+1, which makes near-duplicate host
+// comparisons fast.
+func LevenshteinBounded(a, b string, maxDist int) int {
+	if maxDist < 0 {
+		return 0
+	}
+	if a == b {
+		return 0
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(a)-len(b) > maxDist {
+		return maxDist + 1
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	const inf = int(^uint(0) >> 2)
+	row := make([]int, len(b)+1)
+	for j := range row {
+		if j <= maxDist {
+			row[j] = j
+		} else {
+			row[j] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > len(b) {
+			hi = len(b)
+		}
+		prev := row[lo-1] // diagonal cell
+		if lo == 1 {
+			if i <= maxDist {
+				row[0] = i
+			} else {
+				row[0] = inf
+			}
+		}
+		if lo > 1 {
+			// Cell left of the band is unreachable.
+			row[lo-1] = inf
+		}
+		best := inf
+		ca := a[i-1]
+		for j := lo; j <= hi; j++ {
+			cur := row[j]
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev + cost
+			if v := cur + 1; v < m {
+				m = v
+			}
+			if v := row[j-1] + 1; v < m {
+				m = v
+			}
+			row[j] = m
+			if m < best {
+				best = m
+			}
+			prev = cur
+		}
+		if best > maxDist {
+			return maxDist + 1
+		}
+	}
+	if row[len(b)] > maxDist {
+		return maxDist + 1
+	}
+	return row[len(b)]
+}
+
+// Normalized returns the paper's dhost term: Levenshtein(a, b) divided by
+// the length of the longer string, in [0, 1]. Two empty strings have
+// distance 0.
+func Normalized(a, b string) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(n)
+}
+
+// CommonPrefixLen returns the length of the longest common prefix of a and b.
+func CommonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// CommonSuffixLen returns the length of the longest common suffix of a and b.
+// It is used to compare registrable domain tails such as ".example.co.jp".
+func CommonSuffixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[len(a)-1-i] != b[len(b)-1-i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package strdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"admob.com", "admob.com", 0},
+		{"admob.com", "amob.com", 1},
+		{"ad-maker.info", "admob.com", 9},
+		{"a", "b", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randStr := func() string {
+		n := rng.Intn(20)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(4))
+		}
+		return string(b)
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randStr(), randStr(), randStr()
+		ab, bc, ac := Levenshtein(a, b), Levenshtein(b, c), Levenshtein(a, c)
+		if ac > ab+bc {
+			t.Fatalf("triangle violated: d(%q,%q)=%d > d(%q,%q)=%d + d(%q,%q)=%d",
+				a, c, ac, a, b, ab, b, c, bc)
+		}
+	}
+}
+
+func TestLevenshteinBoundsProperty(t *testing.T) {
+	// |len(a)-len(b)| <= d <= max(len(a), len(b))
+	f := func(a, b string) bool {
+		if len(a) > 48 {
+			a = a[:48]
+		}
+		if len(b) > 48 {
+			b = b[:48]
+		}
+		d := Levenshtein(a, b)
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinBoundedAgreesWhenWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(6))
+		}
+		return string(b)
+	}
+	for i := 0; i < 300; i++ {
+		a := randStr(rng.Intn(30))
+		b := randStr(rng.Intn(30))
+		exact := Levenshtein(a, b)
+		for _, k := range []int{0, 1, 2, 5, 10, 40} {
+			got := LevenshteinBounded(a, b, k)
+			if exact <= k {
+				if got != exact {
+					t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want exact %d", a, b, k, got, exact)
+				}
+			} else if got != k+1 {
+				t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want %d (over bound)", a, b, k, got, k+1)
+			}
+		}
+	}
+}
+
+func TestLevenshteinBoundedEdgeCases(t *testing.T) {
+	if got := LevenshteinBounded("abc", "abc", 0); got != 0 {
+		t.Errorf("identical strings bound 0: got %d", got)
+	}
+	if got := LevenshteinBounded("abc", "abd", 0); got != 1 {
+		t.Errorf("bound 0 exceeded should report 1: got %d", got)
+	}
+	if got := LevenshteinBounded("", "abcdef", 3); got != 4 {
+		t.Errorf("length-gap prune: got %d, want 4", got)
+	}
+	if got := LevenshteinBounded("x", "y", -1); got != 0 {
+		t.Errorf("negative bound: got %d, want 0", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 1},
+		{"", "abcd", 1},
+		{"ab", "ba", 1.0}, // two substitutions over max len 2
+		{"admob.com", "admob.org", 3.0 / 9.0},
+	}
+	for _, c := range cases {
+		if got := Normalized(c.a, c.b); got != c.want {
+			t.Errorf("Normalized(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNormalizedRange(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d := Normalized(a, b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefixSuffix(t *testing.T) {
+	if got := CommonPrefixLen("ads.example.com", "ads.example.org"); got != 12 {
+		t.Errorf("CommonPrefixLen = %d, want 12", got)
+	}
+	if got := CommonSuffixLen("a.adlantis.jp", "b.adlantis.jp"); got != 12 {
+		t.Errorf("CommonSuffixLen = %d, want 12", got)
+	}
+	if got := CommonPrefixLen("", "x"); got != 0 {
+		t.Errorf("CommonPrefixLen empty = %d", got)
+	}
+	if got := CommonSuffixLen("same", "same"); got != 4 {
+		t.Errorf("CommonSuffixLen identical = %d", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package leaksig reproduces "Signature Generation for Sensitive
+// Information Leakage in Android Applications" (Kuzuno & Tonami, ICDE
+// Workshops 2013): clustering HTTP packets by a combined destination +
+// content distance and deriving conjunction signatures that detect
+// transmissions of device identifiers, without modifying the Android
+// framework.
+//
+// The package is a thin facade over the implementation packages:
+//
+//	internal/distance   — the packet distance (§IV-B/C)
+//	internal/cluster    — group-average hierarchical clustering (§IV-D)
+//	internal/signature  — conjunction signature generation (§IV-E)
+//	internal/detect     — the matching engine and the paper's TP/FN/FP
+//	internal/trafficgen — the calibrated synthetic dataset (§III, §V-A)
+//	internal/eval       — every table and figure of the evaluation
+//	internal/sigserver  — signature distribution (Figure 3a)
+//	internal/flowcontrol— the on-device vetting proxy (Figure 3b)
+//
+// Quickstart:
+//
+//	sigs := leaksig.GenerateSignatures(suspiciousPackets, leaksig.Config{})
+//	verdicts := leaksig.Detect(sigs, allPackets)
+package leaksig
+
+import (
+	"leaksig/internal/capture"
+	"leaksig/internal/core"
+	"leaksig/internal/detect"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/sensitive"
+	"leaksig/internal/signature"
+	"leaksig/internal/trafficgen"
+)
+
+// Packet is one captured HTTP request (see internal/httpmodel).
+type Packet = httpmodel.Packet
+
+// Config parameterizes the clustering and signature-generation pipeline;
+// the zero value reproduces the paper's setup.
+type Config = core.Config
+
+// SignatureSet is a generated conjunction signature set.
+type SignatureSet = signature.Set
+
+// Result carries the paper's evaluation counts and rates.
+type Result = detect.Result
+
+// Get starts a GET request builder (for constructing packets by hand).
+func Get(host, path string) *httpmodel.Builder { return httpmodel.Get(host, path) }
+
+// Post starts a POST request builder.
+func Post(host, path string) *httpmodel.Builder { return httpmodel.Post(host, path) }
+
+// GenerateSignatures clusters the (suspicious) packets under cfg and emits
+// one conjunction signature per cluster (§IV).
+func GenerateSignatures(packets []*Packet, cfg Config) *SignatureSet {
+	return core.NewPipeline(cfg).GenerateSignatures(packets)
+}
+
+// Detect applies the signature set to every packet and returns one verdict
+// per packet, in order.
+func Detect(set *SignatureSet, packets []*Packet) []bool {
+	eng := detect.NewEngine(set)
+	return eng.MatchSet(capture.New(packets))
+}
+
+// Evaluate scores a signature set against ground-truth labels using the
+// paper's TP/FN/FP equations (§V-B). n is the training-sample size.
+func Evaluate(set *SignatureSet, packets []*Packet, sensitiveLabels []bool, n int) Result {
+	eng := detect.NewEngine(set)
+	return detect.Evaluate(eng, capture.New(packets), sensitiveLabels, n)
+}
+
+// Dataset is a synthetic capture with its device and ground truth.
+type Dataset struct {
+	Packets   []*Packet
+	Sensitive []bool // ground-truth label per packet (the payload check)
+	inner     *trafficgen.Dataset
+}
+
+// SyntheticDataset fabricates a dataset calibrated to the paper's
+// measurement (1,188 apps / 107,859 packets at full scale). numApps and
+// totalPackets of 0 select the paper's values; seed fixes every random
+// choice.
+func SyntheticDataset(seed int64, numApps, totalPackets int) *Dataset {
+	ds := trafficgen.Generate(trafficgen.Config{
+		Seed:         seed,
+		NumApps:      numApps,
+		TotalPackets: totalPackets,
+	})
+	oracle := sensitive.NewOracle(ds.Device)
+	labels := make([]bool, ds.Capture.Len())
+	for i, p := range ds.Capture.Packets {
+		labels[i] = oracle.IsSensitive(p)
+	}
+	return &Dataset{Packets: ds.Capture.Packets, Sensitive: labels, inner: ds}
+}
+
+// SuspiciousPackets returns the packets the payload check labels sensitive.
+func (d *Dataset) SuspiciousPackets() []*Packet {
+	var out []*Packet
+	for i, p := range d.Packets {
+		if d.Sensitive[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package leaksig
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := SyntheticDataset(11, 150, 12000)
+	if len(ds.Packets) < 6000 {
+		t.Fatalf("packets = %d", len(ds.Packets))
+	}
+	susp := ds.SuspiciousPackets()
+	if len(susp) == 0 {
+		t.Fatal("no suspicious packets")
+	}
+	// Sample a training set, generate signatures, detect over everything.
+	rng := rand.New(rand.NewSource(2))
+	n := 80
+	if n > len(susp) {
+		n = len(susp)
+	}
+	train := make([]*Packet, 0, n)
+	for _, i := range rng.Perm(len(susp))[:n] {
+		train = append(train, susp[i])
+	}
+	set := GenerateSignatures(train, Config{})
+	if set.Len() == 0 {
+		t.Fatal("no signatures generated")
+	}
+	if set.TrainingSize != n {
+		t.Errorf("TrainingSize = %d, want %d", set.TrainingSize, n)
+	}
+	verdicts := Detect(set, ds.Packets)
+	if len(verdicts) != len(ds.Packets) {
+		t.Fatalf("verdicts = %d", len(verdicts))
+	}
+	res := Evaluate(set, ds.Packets, ds.Sensitive, n)
+	if res.TruePositiveRate <= 0.3 {
+		t.Errorf("TP rate = %v, expected meaningful detection", res.TruePositiveRate)
+	}
+	if res.FalsePositiveRate > 0.10 {
+		t.Errorf("FP rate = %v, too many false alarms", res.FalsePositiveRate)
+	}
+	// Verdicts and Evaluate must agree on the detected-sensitive count.
+	det := 0
+	for i, v := range verdicts {
+		if v && ds.Sensitive[i] {
+			det++
+		}
+	}
+	if det != res.DetectedSensitive {
+		t.Errorf("Detect/Evaluate disagree: %d vs %d", det, res.DetectedSensitive)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	p := Get("admob.com", "/mads/gma").Query("udid", "f3a9").Build()
+	if p.RequestLine() != "GET /mads/gma?udid=f3a9 HTTP/1.1" {
+		t.Errorf("builder produced %q", p.RequestLine())
+	}
+	q := Post("flurry.com", "/aap.do").Form("uid", "x").Build()
+	if q.Method != "POST" || string(q.Body) != "uid=x" {
+		t.Errorf("post builder produced %+v", q)
+	}
+}
+
+func TestSyntheticDatasetDeterminism(t *testing.T) {
+	a := SyntheticDataset(3, 60, 4000)
+	b := SyntheticDataset(3, 60, 4000)
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.Packets {
+		if a.Packets[i].RequestLine() != b.Packets[i].RequestLine() {
+			t.Fatal("nondeterministic packets")
+		}
+		if a.Sensitive[i] != b.Sensitive[i] {
+			t.Fatal("nondeterministic labels")
+		}
+	}
+}
