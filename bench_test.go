@@ -10,7 +10,9 @@ package leaksig
 // prints the series Figure 4 reports.
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -18,6 +20,7 @@ import (
 	"leaksig/internal/core"
 	"leaksig/internal/detect"
 	"leaksig/internal/distance"
+	"leaksig/internal/engine"
 	"leaksig/internal/eval"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/ncd"
@@ -342,5 +345,98 @@ func BenchmarkNCDPair(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ncd.Distance(comp, x, y)
+	}
+}
+
+// --- Streaming engine benchmarks --------------------------------------------
+
+// benchSignatureSet trains a conjunction set on an n-packet suspicious
+// sample — small n gives a handful of signatures, large n the full
+// production-sized set.
+func benchSignatureSet(n int) *signature.Set {
+	e := env()
+	rng := rand.New(rand.NewSource(3))
+	sample := e.Suspicious.Sample(rng, n)
+	return core.NewPipeline(core.Config{}).GenerateSignatures(sample.Packets)
+}
+
+// BenchmarkEngineStreaming measures the sharded streaming hot path over
+// the full trace: single-shard vs GOMAXPROCS shards, small vs large
+// signature sets, for both host-affine and round-robin sharding.
+func BenchmarkEngineStreaming(b *testing.B) {
+	e := env()
+	var contentBytes int64
+	for _, p := range e.Dataset.Capture.Packets {
+		contentBytes += int64(len(p.Content()))
+	}
+	sets := []struct {
+		name string
+		n    int
+	}{{"small-sigs", 50}, {"large-sigs", 300}}
+	shardCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if shardCounts[1] == 1 {
+		shardCounts = shardCounts[:1]
+	}
+	for _, sc := range sets {
+		set := benchSignatureSet(sc.n)
+		for _, shards := range shardCounts {
+			for _, aff := range []struct {
+				name string
+				a    engine.Affinity
+			}{{"host", engine.AffinityHost}, {"rr", engine.AffinityNone}} {
+				name := fmt.Sprintf("%s/shards=%d/%s", sc.name, shards, aff.name)
+				b.Run(name, func(b *testing.B) {
+					b.SetBytes(contentBytes)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						engine.MatchSet(set, e.Dataset.Capture, engine.Config{
+							Shards:   shards,
+							Affinity: aff.a,
+						})
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(set.Len()), "signatures")
+					b.ReportMetric(float64(e.Dataset.Capture.Len()), "packets")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkEngineVsBatch pits the streaming engine against the batch
+// matcher on identical work — the acceptance gate for the streaming hot
+// path: sharded streaming throughput must not trail MatchSetWith.
+func BenchmarkEngineVsBatch(b *testing.B) {
+	e := env()
+	set := benchSignatureSet(300)
+	eng := detect.NewEngine(set)
+	var contentBytes int64
+	for _, p := range e.Dataset.Capture.Packets {
+		contentBytes += int64(len(p.Content()))
+	}
+	b.Run("batch-MatchSetWith", func(b *testing.B) {
+		b.SetBytes(contentBytes)
+		for i := 0; i < b.N; i++ {
+			detect.MatchSetWith(eng, e.Dataset.Capture)
+		}
+	})
+	b.Run("engine-streaming", func(b *testing.B) {
+		b.SetBytes(contentBytes)
+		for i := 0; i < b.N; i++ {
+			engine.MatchSet(set, e.Dataset.Capture, engine.Config{})
+		}
+	})
+}
+
+// BenchmarkEngineReload measures a hot signature rollover under load: the
+// cost of compiling and swapping a production-sized set while packets
+// stream.
+func BenchmarkEngineReload(b *testing.B) {
+	set := benchSignatureSet(300)
+	eng := engine.New(set, engine.Config{})
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reload(set)
 	}
 }

@@ -72,19 +72,14 @@ func main() {
 	if *server != "" {
 		client := sigserver.NewClient(*server, nil)
 		go func() {
-			for {
-				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-				newSet, changed, err := client.Fetch(ctx)
-				cancel()
-				switch {
-				case err != nil:
-					log.Printf("signature refresh failed: %v", err)
-				case changed:
-					proxy.SetSignatures(newSet)
-					log.Printf("signatures updated: %d entries, version %d", newSet.Len(), newSet.Version)
-				}
-				time.Sleep(*refresh)
-			}
+			// Watch long-polls the server's /wait endpoint, so updates
+			// land within one round trip; -refresh only bounds the retry
+			// and fallback cadence.
+			err := client.Watch(context.Background(), *refresh, func(newSet *signature.Set) {
+				proxy.SetSignatures(newSet)
+				log.Printf("signatures updated: %d entries, version %d", newSet.Len(), newSet.Version)
+			})
+			log.Printf("signature watch ended: %v", err)
 		}()
 	}
 

@@ -1,0 +1,282 @@
+// Command leakstream is the streaming detection daemon: it wires a
+// signature server to the sharded matching engine and turns packet
+// streams into verdict streams without ever restarting.
+//
+// Packets enter as NDJSON (the capture JSONL schema, one packet per
+// line) on stdin and/or over HTTP; verdicts leave as NDJSON on stdout.
+// With -server the daemon watches the signature server — long-polling
+// its /wait endpoint, falling back to -poll interval polling — and hot
+// reloads the engine on every publish, so new signatures take effect
+// mid-stream with zero dropped packets.
+//
+// Usage:
+//
+//	leakstream -server http://127.0.0.1:8700 < capture.jsonl > verdicts.jsonl
+//	leakstream -sigs signatures.json -listen :8900
+//
+// HTTP endpoints (with -listen):
+//
+//	POST /ingest — NDJSON packets in, queued for async matching;
+//	               responds {"accepted":N,"rejected":M}
+//	POST /match  — NDJSON packets in, NDJSON verdicts out (synchronous)
+//	GET  /stats  — engine metrics snapshot as JSON
+//	GET  /healthz— liveness
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"leaksig/internal/engine"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("leakstream: ")
+	var (
+		server   = flag.String("server", "", "signature server base URL (hot reload via long poll)")
+		sigsIn   = flag.String("sigs", "", "signature set file (static alternative to -server)")
+		listen   = flag.String("listen", "", "HTTP ingest address (empty: stdin only)")
+		shards   = flag.Int("shards", 0, "worker shards (0: GOMAXPROCS)")
+		batch    = flag.Int("batch", 0, "packets batched per dispatch (0: default)")
+		queue    = flag.Int("queue", 0, "per-shard queue depth in packets (0: default)")
+		poll     = flag.Duration("poll", 10*time.Second, "fallback poll interval with -server")
+		statsInt = flag.Duration("stats", 0, "metrics reporting interval on stderr (0: off)")
+		affinity = flag.String("affinity", "host", "shard affinity: host | none")
+	)
+	flag.Parse()
+
+	var aff engine.Affinity
+	switch *affinity {
+	case "host":
+		aff = engine.AffinityHost
+	case "none":
+		aff = engine.AffinityNone
+	default:
+		log.Fatalf("unknown affinity %q (want host or none)", *affinity)
+	}
+
+	set := &signature.Set{}
+	if *sigsIn != "" {
+		f, err := os.Open(*sigsIn)
+		if err != nil {
+			log.Fatalf("opening signatures: %v", err)
+		}
+		set, err = signature.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading signatures: %v", err)
+		}
+	}
+
+	out := newVerdictWriter(os.Stdout)
+	eng := engine.New(set, engine.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		BatchSize:  *batch,
+		Affinity:   aff,
+		OnVerdict:  out.emit,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *server != "" {
+		client := sigserver.NewClient(*server, nil)
+		go func() {
+			err := client.Watch(ctx, *poll, func(set *signature.Set) {
+				eng.Reload(set)
+				log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
+			})
+			if err != nil && ctx.Err() == nil {
+				log.Printf("signature watch ended: %v", err)
+			}
+		}()
+	}
+
+	if *statsInt > 0 {
+		go func() {
+			t := time.NewTicker(*statsInt)
+			defer t.Stop()
+			for range t.C {
+				log.Print(eng.Metrics())
+			}
+		}()
+	}
+
+	if *listen != "" {
+		srv := &http.Server{Addr: *listen, Handler: ingestHandler(eng, out)}
+		go func() {
+			log.Printf("HTTP ingest on %s (/ingest, /match, /stats, /healthz)", *listen)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	// Stdin is always consumed: in pipe mode it is the packet source; in
+	// daemon mode it typically hits EOF immediately and only -listen feeds
+	// the engine.
+	accepted, rejected := streamNDJSON(os.Stdin, eng)
+	if *listen == "" {
+		eng.Close()
+		out.flush()
+		m := eng.Metrics()
+		log.Printf("stdin done: %d accepted, %d rejected lines", accepted, rejected)
+		log.Print(m)
+		return
+	}
+	select {} // daemon mode: serve until killed
+}
+
+// streamNDJSON feeds packets from one NDJSON stream into the engine.
+// Malformed or invalid lines are reported and skipped.
+func streamNDJSON(r io.Reader, eng *engine.Engine) (accepted, rejected int) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		p := new(httpmodel.Packet)
+		if err := json.Unmarshal(line, p); err != nil {
+			log.Printf("skipping malformed packet line: %v", err)
+			rejected++
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			log.Printf("skipping invalid packet: %v", err)
+			rejected++
+			continue
+		}
+		if err := eng.Submit(p); err != nil {
+			log.Printf("submit: %v", err)
+			rejected++
+			continue
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		log.Printf("reading stdin: %v", err)
+	}
+	return accepted, rejected
+}
+
+// verdictLine is the NDJSON verdict schema.
+type verdictLine struct {
+	ID        int64  `json:"id"`
+	App       string `json:"app,omitempty"`
+	Host      string `json:"host"`
+	Leak      bool   `json:"leak"`
+	Matched   []int  `json:"matched,omitempty"`
+	Version   int64  `json:"version"`
+	LatencyUS int64  `json:"latency_us,omitempty"`
+}
+
+func toLine(v engine.Verdict) verdictLine {
+	return verdictLine{
+		ID:        v.Packet.ID,
+		App:       v.Packet.App,
+		Host:      v.Packet.Host,
+		Leak:      v.Leak(),
+		Matched:   v.Matched,
+		Version:   v.Version,
+		LatencyUS: int64(v.Latency / time.Microsecond),
+	}
+}
+
+// verdictFlushInterval bounds how long a verdict may sit in the output
+// buffer; flushing per verdict would cost one syscall per packet.
+const verdictFlushInterval = 25 * time.Millisecond
+
+// verdictWriter serializes verdicts from concurrent shard workers onto
+// one NDJSON stream, flushing on a ticker rather than per line so the
+// engine's batching is not undone by per-packet write(2) calls.
+type verdictWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func newVerdictWriter(w io.Writer) *verdictWriter {
+	bw := bufio.NewWriter(w)
+	vw := &verdictWriter{bw: bw, enc: json.NewEncoder(bw)}
+	go func() {
+		t := time.NewTicker(verdictFlushInterval)
+		defer t.Stop()
+		for range t.C {
+			vw.flush()
+		}
+	}()
+	return vw
+}
+
+func (vw *verdictWriter) emit(v engine.Verdict) {
+	vw.mu.Lock()
+	vw.enc.Encode(toLine(v))
+	vw.mu.Unlock()
+}
+
+func (vw *verdictWriter) flush() {
+	vw.mu.Lock()
+	vw.bw.Flush()
+	vw.mu.Unlock()
+}
+
+// ingestHandler exposes the engine over HTTP.
+func ingestHandler(eng *engine.Engine, out *verdictWriter) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		accepted, rejected := streamNDJSON(r.Body, eng)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", accepted, rejected)
+	})
+	mux.HandleFunc("POST /match", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			p := new(httpmodel.Packet)
+			if err := json.Unmarshal(sc.Bytes(), p); err != nil {
+				// The status line is already committed, so a bad line
+				// becomes an in-band NDJSON error and the stream goes on —
+				// same skip semantics as /ingest.
+				enc.Encode(map[string]string{"error": err.Error()})
+				continue
+			}
+			matched := eng.MatchPacket(p)
+			enc.Encode(verdictLine{
+				ID:      p.ID,
+				App:     p.App,
+				Host:    p.Host,
+				Leak:    len(matched) > 0,
+				Matched: matched,
+				Version: eng.Version(),
+			})
+		}
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(eng.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	return mux
+}

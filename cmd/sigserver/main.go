@@ -1,13 +1,23 @@
 // Command sigserver serves a signature set over HTTP — the distribution
-// half of the paper's Figure 3(a). Devices running flowproxy poll it for
-// updates.
+// half of the paper's Figure 3(a). Devices running flowproxy or
+// leakstream watch it for updates; a new set can be published into the
+// running server through the admin endpoint, and every long-poll watcher
+// picks the rollover up within one round trip.
 //
 // Usage:
 //
-//	sigserver -addr :8700 -sigs signatures.json
+//	sigserver -addr :8700 -sigs signatures.json -token S3CRET
+//	curl -X POST -H 'Authorization: Bearer S3CRET' \
+//	     --data-binary @new.json http://127.0.0.1:8700/publish
+//
+// Without -token the publish endpoint is open: bind -addr to loopback
+// (or front it with an authenticating proxy) before exposing the
+// read-only API beyond the host, or anyone who can reach the port can
+// replace the fleet's signature set.
 package main
 
 import (
+	"crypto/subtle"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +34,7 @@ func main() {
 	var (
 		addr   = flag.String("addr", ":8700", "listen address")
 		sigsIn = flag.String("sigs", "signatures.json", "signature set to publish")
+		token  = flag.String("token", "", "bearer token required on POST /publish (empty: unauthenticated)")
 	)
 	flag.Parse()
 
@@ -38,10 +49,30 @@ func main() {
 	}
 
 	srv := sigserver.New()
+	srv.OnPublish(func(v int64) { log.Printf("published version %d", v) })
 	version := srv.Publish(set)
 	fmt.Printf("published %d signatures as version %d\n", set.Len(), version)
-	fmt.Printf("serving on %s (GET /signatures, /version, /healthz)\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
+		if *token != "" {
+			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+*token)) != 1 {
+				http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+				return
+			}
+		}
+		newSet, err := signature.ReadJSON(r.Body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
+			return
+		}
+		v := srv.Publish(newSet)
+		fmt.Fprintf(w, "%d\n", v)
+	})
+
+	fmt.Printf("serving on %s (GET /signatures, /version, /wait, /healthz; POST /publish)\n", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

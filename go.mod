@@ -1,0 +1,3 @@
+module leaksig
+
+go 1.24

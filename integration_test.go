@@ -6,19 +6,25 @@ package leaksig
 // them, and verify detection — every serialization boundary crossed once.
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"leaksig/internal/android"
 	"leaksig/internal/capture"
 	"leaksig/internal/collector"
 	"leaksig/internal/core"
 	"leaksig/internal/detect"
+	"leaksig/internal/engine"
 	"leaksig/internal/sensitive"
 	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
 	"leaksig/internal/trafficgen"
 )
 
@@ -146,4 +152,105 @@ func mustRead(t *testing.T, path string) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// TestStreamingPipeline is the deployment loop end to end: a signature
+// server publishes, a watching client hot-reloads the streaming engine,
+// packets flow continuously, and a mid-stream publish flips verdicts
+// without a restart or a dropped packet.
+func TestStreamingPipeline(t *testing.T) {
+	ds := trafficgen.Generate(trafficgen.Config{Seed: 33, NumApps: 80, TotalPackets: 6000})
+	oracle := sensitive.NewOracle(ds.Device)
+	suspicious := ds.Capture.Filter(oracle.IsSensitive)
+	sample := suspicious.Sample(rand.New(rand.NewSource(9)), 100)
+	sigs := core.NewPipeline(core.Config{}).GenerateSignatures(sample.Packets)
+	if sigs.Len() == 0 {
+		t.Fatal("no signatures")
+	}
+
+	// Signature server + HTTP transport.
+	srv := sigserver.New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Publish(sigs) // version 1
+
+	// Streaming engine fed by a sigserver watch.
+	var mu sync.Mutex
+	byVersion := map[int64]int{}
+	var processed int
+	eng := engine.New(nil, engine.Config{Shards: 2, OnVerdict: func(v engine.Verdict) {
+		mu.Lock()
+		processed++
+		if v.Leak() {
+			byVersion[v.Version]++
+		}
+		mu.Unlock()
+	}})
+
+	client := sigserver.NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		client.Watch(ctx, 50*time.Millisecond, func(set *signature.Set) { eng.Reload(set) })
+	}()
+	waitForVersion := func(v int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for eng.Version() != v {
+			if time.Now().After(deadline) {
+				t.Fatalf("engine never reached version %d (at %d)", v, eng.Version())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitForVersion(1)
+
+	// Phase 1: stream everything under v1; expect the batch matcher's
+	// verdict count, attributed to version 1.
+	for _, p := range ds.Capture.Packets {
+		if err := eng.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	want := 0
+	for _, m := range detect.MatchSetWith(detect.NewEngine(sigs), ds.Capture) {
+		if m {
+			want++
+		}
+	}
+	mu.Lock()
+	if byVersion[1] != want {
+		mu.Unlock()
+		t.Fatalf("v1 leaks = %d, batch matcher says %d", byVersion[1], want)
+	}
+	mu.Unlock()
+
+	// Phase 2: publish an empty set mid-stream; after the rollover the
+	// same traffic must produce zero leaks, all without restarting.
+	srv.Publish(&signature.Set{})
+	waitForVersion(2)
+	for _, p := range ds.Capture.Packets {
+		if err := eng.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if processed != 2*ds.Capture.Len() {
+		t.Fatalf("processed %d packets, want %d (drops across rollover?)", processed, 2*ds.Capture.Len())
+	}
+	if byVersion[2] != 0 {
+		t.Fatalf("empty v2 set still produced %d leaks", byVersion[2])
+	}
+	m := eng.Metrics()
+	if m.Reloads < 2 || m.Version != 2 {
+		t.Errorf("engine metrics after rollover: reloads=%d version=%d", m.Reloads, m.Version)
+	}
+	cancel()
+	<-watchDone
 }

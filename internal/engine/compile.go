@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"leaksig/internal/detect"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+// compiledSet is one immutable, fully compiled generation of the signature
+// set. The engine swaps whole generations through an atomic pointer; shard
+// workers load the pointer once per batch, so a reload can never tear
+// mid-batch and the hot path takes no lock.
+type compiledSet struct {
+	eng     *detect.Engine
+	version int64
+	sigs    int
+}
+
+// compile builds a generation from a signature set. A nil set compiles to
+// an empty generation that matches nothing, so the engine can start before
+// the first sigserver fetch completes.
+func compile(set *signature.Set) *compiledSet {
+	if set == nil {
+		set = &signature.Set{}
+	}
+	return &compiledSet{
+		eng:     detect.NewEngine(set),
+		version: set.Version,
+		sigs:    set.Len(),
+	}
+}
+
+// match returns the IDs of every signature the packet matches under this
+// generation.
+func (c *compiledSet) match(p *httpmodel.Packet) []int {
+	return c.eng.MatchPacket(p)
+}

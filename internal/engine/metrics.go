@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"leaksig/internal/stats"
+)
+
+// latencySampleEvery controls queue-to-verdict latency sampling: recording
+// a latency costs two clock reads, so only every N-th accepted packet is
+// timed. At streaming volumes the sampled quantiles converge on the true
+// ones while the hot path stays free of clock calls.
+const latencySampleEvery = 64
+
+// latencyWindow is how many recent latency samples each shard retains for
+// the quantile snapshot.
+const latencyWindow = 1024
+
+// latencyRing is a fixed-size ring of recent latency samples, one per
+// shard so recording never contends across shards.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf []int64 // nanoseconds
+	n   uint64  // total samples ever recorded
+}
+
+func newLatencyRing() *latencyRing {
+	return &latencyRing{buf: make([]int64, latencyWindow)}
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = int64(d)
+	r.n++
+	r.mu.Unlock()
+}
+
+// samples returns the retained window in microseconds, ready for a CDF.
+func (r *latencyRing) samples() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	out := make([]int, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = int(r.buf[i] / int64(time.Microsecond))
+	}
+	return out
+}
+
+// Snapshot is a point-in-time view of the engine's counters and latency
+// distribution.
+type Snapshot struct {
+	Shards     int   // worker count
+	Version    int64 // signature-set version currently live
+	Signatures int   // signatures in the live set
+	Reloads    int64 // hot reloads since construction
+
+	Ingested  uint64 // packets accepted by Submit/TrySubmit
+	Processed uint64 // packets matched and emitted
+	Matched   uint64 // processed packets that matched >= 1 signature
+	Dropped   uint64 // packets rejected by TrySubmit under backpressure
+
+	QueueDepth int           // packets accepted but not yet processed
+	Uptime     time.Duration // since construction
+
+	PacketsPerSec float64 // processed / uptime
+	MatchRate     float64 // matched / processed, in [0, 1]
+
+	P50 time.Duration // median queue-to-verdict latency (sampled)
+	P99 time.Duration // tail queue-to-verdict latency (sampled)
+}
+
+// String renders the snapshot as one log-friendly line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"engine: v%d sigs=%d shards=%d reloads=%d in=%d out=%d matched=%d dropped=%d queue=%d pps=%.0f matchrate=%.4f p50=%s p99=%s",
+		s.Version, s.Signatures, s.Shards, s.Reloads,
+		s.Ingested, s.Processed, s.Matched, s.Dropped,
+		s.QueueDepth, s.PacketsPerSec, s.MatchRate, s.P50, s.P99)
+}
+
+// Metrics assembles a snapshot from the per-shard counters. It is safe to
+// call concurrently with streaming.
+func (e *Engine) Metrics() Snapshot {
+	cs := e.set.Load()
+	snap := Snapshot{
+		Shards:     len(e.shards),
+		Version:    cs.version,
+		Signatures: cs.sigs,
+		Reloads:    e.reloads.Load(),
+		Ingested:   e.ingested.Load(),
+		Dropped:    e.dropped.Load(),
+		Uptime:     time.Since(e.start),
+	}
+	var lat []int
+	for _, s := range e.shards {
+		snap.Processed += s.processed.Load()
+		snap.Matched += s.matched.Load()
+		lat = append(lat, s.lat.samples()...)
+	}
+	if pending := snap.Ingested - snap.Processed; pending <= snap.Ingested {
+		snap.QueueDepth = int(pending)
+	}
+	if secs := snap.Uptime.Seconds(); secs > 0 {
+		snap.PacketsPerSec = float64(snap.Processed) / secs
+	}
+	if snap.Processed > 0 {
+		snap.MatchRate = float64(snap.Matched) / float64(snap.Processed)
+	}
+	if len(lat) > 0 {
+		cdf := stats.NewCDF(lat)
+		snap.P50 = time.Duration(cdf.Quantile(0.50)) * time.Microsecond
+		snap.P99 = time.Duration(cdf.Quantile(0.99)) * time.Microsecond
+	}
+	return snap
+}

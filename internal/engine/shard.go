@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leaksig/internal/httpmodel"
+)
+
+// item is one queued packet with its acceptance order and (when sampled)
+// enqueue timestamp.
+type item struct {
+	p   *httpmodel.Packet
+	seq uint64
+	enq int64 // unix nanos at acceptance; 0 when the packet is unsampled
+}
+
+// shard owns one worker goroutine and the queue feeding it. Packets are
+// batched on the producer side: Submit appends to acc under the shard
+// lock and hands a full batch to the channel, so the worker pays channel
+// and pointer-load costs once per batch, not once per packet.
+type shard struct {
+	in chan []item // full batches in flight to the worker
+
+	mu  sync.Mutex
+	acc []item // accumulating batch, at most batchSize entries
+
+	processed atomic.Uint64
+	matched   atomic.Uint64
+	lat       *latencyRing
+}
+
+func newShard(queueBatches, batchSize int) *shard {
+	return &shard{
+		in:  make(chan []item, queueBatches),
+		acc: make([]item, 0, batchSize),
+		lat: newLatencyRing(),
+	}
+}
+
+// run is the worker loop: drain batches until the channel closes, loading
+// the live signature generation once per batch.
+func (e *Engine) run(s *shard) {
+	defer e.wg.Done()
+	for batch := range s.in {
+		cs := e.set.Load()
+		for _, it := range batch {
+			matched := cs.match(it.p)
+			s.processed.Add(1)
+			if len(matched) > 0 {
+				s.matched.Add(1)
+			}
+			var lat time.Duration
+			if it.enq != 0 {
+				lat = time.Duration(time.Now().UnixNano() - it.enq)
+				s.lat.record(lat)
+			}
+			if e.onVerdict != nil {
+				e.onVerdict(Verdict{
+					Packet:  it.p,
+					Seq:     it.seq,
+					Matched: matched,
+					Version: cs.version,
+					Latency: lat,
+				})
+			}
+		}
+	}
+}
+
+// flush hands the accumulating batch to the worker. When block is false a
+// full queue leaves the accumulator in place for the next flusher tick;
+// when true the send waits for the worker (the backpressure point).
+func (s *shard) flush(block bool, batchSize int) {
+	s.mu.Lock()
+	if len(s.acc) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	batch := s.acc
+	if block {
+		s.acc = make([]item, 0, batchSize)
+		s.mu.Unlock()
+		s.in <- batch
+		return
+	}
+	select {
+	case s.in <- batch:
+		s.acc = make([]item, 0, batchSize)
+	default:
+		// Queue full: the worker is saturated; retry on the next tick.
+	}
+	s.mu.Unlock()
+}

@@ -102,10 +102,22 @@ type AuditEntry struct {
 	Action  Action
 }
 
-// Proxy is the flow-control forward proxy. Engines are swappable at
+// Backend vets one packet and returns the IDs of the signatures it
+// matches. *detect.Engine satisfies it directly; so does the streaming
+// *engine.Engine via its synchronous MatchPacket, which gives the proxy
+// the engine's sharded hot-reload semantics without a second reload path.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	MatchPacket(p *httpmodel.Packet) []int
+}
+
+// backendBox wraps a Backend so it can live in an atomic.Pointer.
+type backendBox struct{ b Backend }
+
+// Proxy is the flow-control forward proxy. Backends are swappable at
 // runtime, so a sigserver.Client refresh loop can hot-reload signatures.
 type Proxy struct {
-	engine    atomic.Pointer[detect.Engine]
+	backend   atomic.Pointer[backendBox]
 	policy    Policy
 	transport http.RoundTripper
 
@@ -119,27 +131,57 @@ type Proxy struct {
 // NewProxy builds a proxy enforcing the signature set with the policy.
 // transport may be nil for http.DefaultTransport.
 func NewProxy(set *signature.Set, policy Policy, transport http.RoundTripper) *Proxy {
+	p := newProxy(policy, transport)
+	p.SetSignatures(set)
+	return p
+}
+
+// NewProxyWith builds a proxy vetting requests through an arbitrary
+// matcher backend — e.g. a streaming engine.Engine whose signature set a
+// sigserver watch keeps current.
+func NewProxyWith(backend Backend, policy Policy, transport http.RoundTripper) *Proxy {
+	p := newProxy(policy, transport)
+	p.SetBackend(backend)
+	return p
+}
+
+func newProxy(policy Policy, transport http.RoundTripper) *Proxy {
 	if policy == nil {
 		policy = BlockMatched()
 	}
 	if transport == nil {
 		transport = http.DefaultTransport
 	}
-	p := &Proxy{policy: policy, transport: transport}
-	p.SetSignatures(set)
-	return p
+	return &Proxy{policy: policy, transport: transport}
 }
 
-// SetSignatures hot-swaps the signature set.
+// SetSignatures hot-swaps the signature set, replacing the backend with a
+// freshly compiled conjunction engine.
 func (p *Proxy) SetSignatures(set *signature.Set) {
 	if set == nil {
 		set = &signature.Set{}
 	}
-	p.engine.Store(detect.NewEngine(set))
+	p.SetBackend(detect.NewEngine(set))
 }
 
-// Engine returns the current detection engine.
-func (p *Proxy) Engine() *detect.Engine { return p.engine.Load() }
+// SetBackend hot-swaps the matcher backend. A nil backend installs an
+// empty signature set.
+func (p *Proxy) SetBackend(b Backend) {
+	if b == nil {
+		b = detect.NewEngine(&signature.Set{})
+	}
+	p.backend.Store(&backendBox{b: b})
+}
+
+// Backend returns the current matcher backend.
+func (p *Proxy) Backend() Backend { return p.backend.Load().b }
+
+// Engine returns the current detection engine when the backend is a
+// conjunction engine, and nil when an alternative backend is installed.
+func (p *Proxy) Engine() *detect.Engine {
+	eng, _ := p.backend.Load().b.(*detect.Engine)
+	return eng
+}
 
 // Stats returns how many requests were allowed and blocked.
 func (p *Proxy) Stats() (allowed, blocked int64) {
@@ -213,8 +255,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	eng := p.engine.Load()
-	matched := eng.MatchPacket(pkt)
+	matched := p.backend.Load().b.MatchPacket(pkt)
 	action := p.policy.Decide(pkt, matched)
 	if action == Prompt {
 		action = Block

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/signature"
 )
@@ -204,5 +205,48 @@ func TestActionString(t *testing.T) {
 	if Allow.String() != "allow" || Block.String() != "block" ||
 		Prompt.String() != "prompt" || Action(9).String() != "unknown" {
 		t.Error("action names")
+	}
+}
+
+// TestEngineBackend vets requests through the streaming engine's
+// synchronous matcher: the proxy inherits the engine's hot reload — one
+// Reload flips the verdict for both the stream and the proxy.
+func TestEngineBackend(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer origin.Close()
+
+	eng := engine.New(&signature.Set{}, engine.Config{Shards: 1})
+	defer eng.Close()
+	proxy := NewProxyWith(eng, BlockMatched(), nil)
+	if proxy.Engine() != nil {
+		t.Error("Engine() should be nil with a streaming backend")
+	}
+	if proxy.Backend() == nil {
+		t.Fatal("Backend() is nil")
+	}
+
+	leakURL := origin.URL + "/x?imei=353918051234563"
+	resp := proxyThrough(t, proxy, "GET", leakURL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty engine should allow: %s", resp.Status)
+	}
+
+	eng.Reload(leakSet())
+	resp = proxyThrough(t, proxy, "GET", leakURL, "")
+	if resp.StatusCode != http.StatusUnavailableForLegalReasons {
+		t.Fatalf("after engine reload: %s, want 451", resp.Status)
+	}
+}
+
+func TestSetBackendNil(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer origin.Close()
+	proxy := NewProxyWith(nil, BlockMatched(), nil)
+	if proxy.Engine() == nil {
+		t.Error("nil backend should degrade to an empty conjunction engine")
+	}
+	resp := proxyThrough(t, proxy, "GET", origin.URL+"/x?imei=353918051234563", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil backend should allow everything: %s", resp.Status)
 	}
 }

@@ -6,42 +6,83 @@
 //
 // Server publishes versioned signature sets over HTTP; Client fetches them
 // with conditional requests so an unchanged set costs one cheap round trip.
+// Publishes are observable three ways: in-process via OnPublish callbacks
+// or the Changed broadcast channel, and over HTTP via the long-polling
+// /wait endpoint, which Client.Watch uses so a streaming consumer learns
+// of a new version within one round trip instead of a poll interval.
 package sigserver
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"leaksig/internal/signature"
 )
 
+// waitTimeoutMax caps how long one /wait request may hang before the
+// server answers with the unchanged version and the client re-arms.
+const waitTimeoutMax = 30 * time.Second
+
 // Server holds the currently published signature set. It is safe for
 // concurrent use; the zero value is not usable, construct with New.
 type Server struct {
-	mu      sync.RWMutex
-	set     *signature.Set
-	version int64
+	mu        sync.RWMutex
+	set       *signature.Set
+	version   int64
+	changed   chan struct{} // closed and replaced on every Publish
+	onPublish []func(int64)
 }
 
 // New returns a server with an empty signature set at version 0.
 func New() *Server {
-	return &Server{set: &signature.Set{}}
+	return &Server{set: &signature.Set{}, changed: make(chan struct{})}
 }
 
 // Publish replaces the current signature set and bumps the version. The
-// set's Version field is overwritten with the server's new version.
+// set's Version field is overwritten with the server's new version. Every
+// OnPublish callback runs synchronously before Publish returns, and the
+// Changed broadcast fires.
 func (s *Server) Publish(set *signature.Set) int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.version++
 	set.Version = s.version
 	s.set = set
-	return s.version
+	version := s.version
+	notify := s.changed
+	s.changed = make(chan struct{})
+	callbacks := make([]func(int64), len(s.onPublish))
+	copy(callbacks, s.onPublish)
+	s.mu.Unlock()
+	close(notify)
+	for _, fn := range callbacks {
+		fn(version)
+	}
+	return version
+}
+
+// OnPublish registers a callback invoked with the new version after every
+// Publish. Callbacks run synchronously on the publishing goroutine and
+// must not call Publish themselves.
+func (s *Server) OnPublish(fn func(version int64)) {
+	s.mu.Lock()
+	s.onPublish = append(s.onPublish, fn)
+	s.mu.Unlock()
+}
+
+// Changed returns a channel that is closed at the next Publish. Receive
+// from it to block until the set changes, then call Current (and Changed
+// again to re-arm).
+func (s *Server) Changed() <-chan struct{} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.changed
 }
 
 // Current returns the published set and version.
@@ -56,6 +97,8 @@ func (s *Server) Current() (*signature.Set, int64) {
 //	GET /signatures — the signature set as JSON, ETag = version;
 //	                  supports If-None-Match → 304
 //	GET /version    — the current version as text
+//	GET /wait       — long-poll: ?v=N blocks until version > N (or a
+//	                  timeout), then answers the current version as text
 //	GET /healthz    — liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -78,6 +121,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
 		_, version := s.Current()
 		fmt.Fprintf(w, "%d", version)
+	})
+	mux.HandleFunc("GET /wait", func(w http.ResponseWriter, r *http.Request) {
+		after := int64(0)
+		if v := r.URL.Query().Get("v"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad v parameter", http.StatusBadRequest)
+				return
+			}
+			after = n
+		}
+		timeout := waitTimeoutMax
+		if t := r.URL.Query().Get("timeout"); t != "" {
+			d, err := time.ParseDuration(t)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad timeout parameter", http.StatusBadRequest)
+				return
+			}
+			if d < timeout {
+				timeout = d
+			}
+		}
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+		for {
+			s.mu.RLock()
+			version := s.version
+			notify := s.changed
+			s.mu.RUnlock()
+			if version > after {
+				fmt.Fprintf(w, "%d", version)
+				return
+			}
+			select {
+			case <-notify:
+				// Re-read: coalesced publishes may have advanced further.
+			case <-deadline.C:
+				fmt.Fprintf(w, "%d", version)
+				return
+			case <-r.Context().Done():
+				return
+			}
+		}
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
@@ -169,4 +255,125 @@ func (c *Client) Version(ctx context.Context) (int64, error) {
 		return 0, fmt.Errorf("sigserver: parsing version %q: %w", body, err)
 	}
 	return v, nil
+}
+
+// WaitVersion long-polls the server's /wait endpoint until its version
+// exceeds after, returning the version it saw. A server-side timeout
+// returns the unchanged version; callers loop. Servers predating /wait
+// yield an error wrapping ErrNoWait, which Watch treats as a signal to
+// fall back to interval polling.
+func (c *Client) WaitVersion(ctx context.Context, after int64) (int64, error) {
+	url := fmt.Sprintf("%s/wait?v=%d", c.base, after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("sigserver: waiting for version: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return 0, fmt.Errorf("sigserver: server has no /wait endpoint: %w", ErrNoWait)
+	default:
+		return 0, fmt.Errorf("sigserver: unexpected status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64))
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(string(bytes.TrimSpace(body)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sigserver: parsing wait version %q: %w", body, err)
+	}
+	return v, nil
+}
+
+// ErrNoWait marks a server without the /wait long-poll endpoint.
+var ErrNoWait = errors.New("wait endpoint unsupported")
+
+// fetchTimeout bounds one Watch fetch attempt so a hung server cannot
+// stall the refresh loop forever.
+const fetchTimeout = 30 * time.Second
+
+// Watch delivers the current signature set, then every subsequent publish,
+// to fn until ctx is cancelled. Between deliveries it blocks on the
+// server's /wait long-poll, so a new version arrives within one round
+// trip; against servers without /wait (or across transient errors) it
+// degrades to polling every fallback (which also bounds the retry delay;
+// 0 means 10s). Every round trip carries its own deadline, so a
+// half-open connection costs one retry, never a wedged watch. fn runs on
+// the watching goroutine.
+func (c *Client) Watch(ctx context.Context, fallback time.Duration, fn func(*signature.Set)) error {
+	if fallback <= 0 {
+		fallback = 10 * time.Second
+	}
+	longPoll := true
+	first := true
+	last := int64(0)
+	for {
+		set, changed, err := c.fetchTimed(ctx)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err := sleepCtx(ctx, fallback); err != nil {
+				return err
+			}
+			continue
+		case changed || first:
+			fn(set)
+			first = false
+		}
+		last = set.Version
+
+		if longPoll {
+			if _, err := c.waitVersionTimed(ctx, last); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if errors.Is(err, ErrNoWait) {
+					longPoll = false
+				}
+				if err := sleepCtx(ctx, fallback); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := sleepCtx(ctx, fallback); err != nil {
+			return err
+		}
+	}
+}
+
+// fetchTimed is Fetch with a per-attempt deadline.
+func (c *Client) fetchTimed(ctx context.Context) (*signature.Set, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
+	defer cancel()
+	return c.Fetch(ctx)
+}
+
+// waitVersionTimed is WaitVersion with a deadline comfortably above the
+// server's own long-poll cap, so only a hung connection — not a patient
+// server — trips it.
+func (c *Client) waitVersionTimed(ctx context.Context, after int64) (int64, error) {
+	ctx, cancel := context.WithTimeout(ctx, waitTimeoutMax+fetchTimeout)
+	defer cancel()
+	return c.WaitVersion(ctx, after)
+}
+
+// sleepCtx sleeps for d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

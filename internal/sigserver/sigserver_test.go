@@ -2,9 +2,12 @@ package sigserver
 
 import (
 	"context"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"leaksig/internal/signature"
 )
@@ -141,5 +144,136 @@ func TestFetchContextCancelled(t *testing.T) {
 	cancel()
 	if _, _, err := NewClient(ts.URL, nil).Fetch(ctx); err == nil {
 		t.Error("cancelled fetch succeeded")
+	}
+}
+
+func TestOnPublishCallback(t *testing.T) {
+	s := New()
+	var got []int64
+	s.OnPublish(func(v int64) { got = append(got, v) })
+	s.Publish(testSet("tok-one"))
+	s.Publish(testSet("tok-two"))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("callback versions = %v", got)
+	}
+}
+
+func TestChangedBroadcast(t *testing.T) {
+	s := New()
+	ch := s.Changed()
+	select {
+	case <-ch:
+		t.Fatal("Changed fired before any publish")
+	default:
+	}
+	s.Publish(testSet("tok-one"))
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Changed did not fire on publish")
+	}
+	// Re-arm: the next channel waits for the next publish.
+	ch2 := s.Changed()
+	select {
+	case <-ch2:
+		t.Fatal("re-armed channel already closed")
+	default:
+	}
+}
+
+func TestWaitLongPoll(t *testing.T) {
+	s := New()
+	s.Publish(testSet("tok-one")) // version 1
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	// Already-newer version answers immediately.
+	v, err := c.WaitVersion(context.Background(), 0)
+	if err != nil || v != 1 {
+		t.Fatalf("WaitVersion(0) = %d, %v", v, err)
+	}
+
+	// Blocks until a publish from another goroutine.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		s.Publish(testSet("tok-two"))
+	}()
+	start := time.Now()
+	v, err = c.WaitVersion(context.Background(), 1)
+	if err != nil || v != 2 {
+		t.Fatalf("WaitVersion(1) = %d, %v", v, err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("WaitVersion returned before the publish")
+	}
+
+	// Server-side timeout returns the unchanged version.
+	resp, err := http.Get(ts.URL + "/wait?v=2&timeout=30ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "2" {
+		t.Fatalf("timed-out wait body = %q", body)
+	}
+
+	// Bad parameters are rejected.
+	for _, q := range []string{"?v=abc", "?timeout=xyz", "?timeout=-1s"} {
+		resp, err := http.Get(ts.URL + "/wait" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /wait%s = %s, want 400", q, resp.Status)
+		}
+	}
+}
+
+func TestWaitVersionNoEndpoint(t *testing.T) {
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer legacy.Close()
+	c := NewClient(legacy.URL, nil)
+	_, err := c.WaitVersion(context.Background(), 0)
+	if !errors.Is(err, ErrNoWait) {
+		t.Fatalf("err = %v, want ErrNoWait", err)
+	}
+}
+
+func TestWatchDeliversUpdates(t *testing.T) {
+	s := New()
+	s.Publish(testSet("tok-one"))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sets := make(chan *signature.Set, 8)
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Watch(ctx, time.Second, func(set *signature.Set) { sets <- set })
+	}()
+
+	first := <-sets
+	if first.Version != 1 || first.Signatures[0].Tokens[0] != "tok-one" {
+		t.Fatalf("initial delivery = %+v", first)
+	}
+	s.Publish(testSet("tok-two"))
+	select {
+	case next := <-sets:
+		if next.Version != 2 || next.Signatures[0].Tokens[0] != "tok-two" {
+			t.Fatalf("update delivery = %+v", next)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch never delivered the update")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Watch returned %v", err)
 	}
 }

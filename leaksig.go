@@ -10,11 +10,19 @@
 //	internal/distance   — the packet distance (§IV-B/C)
 //	internal/cluster    — group-average hierarchical clustering (§IV-D)
 //	internal/signature  — conjunction signature generation (§IV-E)
-//	internal/detect     — the matching engine and the paper's TP/FN/FP
+//	internal/detect     — the batch matching engine and the paper's TP/FN/FP
+//	internal/engine     — the sharded streaming engine with hot reload
 //	internal/trafficgen — the calibrated synthetic dataset (§III, §V-A)
 //	internal/eval       — every table and figure of the evaluation
 //	internal/sigserver  — signature distribution (Figure 3a)
 //	internal/flowcontrol— the on-device vetting proxy (Figure 3b)
+//
+// Detection comes in two modes. The offline mode (Detect, Evaluate)
+// scores a fully materialized capture — the paper's evaluation posture.
+// The streaming mode (NewStreamEngine, DetectStream) is the deployment
+// posture: a long-running sharded service consuming live packets, whose
+// signature set a sigserver publish hot-swaps mid-stream without a
+// restart or a dropped packet; cmd/leakstream is its daemon form.
 //
 // Quickstart:
 //
@@ -26,6 +34,7 @@ import (
 	"leaksig/internal/capture"
 	"leaksig/internal/core"
 	"leaksig/internal/detect"
+	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/sensitive"
 	"leaksig/internal/signature"
@@ -69,6 +78,31 @@ func Detect(set *SignatureSet, packets []*Packet) []bool {
 func Evaluate(set *SignatureSet, packets []*Packet, sensitiveLabels []bool, n int) Result {
 	eng := detect.NewEngine(set)
 	return detect.Evaluate(eng, capture.New(packets), sensitiveLabels, n)
+}
+
+// StreamEngine is the sharded streaming detector (see internal/engine).
+type StreamEngine = engine.Engine
+
+// StreamConfig parameterizes the streaming engine; the zero value selects
+// sensible defaults.
+type StreamConfig = engine.Config
+
+// StreamVerdict is the outcome of matching one streamed packet.
+type StreamVerdict = engine.Verdict
+
+// NewStreamEngine starts a streaming detection engine over the signature
+// set. Packets enter through Submit, verdicts leave through the
+// StreamConfig.OnVerdict callback, and Reload hot-swaps the signature set
+// mid-stream without dropping a packet.
+func NewStreamEngine(set *SignatureSet, cfg StreamConfig) *StreamEngine {
+	return engine.New(set, cfg)
+}
+
+// DetectStream runs every packet through a fresh streaming engine and
+// returns one verdict per packet in order — Detect's streaming
+// equivalent.
+func DetectStream(set *SignatureSet, packets []*Packet, cfg StreamConfig) []bool {
+	return engine.MatchSet(set, capture.New(packets), cfg)
 }
 
 // Dataset is a synthetic capture with its device and ground truth.

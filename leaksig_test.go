@@ -80,3 +80,23 @@ func TestSyntheticDatasetDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestDetectStreamParity: the streaming facade must agree verdict-for-
+// verdict with the offline facade.
+func TestDetectStreamParity(t *testing.T) {
+	ds := SyntheticDataset(11, 50, 3000)
+	sigs := GenerateSignatures(ds.SuspiciousPackets()[:80], Config{})
+	if sigs.Len() == 0 {
+		t.Fatal("no signatures")
+	}
+	batch := Detect(sigs, ds.Packets)
+	stream := DetectStream(sigs, ds.Packets, StreamConfig{Shards: 2})
+	if len(stream) != len(batch) {
+		t.Fatalf("stream returned %d verdicts, batch %d", len(stream), len(batch))
+	}
+	for i := range batch {
+		if stream[i] != batch[i] {
+			t.Fatalf("verdict[%d]: stream %v, batch %v", i, stream[i], batch[i])
+		}
+	}
+}
