@@ -9,17 +9,26 @@
 // reloads the engine on every publish, so new signatures take effect
 // mid-stream with zero dropped packets.
 //
+// With -pool the daemon becomes multi-tenant: packets are routed to
+// per-tenant engines (created lazily, evicted when idle, sharing the
+// -shard-budget) keyed by the X-Leaksig-Tenant header, the ?tenant=
+// query parameter, or each packet's app/host field per -tenant-by.
+// Verdict lines then carry a "tenant" field and /stats aggregates
+// across tenants.
+//
 // Usage:
 //
 //	leakstream -server http://127.0.0.1:8700 < capture.jsonl > verdicts.jsonl
 //	leakstream -sigs signatures.json -listen :8900
+//	leakstream -sigs signatures.json -listen :8900 -pool -tenant-by app -idle 5m
 //
 // HTTP endpoints (with -listen):
 //
 //	POST /ingest — NDJSON packets in, queued for async matching;
 //	               responds {"accepted":N,"rejected":M}
 //	POST /match  — NDJSON packets in, NDJSON verdicts out (synchronous)
-//	GET  /stats  — engine metrics snapshot as JSON
+//	GET  /stats  — engine metrics snapshot as JSON; with -pool, the
+//	               pool-wide aggregate, or one tenant via ?tenant=
 //	GET  /healthz— liveness
 package main
 
@@ -49,12 +58,22 @@ func main() {
 		server   = flag.String("server", "", "signature server base URL (hot reload via long poll)")
 		sigsIn   = flag.String("sigs", "", "signature set file (static alternative to -server)")
 		listen   = flag.String("listen", "", "HTTP ingest address (empty: stdin only)")
-		shards   = flag.Int("shards", 0, "worker shards (0: GOMAXPROCS)")
-		batch    = flag.Int("batch", 0, "packets batched per dispatch (0: default)")
+		shards   = flag.Int("shards", 0, "worker shards per engine (0: GOMAXPROCS)")
+		batch    = flag.Int("batch", 0, "initial packets batched per dispatch (0: default; adapts between min/max)")
 		queue    = flag.Int("queue", 0, "per-shard queue depth in packets (0: default)")
 		poll     = flag.Duration("poll", 10*time.Second, "fallback poll interval with -server")
 		statsInt = flag.Duration("stats", 0, "metrics reporting interval on stderr (0: off)")
 		affinity = flag.String("affinity", "host", "shard affinity: host | none")
+
+		pool        = flag.Bool("pool", false, "multi-tenant mode: one engine per tenant population")
+		tenantBy    = flag.String("tenant-by", "app", "packet field keying tenants with -pool: app | host")
+		idle        = flag.Duration("idle", 0, "evict tenants idle this long with -pool (0: never)")
+		shardBudget = flag.Int("shard-budget", 0, "total shards across tenants with -pool (0: GOMAXPROCS)")
+		// Tenant keys come from request headers and packet fields —
+		// attacker-controlled in an exposed deployment — so the cap
+		// defaults bounded: past it the least-recently-active tenant is
+		// recycled rather than goroutines growing without limit.
+		maxTenants = flag.Int("max-tenants", 1024, "live tenant cap with -pool, LRU-evicted past it (0: unlimited)")
 	)
 	flag.Parse()
 
@@ -66,6 +85,9 @@ func main() {
 		aff = engine.AffinityNone
 	default:
 		log.Fatalf("unknown affinity %q (want host or none)", *affinity)
+	}
+	if *tenantBy != "app" && *tenantBy != "host" {
+		log.Fatalf("unknown -tenant-by %q (want app or host)", *tenantBy)
 	}
 
 	set := &signature.Set{}
@@ -82,13 +104,31 @@ func main() {
 	}
 
 	out := newVerdictWriter(os.Stdout)
-	eng := engine.New(set, engine.Config{
+	cfg := engine.Config{
 		Shards:     *shards,
 		QueueDepth: *queue,
 		BatchSize:  *batch,
 		Affinity:   aff,
-		OnVerdict:  out.emit,
-	})
+	}
+
+	// The daemon fronts either one engine or a pool of them; backend
+	// abstracts the difference for ingest, reload, and stats.
+	var be backend
+	if *pool {
+		be = newPoolBackend(set, engine.PoolConfig{
+			Engine:      cfg,
+			ShardBudget: *shardBudget,
+			MaxTenants:  *maxTenants,
+			IdleAfter:   *idle,
+			ConfigureTenant: func(key string, cfg engine.Config) engine.Config {
+				cfg.OnVerdict = func(v engine.Verdict) { out.emitTenant(key, v) }
+				return cfg
+			},
+		}, *tenantBy)
+	} else {
+		cfg.OnVerdict = out.emit
+		be = &engineBackend{eng: engine.New(set, cfg)}
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -96,7 +136,7 @@ func main() {
 		client := sigserver.NewClient(*server, nil)
 		go func() {
 			err := client.Watch(ctx, *poll, func(set *signature.Set) {
-				eng.Reload(set)
+				be.reload(set)
 				log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
 			})
 			if err != nil && ctx.Err() == nil {
@@ -110,13 +150,13 @@ func main() {
 			t := time.NewTicker(*statsInt)
 			defer t.Stop()
 			for range t.C {
-				log.Print(eng.Metrics())
+				log.Print(be.statsLine())
 			}
 		}()
 	}
 
 	if *listen != "" {
-		srv := &http.Server{Addr: *listen, Handler: ingestHandler(eng, out)}
+		srv := &http.Server{Addr: *listen, Handler: ingestHandler(be)}
 		go func() {
 			log.Printf("HTTP ingest on %s (/ingest, /match, /stats, /healthz)", *listen)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -128,21 +168,124 @@ func main() {
 	// Stdin is always consumed: in pipe mode it is the packet source; in
 	// daemon mode it typically hits EOF immediately and only -listen feeds
 	// the engine.
-	accepted, rejected := streamNDJSON(os.Stdin, eng)
+	accepted, rejected := streamNDJSON(os.Stdin, be.submitter(""))
 	if *listen == "" {
-		eng.Close()
+		be.close()
 		out.flush()
-		m := eng.Metrics()
 		log.Printf("stdin done: %d accepted, %d rejected lines", accepted, rejected)
-		log.Print(m)
+		log.Print(be.statsLine())
 		return
 	}
 	select {} // daemon mode: serve until killed
 }
 
-// streamNDJSON feeds packets from one NDJSON stream into the engine.
-// Malformed or invalid lines are reported and skipped.
-func streamNDJSON(r io.Reader, eng *engine.Engine) (accepted, rejected int) {
+// backend abstracts the single-engine and multi-tenant postures for the
+// daemon's ingest, reload, and stats paths.
+type backend interface {
+	// submitter returns the queueing function for one stream. tenant is
+	// the stream-level override ("" means route per packet).
+	submitter(tenant string) func(*httpmodel.Packet) error
+	// match vets one packet synchronously and returns the matched IDs
+	// with the deciding version.
+	match(tenant string, p *httpmodel.Packet) ([]int, int64)
+	reload(set *signature.Set)
+	statsLine() string
+	// stats writes the JSON snapshot; tenant selects one tenant's view
+	// in pool mode ("" means everything). It reports whether the tenant
+	// exists.
+	stats(w io.Writer, tenant string) bool
+	close()
+}
+
+// engineBackend is the classic single-population daemon.
+type engineBackend struct{ eng *engine.Engine }
+
+func (b *engineBackend) submitter(string) func(*httpmodel.Packet) error {
+	return b.eng.Submit
+}
+
+func (b *engineBackend) match(_ string, p *httpmodel.Packet) ([]int, int64) {
+	return b.eng.MatchPacket(p), b.eng.Version()
+}
+
+func (b *engineBackend) reload(set *signature.Set) { b.eng.Reload(set) }
+func (b *engineBackend) statsLine() string         { return b.eng.Metrics().String() }
+func (b *engineBackend) close()                    { b.eng.Close() }
+
+func (b *engineBackend) stats(w io.Writer, tenant string) bool {
+	if tenant != "" {
+		return false
+	}
+	json.NewEncoder(w).Encode(b.eng.Metrics())
+	return true
+}
+
+// poolBackend is the multi-tenant daemon: one engine per population.
+type poolBackend struct {
+	pool  *engine.Pool
+	keyFn func(*httpmodel.Packet) string
+}
+
+func newPoolBackend(set *signature.Set, cfg engine.PoolConfig, tenantBy string) *poolBackend {
+	keyFn := func(p *httpmodel.Packet) string {
+		key := p.App
+		if tenantBy == "host" || key == "" {
+			key = p.Host
+		}
+		if key == "" {
+			key = "default"
+		}
+		return key
+	}
+	return &poolBackend{pool: engine.NewPool(set, cfg), keyFn: keyFn}
+}
+
+func (b *poolBackend) submitter(tenant string) func(*httpmodel.Packet) error {
+	if tenant != "" {
+		return func(p *httpmodel.Packet) error { return b.pool.Submit(tenant, p) }
+	}
+	return func(p *httpmodel.Packet) error { return b.pool.Submit(b.keyFn(p), p) }
+}
+
+func (b *poolBackend) match(tenant string, p *httpmodel.Packet) ([]int, int64) {
+	key := tenant
+	if key == "" {
+		key = b.keyFn(p)
+	}
+	eng := b.pool.Tenant(key)
+	if eng == nil {
+		return nil, 0
+	}
+	return eng.MatchPacket(p), eng.Version()
+}
+
+func (b *poolBackend) reload(set *signature.Set) { b.pool.Reload(set) }
+func (b *poolBackend) close()                    { b.pool.Close() }
+
+func (b *poolBackend) statsLine() string {
+	s := b.pool.Metrics()
+	return fmt.Sprintf("pool: tenants=%d created=%d evicted=%d shards=%d/%d in=%d out=%d matched=%d dropped=%d pps=%.0f",
+		s.Tenants, s.Created, s.Evicted, s.ShardsInUse, s.ShardBudget,
+		s.Aggregate.Ingested, s.Aggregate.Processed, s.Aggregate.Matched,
+		s.Aggregate.Dropped, s.Aggregate.PacketsPerSec)
+}
+
+func (b *poolBackend) stats(w io.Writer, tenant string) bool {
+	if tenant == "" {
+		json.NewEncoder(w).Encode(b.pool.Metrics())
+		return true
+	}
+	snap, ok := b.pool.TenantMetrics(tenant)
+	if !ok {
+		return false
+	}
+	json.NewEncoder(w).Encode(snap)
+	return true
+}
+
+// streamNDJSON feeds packets from one NDJSON stream into the submit
+// function. Malformed or invalid lines are reported and skipped.
+func streamNDJSON(r io.Reader, submit func(*httpmodel.Packet) error) (accepted, rejected int) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -161,7 +304,7 @@ func streamNDJSON(r io.Reader, eng *engine.Engine) (accepted, rejected int) {
 			rejected++
 			continue
 		}
-		if err := eng.Submit(p); err != nil {
+		if err := submit(p); err != nil {
 			log.Printf("submit: %v", err)
 			rejected++
 			continue
@@ -178,6 +321,7 @@ func streamNDJSON(r io.Reader, eng *engine.Engine) (accepted, rejected int) {
 type verdictLine struct {
 	ID        int64  `json:"id"`
 	App       string `json:"app,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
 	Host      string `json:"host"`
 	Leak      bool   `json:"leak"`
 	Matched   []int  `json:"matched,omitempty"`
@@ -229,22 +373,41 @@ func (vw *verdictWriter) emit(v engine.Verdict) {
 	vw.mu.Unlock()
 }
 
+func (vw *verdictWriter) emitTenant(tenant string, v engine.Verdict) {
+	line := toLine(v)
+	line.Tenant = tenant
+	vw.mu.Lock()
+	vw.enc.Encode(line)
+	vw.mu.Unlock()
+}
+
 func (vw *verdictWriter) flush() {
 	vw.mu.Lock()
 	vw.bw.Flush()
 	vw.mu.Unlock()
 }
 
-// ingestHandler exposes the engine over HTTP.
-func ingestHandler(eng *engine.Engine, out *verdictWriter) http.Handler {
+// tenantOf resolves the stream-level tenant override of one HTTP request:
+// the ?tenant= query parameter wins, then the X-Leaksig-Tenant header;
+// empty means route per packet.
+func tenantOf(r *http.Request) string {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return r.Header.Get("X-Leaksig-Tenant")
+}
+
+// ingestHandler exposes the backend over HTTP.
+func ingestHandler(be backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
-		accepted, rejected := streamNDJSON(r.Body, eng)
+		accepted, rejected := streamNDJSON(r.Body, be.submitter(tenantOf(r)))
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", accepted, rejected)
 	})
 	mux.HandleFunc("POST /match", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		tenant := tenantOf(r)
 		enc := json.NewEncoder(w)
 		sc := bufio.NewScanner(r.Body)
 		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -260,20 +423,23 @@ func ingestHandler(eng *engine.Engine, out *verdictWriter) http.Handler {
 				enc.Encode(map[string]string{"error": err.Error()})
 				continue
 			}
-			matched := eng.MatchPacket(p)
+			matched, version := be.match(tenant, p)
 			enc.Encode(verdictLine{
 				ID:      p.ID,
 				App:     p.App,
+				Tenant:  tenant,
 				Host:    p.Host,
 				Leak:    len(matched) > 0,
 				Matched: matched,
-				Version: eng.Version(),
+				Version: version,
 			})
 		}
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(eng.Metrics())
+		if !be.stats(w, r.URL.Query().Get("tenant")) {
+			http.Error(w, "unknown tenant", http.StatusNotFound)
+		}
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")

@@ -13,6 +13,11 @@
 // where N is the number of (sensitive) packets the signatures were
 // generated from. The N subtraction in the FP denominator is the paper's
 // own formulation and is kept literal.
+//
+// This package is the offline posture: a fully materialized capture
+// scored against an immutable compiled set. Its Engine is also the
+// matcher core the streaming side (internal/engine) compiles each hot
+// generation into.
 package detect
 
 import (

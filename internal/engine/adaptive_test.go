@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdaptiveBatchGrowsUnderBacklog wedges the single worker and keeps
+// producing: every dispatch that observes the queue at least half full
+// must double the batch target until it pins at MaxBatch.
+func TestAdaptiveBatchGrowsUnderBacklog(t *testing.T) {
+	gate := make(chan struct{})
+	e := New(tokenSet(1, "x-token"), Config{
+		Shards:     1,
+		BatchSize:  4,
+		MinBatch:   2,
+		MaxBatch:   64,
+		QueueDepth: 64, // 16 batches of the initial size
+		OnVerdict:  func(Verdict) { <-gate },
+	})
+	s := e.shards[0]
+	// Fill until the queue rejects; each accepted dispatch re-evaluates
+	// the target. TrySubmit never blocks, so a saturated queue just stops
+	// accepting.
+	for i := 0; i < 4096; i++ {
+		e.TrySubmit(pkt(int64(i), "a.example.com", "x-token"))
+	}
+	if got := int(s.target.Load()); got != 64 {
+		t.Errorf("batch target after sustained backlog = %d, want ceiling 64", got)
+	}
+	close(gate)
+	e.Close()
+}
+
+// TestAdaptiveBatchShrinksWhenDrained sends lone packets through a large
+// initial batch: every flusher dispatch of a partial batch into an empty
+// queue must halve the target until it pins at MinBatch.
+func TestAdaptiveBatchShrinksWhenDrained(t *testing.T) {
+	verdicts := make(chan Verdict, 64)
+	e := New(tokenSet(1, "x-token"), Config{
+		Shards:        1,
+		BatchSize:     64,
+		MinBatch:      4,
+		MaxBatch:      64,
+		FlushInterval: time.Millisecond,
+		OnVerdict:     func(v Verdict) { verdicts <- v },
+	})
+	defer e.Close()
+	s := e.shards[0]
+	deadline := time.After(5 * time.Second)
+	for i := 0; int(s.target.Load()) > 4; i++ {
+		if err := e.Submit(pkt(int64(i), "a.example.com", "zone=1")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-verdicts: // the flusher shipped the partial batch
+		case <-deadline:
+			t.Fatalf("batch target stuck at %d, want floor 4", s.target.Load())
+		}
+	}
+	if got := int(s.target.Load()); got < 4 {
+		t.Fatalf("batch target %d fell below the floor 4", got)
+	}
+}
+
+// TestAdaptiveBatchDisabled pins the target when MinBatch = MaxBatch =
+// BatchSize, preserving the fixed-batch behavior.
+func TestAdaptiveBatchDisabled(t *testing.T) {
+	gate := make(chan struct{})
+	e := New(tokenSet(1, "x-token"), Config{
+		Shards:     1,
+		BatchSize:  4,
+		MinBatch:   4,
+		MaxBatch:   4,
+		QueueDepth: 64,
+		OnVerdict:  func(Verdict) { <-gate },
+	})
+	for i := 0; i < 256; i++ {
+		e.TrySubmit(pkt(int64(i), "a.example.com", "x-token"))
+	}
+	if got := int(e.shards[0].target.Load()); got != 4 {
+		t.Errorf("pinned batch target moved to %d", got)
+	}
+	close(gate)
+	e.Close()
+}
+
+// TestConfigBatchBounds checks the default and clamping rules that keep
+// MinBatch <= BatchSize <= MaxBatch <= QueueDepth.
+func TestConfigBatchBounds(t *testing.T) {
+	cases := []struct {
+		in            Config
+		min, ini, max int
+	}{
+		{Config{}, 8, 64, 512},
+		{Config{BatchSize: 1, QueueDepth: 1}, 1, 1, 1},
+		{Config{BatchSize: 16, MinBatch: 32}, 32, 32, 128},
+		{Config{BatchSize: 64, MaxBatch: 32}, 8, 32, 32},
+		{Config{BatchSize: 64, QueueDepth: 128}, 8, 64, 128},
+	}
+	for _, c := range cases {
+		got := c.in.withDefaults()
+		if got.MinBatch != c.min || got.BatchSize != c.ini || got.MaxBatch != c.max {
+			t.Errorf("%+v: bounds (%d, %d, %d), want (%d, %d, %d)",
+				c.in, got.MinBatch, got.BatchSize, got.MaxBatch, c.min, c.ini, c.max)
+		}
+		if got.MinBatch > got.BatchSize || got.BatchSize > got.MaxBatch || got.MaxBatch > got.QueueDepth {
+			t.Errorf("%+v: inconsistent bounds %+v", c.in, got)
+		}
+	}
+}
+
+// TestAdaptiveBatchVerdictParity re-checks batch-vs-streaming parity with
+// aggressive adaptation, so resizing never loses or duplicates packets.
+func TestAdaptiveBatchVerdictParity(t *testing.T) {
+	set := tokenSet(1, "udid=f3a9c1d2")
+	n := 3000
+	var got atomic.Uint64
+	e := New(set, Config{
+		Shards:    2,
+		BatchSize: 8,
+		MinBatch:  1,
+		MaxBatch:  256,
+		OnVerdict: func(v Verdict) {
+			if v.Leak() {
+				got.Add(1)
+			}
+		},
+	})
+	want := 0
+	for i := 0; i < n; i++ {
+		payload := "zone=1"
+		if i%5 == 0 {
+			payload = "udid=f3a9c1d2"
+			want++
+		}
+		if err := e.Submit(pkt(int64(i), fmt.Sprintf("h%d", i%9), payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	if int(got.Load()) != want {
+		t.Fatalf("leaks under adaptive batching = %d, want %d", got.Load(), want)
+	}
+}

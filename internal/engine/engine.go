@@ -21,9 +21,27 @@
 //     generation they started with; every later batch sees the new one.
 //   - Submit blocks when a shard's queue is full (bounded backpressure);
 //     TrySubmit drops instead and counts the drop.
+//   - Batch sizes adapt to load: each shard's target doubles toward
+//     Config.MaxBatch while its queue backs up and halves toward
+//     Config.MinBatch when the flusher ships partial batches into a
+//     drained queue, trading latency for amortization only when the
+//     backlog pays for it.
+//   - Results leave through a Sink bound per shard: CallbackSink carries
+//     full verdicts, CountSink aggregates per-shard tallies without
+//     assembling a Verdict at all (the count-only fast path).
 //
-// Metrics (packets/s, match rate, queue depth, reloads, p50/p99 latency)
-// are exposed through Metrics, reusing internal/stats for the quantiles.
+// Pool stacks a multi-tenant layer on top: tenant keys (app package,
+// device cohort, destination host) map to independently configured
+// engines sharing a global shard budget, created lazily on first packet,
+// evicted when idle, each optionally pinned to a tenant-private
+// signature set — one service instance isolating many traffic
+// populations the way the paper's per-module signatures isolate ad
+// libraries (§IV-A).
+//
+// Metrics (packets/s, match rate, queue depth, batch target, reloads,
+// p50/p99 latency) are exposed through Metrics, reusing internal/stats
+// for the quantiles; Pool.Metrics aggregates across tenants, evicted
+// ones included.
 package engine
 
 import (
@@ -59,11 +77,23 @@ type Config struct {
 	// Shards is the worker count; 0 means runtime.GOMAXPROCS(0).
 	Shards int
 	// QueueDepth bounds the packets queued per shard (beyond the
-	// accumulating batch); 0 means 1024.
+	// accumulating batch); 0 means 1024. The bound is exact in batches
+	// and approximate in packets once adaptive batching grows the batch
+	// target past BatchSize.
 	QueueDepth int
-	// BatchSize is how many packets a producer accumulates per shard
-	// before dispatching to the worker; 0 means 64.
+	// BatchSize is the initial batch target: how many packets a producer
+	// accumulates per shard before dispatching to the worker; 0 means 64.
 	BatchSize int
+	// MinBatch and MaxBatch bound adaptive batch sizing. Each shard's
+	// batch target starts at BatchSize, doubles (up to MaxBatch) when a
+	// dispatch observes its queue at least half full — large batches
+	// amortize channel traffic under backlog — and halves (down to
+	// MinBatch) when the background flusher ships a partial batch into a
+	// drained queue, so light traffic gets low latency. Zero values
+	// default to BatchSize/8 and BatchSize*8 (clamped to [1, QueueDepth]);
+	// setting MinBatch = MaxBatch = BatchSize pins the batch size.
+	MinBatch int
+	MaxBatch int
 	// FlushInterval bounds how long a partial batch may linger before a
 	// background flusher dispatches it anyway; 0 means 1ms.
 	FlushInterval time.Duration
@@ -72,6 +102,11 @@ type Config struct {
 	// OnVerdict, when non-nil, receives every verdict. It is called from
 	// shard worker goroutines concurrently and must be safe for that.
 	OnVerdict func(Verdict)
+	// Sink, when non-nil, receives match results through per-shard
+	// consumers (see Sink). A count-only sink with a nil OnVerdict lets
+	// workers skip verdict assembly entirely; when both Sink and
+	// OnVerdict are set, both receive every verdict.
+	Sink Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +121,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize > c.QueueDepth {
 		c.BatchSize = c.QueueDepth
+	}
+	if c.MinBatch <= 0 {
+		c.MinBatch = c.BatchSize / 8
+	}
+	if c.MinBatch < 1 {
+		c.MinBatch = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.BatchSize * 8
+	}
+	if c.MaxBatch > c.QueueDepth {
+		c.MaxBatch = c.QueueDepth
+	}
+	if c.MinBatch > c.MaxBatch {
+		c.MinBatch = c.MaxBatch
+	}
+	if c.BatchSize < c.MinBatch {
+		c.BatchSize = c.MinBatch
+	}
+	if c.BatchSize > c.MaxBatch {
+		c.BatchSize = c.MaxBatch
 	}
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = time.Millisecond
@@ -146,9 +202,14 @@ func New(set *signature.Set, cfg Config) *Engine {
 	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = newShard(queueBatches, cfg.BatchSize)
+		s := newShard(queueBatches, cfg.BatchSize)
+		if cfg.Sink != nil {
+			s.sink = cfg.Sink.Bind(i, cfg.Shards)
+			s.countOnly = e.onVerdict == nil && s.sink.CountOnly()
+		}
+		e.shards[i] = s
 		e.wg.Add(1)
-		go e.run(e.shards[i])
+		go e.run(s)
 	}
 	go e.runFlusher()
 	return e
@@ -171,6 +232,13 @@ func (e *Engine) Version() int64 { return e.set.Load().version }
 // the engine's hot-reload semantics with inline request latency.
 func (e *Engine) MatchPacket(p *httpmodel.Packet) []int {
 	return e.set.Load().match(p)
+}
+
+// isClosed reports whether Close has begun.
+func (e *Engine) isClosed() bool {
+	e.submitMu.RLock()
+	defer e.submitMu.RUnlock()
+	return e.closed
 }
 
 // shardFor maps a packet onto its shard.
@@ -223,17 +291,19 @@ func (e *Engine) submit(p *httpmodel.Packet, block bool) bool {
 	seq := e.seq.Add(1) - 1
 	s := e.shardFor(p, seq)
 	s.mu.Lock()
-	if len(s.acc) >= e.cfg.BatchSize {
+	if target := int(s.target.Load()); len(s.acc) >= target {
 		batch := s.acc
 		if block {
-			s.acc = make([]item, 0, e.cfg.BatchSize)
+			s.acc = make([]item, 0, target)
 			s.mu.Unlock()
 			s.in <- batch // backpressure point
+			s.adapt(len(s.in), false, e.cfg)
 			s.mu.Lock()
 		} else {
 			select {
 			case s.in <- batch:
-				s.acc = make([]item, 0, e.cfg.BatchSize)
+				s.acc = make([]item, 0, target)
+				s.adapt(len(s.in), false, e.cfg)
 			default:
 				s.mu.Unlock()
 				e.dropped.Add(1)
@@ -263,7 +333,7 @@ func (e *Engine) runFlusher() {
 			return
 		case <-t.C:
 			for _, s := range e.shards {
-				s.flush(false, e.cfg.BatchSize)
+				s.flush(false, e.cfg)
 			}
 		}
 	}
@@ -280,7 +350,7 @@ func (e *Engine) Flush() {
 		return
 	}
 	for _, s := range e.shards {
-		s.flush(true, e.cfg.BatchSize)
+		s.flush(true, e.cfg)
 	}
 	e.submitMu.RUnlock()
 	target := e.ingested.Load()
@@ -311,7 +381,7 @@ func (e *Engine) Close() {
 	close(e.stopFlush)
 	<-e.flushDone
 	for _, s := range e.shards {
-		s.flush(true, e.cfg.BatchSize)
+		s.flush(true, e.cfg)
 		close(s.in)
 	}
 	e.wg.Wait()

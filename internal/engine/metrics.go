@@ -65,8 +65,9 @@ type Snapshot struct {
 	Matched   uint64 // processed packets that matched >= 1 signature
 	Dropped   uint64 // packets rejected by TrySubmit under backpressure
 
-	QueueDepth int           // packets accepted but not yet processed
-	Uptime     time.Duration // since construction
+	QueueDepth  int           // packets accepted but not yet processed
+	BatchTarget int           // mean adaptive batch target across shards
+	Uptime      time.Duration // since construction
 
 	PacketsPerSec float64 // processed / uptime
 	MatchRate     float64 // matched / processed, in [0, 1]
@@ -78,10 +79,10 @@ type Snapshot struct {
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"engine: v%d sigs=%d shards=%d reloads=%d in=%d out=%d matched=%d dropped=%d queue=%d pps=%.0f matchrate=%.4f p50=%s p99=%s",
+		"engine: v%d sigs=%d shards=%d reloads=%d in=%d out=%d matched=%d dropped=%d queue=%d batch=%d pps=%.0f matchrate=%.4f p50=%s p99=%s",
 		s.Version, s.Signatures, s.Shards, s.Reloads,
 		s.Ingested, s.Processed, s.Matched, s.Dropped,
-		s.QueueDepth, s.PacketsPerSec, s.MatchRate, s.P50, s.P99)
+		s.QueueDepth, s.BatchTarget, s.PacketsPerSec, s.MatchRate, s.P50, s.P99)
 }
 
 // Metrics assembles a snapshot from the per-shard counters. It is safe to
@@ -98,10 +99,15 @@ func (e *Engine) Metrics() Snapshot {
 		Uptime:     time.Since(e.start),
 	}
 	var lat []int
+	var targets int
 	for _, s := range e.shards {
 		snap.Processed += s.processed.Load()
 		snap.Matched += s.matched.Load()
+		targets += int(s.target.Load())
 		lat = append(lat, s.lat.samples()...)
+	}
+	if len(e.shards) > 0 {
+		snap.BatchTarget = targets / len(e.shards)
 	}
 	if pending := snap.Ingested - snap.Processed; pending <= snap.Ingested {
 		snap.QueueDepth = int(pending)

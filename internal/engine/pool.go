@@ -1,0 +1,534 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+// PoolConfig parameterizes a Pool. The zero value selects sensible
+// defaults: a GOMAXPROCS-sized shard budget, no tenant cap, and no idle
+// eviction.
+type PoolConfig struct {
+	// Engine is the per-tenant engine template. Its Shards field is a
+	// per-tenant ceiling; the pool may grant fewer when the shard budget
+	// runs low. Sink and OnVerdict apply to every tenant unless
+	// ConfigureTenant overrides them.
+	Engine Config
+
+	// ShardBudget caps the total worker goroutines across all live
+	// tenants; 0 means runtime.GOMAXPROCS(0). Tenants created after the
+	// budget is exhausted still run, degraded to one shard each, so
+	// admission never fails — the budget shapes parallelism, not
+	// availability. Evicting a tenant returns its shards to the budget.
+	ShardBudget int
+
+	// MaxTenants caps concurrently live tenants; 0 means unlimited.
+	// Creating a tenant past the cap evicts the least-recently-active
+	// one first (its queued packets drain before the new tenant starts).
+	MaxTenants int
+
+	// IdleAfter evicts tenants that have not seen a Submit, TrySubmit,
+	// MatchPacket, or ReloadTenant for this long; 0 disables idle
+	// eviction. Evicted tenants drain fully and fold their counters into
+	// the pool aggregate; a later packet for the same key transparently
+	// recreates the tenant.
+	IdleAfter time.Duration
+
+	// SweepInterval is how often the eviction janitor scans; 0 means
+	// IdleAfter/4 (floor 100ms). Ignored when IdleAfter is 0.
+	SweepInterval time.Duration
+
+	// ConfigureTenant, when non-nil, finalizes each new tenant's engine
+	// config: it receives the tenant key and the template (with the
+	// budget-granted shard count already applied) and returns the config
+	// to use. The returned Shards value is clamped to the grant.
+	ConfigureTenant func(key string, cfg Config) Config
+
+	// OnEvict, when non-nil, observes every eviction with the tenant's
+	// final drained snapshot. It runs on the evicting goroutine.
+	OnEvict func(key string, final Snapshot)
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.ShardBudget <= 0 {
+		c.ShardBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.IdleAfter > 0 && c.SweepInterval <= 0 {
+		c.SweepInterval = c.IdleAfter / 4
+		if c.SweepInterval < 100*time.Millisecond {
+			c.SweepInterval = 100 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// tenant pairs one engine with its activity clock and signature pinning.
+type tenant struct {
+	key        string
+	eng        *Engine
+	shards     int          // shards charged against the pool budget
+	lastActive atomic.Int64 // unix nanos of the most recent use
+
+	// reloadMu orders signature swaps on this tenant: pinning and
+	// pool-wide reloads both take it, so a concurrent Pool.Reload can
+	// never overwrite a just-pinned set. pinned is only read or written
+	// under it.
+	reloadMu sync.Mutex
+	pinned   bool // ReloadTenant set a tenant-specific set; pool-wide Reload skips it
+}
+
+func (t *tenant) touch() { t.lastActive.Store(time.Now().UnixNano()) }
+
+// Pool maps tenant keys — app package names, device cohorts, proxy hosts —
+// to independently configured engines sharing a global shard budget, so
+// one signature service can isolate per-population traffic the way the
+// paper's per-module signatures isolate ad libraries. Tenants are created
+// lazily on first use, evicted when idle (or least-recently-active when
+// MaxTenants overflows), and aggregated into pool-wide metrics that
+// survive eviction. Construct with NewPool; all methods are safe for
+// concurrent use.
+type Pool struct {
+	cfg PoolConfig
+
+	mu          sync.RWMutex
+	tenants     map[string]*tenant
+	set         *signature.Set // default set for new and unpinned tenants
+	shardsInUse int
+	closed      bool
+
+	created   atomic.Uint64
+	evictions atomic.Uint64
+
+	// Counters folded in from evicted tenants, so the aggregate never
+	// loses history.
+	retIngested, retProcessed, retMatched, retDropped uint64
+	retReloads                                        int64
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+	start       time.Time
+}
+
+// NewPool starts an empty pool whose tenants begin life on the signature
+// set (nil for empty).
+func NewPool(set *signature.Set, cfg PoolConfig) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:         cfg,
+		tenants:     make(map[string]*tenant),
+		set:         set,
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+		start:       time.Now(),
+	}
+	if cfg.IdleAfter > 0 {
+		go p.runJanitor()
+	} else {
+		close(p.janitorDone)
+	}
+	return p
+}
+
+// Tenant returns the engine serving key, creating it on first use. It
+// returns nil after Close. Callers that hold the engine across calls must
+// tolerate ErrClosed from Submit — an idle eviction may retire it at any
+// time — or simply route through Pool.Submit, which retries.
+func (p *Pool) Tenant(key string) *Engine {
+	p.mu.RLock()
+	t := p.tenants[key]
+	closed := p.closed
+	p.mu.RUnlock()
+	if closed {
+		return nil
+	}
+	if t != nil {
+		t.touch()
+		return t.eng
+	}
+	t = p.create(key, nil)
+	if t == nil {
+		return nil
+	}
+	return t.eng
+}
+
+// create makes (or returns the raced-in) tenant for key, charging the
+// shard budget and evicting the least-recently-active tenant when
+// MaxTenants overflows. pin, when non-nil, becomes the tenant's private
+// signature set. It returns nil only when the pool is closed.
+func (p *Pool) create(key string, pin *signature.Set) *tenant {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil
+		}
+		if t := p.tenants[key]; t != nil {
+			p.mu.Unlock()
+			if pin != nil {
+				t.pin(pin)
+			}
+			t.touch()
+			return t
+		}
+		// Over the tenant cap: evict the least-recently-active tenant,
+		// then retry — eviction drops the lock while draining.
+		if p.cfg.MaxTenants > 0 && len(p.tenants) >= p.cfg.MaxTenants {
+			victim := ""
+			oldest := int64(1<<63 - 1)
+			for k, t := range p.tenants {
+				if at := t.lastActive.Load(); at < oldest {
+					oldest, victim = at, k
+				}
+			}
+			p.mu.Unlock()
+			p.Evict(victim)
+			continue
+		}
+
+		// Reserve shards from the budget under the lock, then build the
+		// engine outside it: compiling a signature set and running the
+		// user's ConfigureTenant hook must not stall every other
+		// tenant's Submit (and the hook may itself inspect the pool).
+		grant := p.cfg.Engine.Shards
+		if grant <= 0 {
+			grant = runtime.GOMAXPROCS(0)
+		}
+		if free := p.cfg.ShardBudget - p.shardsInUse; grant > free {
+			grant = free
+		}
+		if grant < 1 {
+			grant = 1 // budget exhausted: degrade, never refuse
+		}
+		p.shardsInUse += grant
+		set := p.set
+		p.mu.Unlock()
+
+		cfg := p.cfg.Engine
+		cfg.Shards = grant
+		if p.cfg.ConfigureTenant != nil {
+			cfg = p.cfg.ConfigureTenant(key, cfg)
+			if cfg.Shards <= 0 || cfg.Shards > grant {
+				cfg.Shards = grant
+			}
+		}
+		if pin != nil {
+			set = pin
+		}
+		t := &tenant{key: key, eng: New(set, cfg), shards: cfg.Shards, pinned: pin != nil}
+		t.touch()
+
+		p.mu.Lock()
+		if refund := grant - t.shards; refund > 0 {
+			p.shardsInUse -= refund // ConfigureTenant took fewer shards
+		}
+		if p.closed || p.tenants[key] != nil {
+			// Lost the race (or the pool closed): roll back and defer to
+			// the winner, re-entering the loop so a pin still lands.
+			p.shardsInUse -= t.shards
+			p.mu.Unlock()
+			t.eng.Close()
+			if p.isClosed() {
+				return nil
+			}
+			continue
+		}
+		p.tenants[key] = t
+		p.mu.Unlock()
+		p.created.Add(1)
+		return t
+	}
+}
+
+// isClosed reports whether Close has begun.
+func (p *Pool) isClosed() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.closed
+}
+
+// pin installs a tenant-private signature set, ordered against pool-wide
+// reloads by reloadMu.
+func (t *tenant) pin(set *signature.Set) {
+	t.reloadMu.Lock()
+	t.pinned = true
+	t.eng.Reload(set)
+	t.reloadMu.Unlock()
+}
+
+// Submit queues one packet for the tenant, creating the tenant on first
+// use and blocking under that tenant's backpressure. A concurrent
+// eviction is transparent: the packet lands on the recreated tenant.
+// It returns ErrClosed only after Pool.Close.
+func (p *Pool) Submit(key string, pkt *httpmodel.Packet) error {
+	for {
+		e := p.Tenant(key)
+		if e == nil {
+			return ErrClosed
+		}
+		err := e.Submit(pkt)
+		if err == ErrClosed {
+			continue // tenant evicted between lookup and submit; recreate
+		}
+		return err
+	}
+}
+
+// TrySubmit queues one packet for the tenant without blocking, reporting
+// false when the tenant's shard is saturated or the pool is closed.
+func (p *Pool) TrySubmit(key string, pkt *httpmodel.Packet) bool {
+	for {
+		p.mu.RLock()
+		t := p.tenants[key]
+		closed := p.closed
+		p.mu.RUnlock()
+		if closed {
+			return false
+		}
+		if t == nil {
+			if t = p.create(key, nil); t == nil {
+				return false
+			}
+		}
+		t.touch()
+		if t.eng.TrySubmit(pkt) {
+			return true
+		}
+		// Saturation is a real answer; only the eviction race retries.
+		if !t.eng.isClosed() {
+			return false
+		}
+	}
+}
+
+// MatchPacket vets one packet synchronously against the tenant's live
+// signature set, creating the tenant on first use — the per-tenant form
+// of Engine.MatchPacket, and the flowcontrol pool-backend hook.
+func (p *Pool) MatchPacket(key string, pkt *httpmodel.Packet) []int {
+	e := p.Tenant(key)
+	if e == nil {
+		return nil
+	}
+	return e.MatchPacket(pkt)
+}
+
+// Reload installs the signature set as the pool-wide default: every
+// unpinned live tenant hot-reloads it, and future tenants start on it.
+// Tenants pinned by ReloadTenant keep their private sets — the pin check
+// and the swap are ordered by each tenant's reload lock, so a concurrent
+// ReloadTenant can never be overwritten by the default set.
+func (p *Pool) Reload(set *signature.Set) {
+	p.mu.Lock()
+	p.set = set
+	targets := make([]*tenant, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		targets = append(targets, t)
+	}
+	p.mu.Unlock()
+	for _, t := range targets {
+		t.reloadMu.Lock()
+		if !t.pinned {
+			t.eng.Reload(set)
+		}
+		t.reloadMu.Unlock()
+	}
+}
+
+// ReloadTenant pins a tenant-private signature set, creating the tenant
+// if needed — this is how one pool serves differently-signed populations
+// (per-app sets, per-cohort canary rollouts). Pool-wide Reload no longer
+// touches the tenant; Evict unpins it.
+func (p *Pool) ReloadTenant(key string, set *signature.Set) {
+	p.create(key, set)
+}
+
+// Evict drains and retires the tenant, folding its final counters into
+// the pool aggregate and returning its shards to the budget. It reports
+// whether the tenant existed. The tenant's queued packets are fully
+// matched (and its sinks fed) before Evict returns.
+func (p *Pool) Evict(key string) bool {
+	p.mu.Lock()
+	t := p.tenants[key]
+	if t == nil {
+		p.mu.Unlock()
+		return false
+	}
+	delete(p.tenants, key)
+	p.shardsInUse -= t.shards
+	p.mu.Unlock()
+
+	t.eng.Close() // drains every accepted packet
+	final := t.eng.Metrics()
+	p.mu.Lock()
+	p.retIngested += final.Ingested
+	p.retProcessed += final.Processed
+	p.retMatched += final.Matched
+	p.retDropped += final.Dropped
+	p.retReloads += final.Reloads
+	p.mu.Unlock()
+	p.evictions.Add(1)
+	if p.cfg.OnEvict != nil {
+		p.cfg.OnEvict(key, final)
+	}
+	return true
+}
+
+// runJanitor periodically evicts tenants idle longer than IdleAfter.
+func (p *Pool) runJanitor() {
+	defer close(p.janitorDone)
+	tick := time.NewTicker(p.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopJanitor:
+			return
+		case <-tick.C:
+			cutoff := time.Now().Add(-p.cfg.IdleAfter).UnixNano()
+			p.mu.RLock()
+			var idle []string
+			for k, t := range p.tenants {
+				if t.lastActive.Load() < cutoff {
+					idle = append(idle, k)
+				}
+			}
+			p.mu.RUnlock()
+			for _, k := range idle {
+				p.Evict(k)
+			}
+		}
+	}
+}
+
+// Tenants returns the live tenant keys in unspecified order.
+func (p *Pool) Tenants() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	keys := make([]string, 0, len(p.tenants))
+	for k := range p.tenants {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TenantMetrics returns the tenant's snapshot and whether it is live.
+func (p *Pool) TenantMetrics(key string) (Snapshot, bool) {
+	p.mu.RLock()
+	t := p.tenants[key]
+	p.mu.RUnlock()
+	if t == nil {
+		return Snapshot{}, false
+	}
+	return t.eng.Metrics(), true
+}
+
+// Flush blocks until every packet accepted so far by every live tenant
+// has been matched.
+func (p *Pool) Flush() {
+	p.mu.RLock()
+	engines := make([]*Engine, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		engines = append(engines, t.eng)
+	}
+	p.mu.RUnlock()
+	for _, e := range engines {
+		e.Flush()
+	}
+}
+
+// Close stops the janitor, drains and closes every tenant, and makes all
+// further submissions fail. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	tenants := make([]*tenant, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		tenants = append(tenants, t)
+	}
+	p.tenants = make(map[string]*tenant)
+	p.shardsInUse = 0
+	p.mu.Unlock()
+
+	close(p.stopJanitor)
+	<-p.janitorDone
+	for _, t := range tenants {
+		t.eng.Close()
+		final := t.eng.Metrics()
+		p.mu.Lock()
+		p.retIngested += final.Ingested
+		p.retProcessed += final.Processed
+		p.retMatched += final.Matched
+		p.retDropped += final.Dropped
+		p.retReloads += final.Reloads
+		p.mu.Unlock()
+	}
+}
+
+// PoolSnapshot is a point-in-time view of the pool: per-tenant engine
+// snapshots plus lifetime aggregates that include evicted tenants.
+type PoolSnapshot struct {
+	Tenants     int    // live tenants
+	Created     uint64 // tenants ever created
+	Evicted     uint64 // tenants evicted (idle, LRU, or explicit)
+	ShardBudget int    // configured global shard budget
+	ShardsInUse int    // shards charged by live tenants
+
+	// Aggregate sums counters across live and evicted tenants. Its
+	// latency quantiles are zero — per-tenant quantiles cannot be merged
+	// soundly; read them from PerTenant.
+	Aggregate Snapshot
+
+	PerTenant map[string]Snapshot
+}
+
+// Metrics assembles a pool snapshot. It is safe to call while streaming.
+func (p *Pool) Metrics() PoolSnapshot {
+	p.mu.RLock()
+	tenants := make(map[string]*tenant, len(p.tenants))
+	for k, t := range p.tenants {
+		tenants[k] = t
+	}
+	snap := PoolSnapshot{
+		Tenants:     len(tenants),
+		Created:     p.created.Load(),
+		Evicted:     p.evictions.Load(),
+		ShardBudget: p.cfg.ShardBudget,
+		ShardsInUse: p.shardsInUse,
+		PerTenant:   make(map[string]Snapshot, len(tenants)),
+		Aggregate: Snapshot{
+			Ingested:  p.retIngested,
+			Processed: p.retProcessed,
+			Matched:   p.retMatched,
+			Dropped:   p.retDropped,
+			Reloads:   p.retReloads,
+			Uptime:    time.Since(p.start),
+		},
+	}
+	p.mu.RUnlock()
+	for k, t := range tenants {
+		m := t.eng.Metrics()
+		snap.PerTenant[k] = m
+		snap.Aggregate.Shards += m.Shards
+		snap.Aggregate.Ingested += m.Ingested
+		snap.Aggregate.Processed += m.Processed
+		snap.Aggregate.Matched += m.Matched
+		snap.Aggregate.Dropped += m.Dropped
+		snap.Aggregate.Reloads += m.Reloads
+		snap.Aggregate.QueueDepth += m.QueueDepth
+	}
+	if secs := snap.Aggregate.Uptime.Seconds(); secs > 0 {
+		snap.Aggregate.PacketsPerSec = float64(snap.Aggregate.Processed) / secs
+	}
+	if snap.Aggregate.Processed > 0 {
+		snap.Aggregate.MatchRate = float64(snap.Aggregate.Matched) / float64(snap.Aggregate.Processed)
+	}
+	return snap
+}

@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolTenantIsolation(t *testing.T) {
+	p := NewPool(nil, PoolConfig{Engine: Config{Shards: 1, BatchSize: 4}})
+	defer p.Close()
+	p.ReloadTenant("app.alpha", tokenSet(1, "alpha-token"))
+	p.ReloadTenant("app.beta", tokenSet(1, "beta-token"))
+
+	// Identical traffic — carrying only the alpha token — into both
+	// tenants: a leak for alpha, invisible to beta.
+	const n = 200
+	for i := 0; i < n; i++ {
+		pk := pkt(int64(i), "tracker.example.com", "alpha-token")
+		if err := p.Submit("app.alpha", pk); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Submit("app.beta", pk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	alpha, ok := p.TenantMetrics("app.alpha")
+	if !ok || alpha.Matched != n {
+		t.Fatalf("alpha tenant matched %d of %d (live=%v)", alpha.Matched, n, ok)
+	}
+	beta, ok := p.TenantMetrics("app.beta")
+	if !ok || beta.Matched != 0 {
+		t.Fatalf("beta tenant matched %d, want 0 (live=%v)", beta.Matched, ok)
+	}
+}
+
+func TestPoolLazyCreationAndDefaultReload(t *testing.T) {
+	p := NewPool(tokenSet(1, "v1-token"), PoolConfig{Engine: Config{Shards: 1}})
+	defer p.Close()
+	if got := len(p.Tenants()); got != 0 {
+		t.Fatalf("fresh pool has %d tenants", got)
+	}
+	if m := p.MatchPacket("cohort-7", pkt(0, "a.example.com", "v1-token")); len(m) == 0 {
+		t.Fatal("lazily created tenant did not start on the pool's default set")
+	}
+	if got := len(p.Tenants()); got != 1 {
+		t.Fatalf("pool has %d tenants after first use, want 1", got)
+	}
+
+	// A pinned tenant survives pool-wide reloads; unpinned ones follow.
+	p.ReloadTenant("pinned", tokenSet(1, "pinned-token"))
+	p.Reload(tokenSet(2, "v2-token"))
+	if m := p.MatchPacket("cohort-7", pkt(0, "a.example.com", "v2-token")); len(m) == 0 {
+		t.Fatal("unpinned tenant did not follow the pool-wide reload")
+	}
+	if m := p.MatchPacket("pinned", pkt(0, "a.example.com", "pinned-token")); len(m) == 0 {
+		t.Fatal("pinned tenant lost its private set on pool-wide reload")
+	}
+	if m := p.MatchPacket("fresh", pkt(0, "a.example.com", "v2-token")); len(m) == 0 {
+		t.Fatal("tenant created after Reload did not start on the new default")
+	}
+}
+
+func TestPoolShardBudget(t *testing.T) {
+	p := NewPool(nil, PoolConfig{
+		Engine:      Config{Shards: 2, BatchSize: 4},
+		ShardBudget: 4,
+	})
+	defer p.Close()
+	for _, key := range []string{"t1", "t2", "t3"} {
+		p.Tenant(key)
+	}
+	snap := p.Metrics()
+	if snap.PerTenant["t1"].Shards != 2 || snap.PerTenant["t2"].Shards != 2 {
+		t.Fatalf("first two tenants got %d and %d shards, want 2 each",
+			snap.PerTenant["t1"].Shards, snap.PerTenant["t2"].Shards)
+	}
+	// The budget is spent: the third tenant degrades to one shard rather
+	// than being refused.
+	if snap.PerTenant["t3"].Shards != 1 {
+		t.Fatalf("over-budget tenant got %d shards, want 1", snap.PerTenant["t3"].Shards)
+	}
+
+	// Eviction returns shards to the budget: dropping t1 (2 shards) and
+	// t3 (1 degraded shard) leaves t2 alone, freeing 2 of the 4.
+	p.Evict("t1")
+	p.Evict("t3")
+	p.Tenant("t4")
+	snap = p.Metrics()
+	if snap.PerTenant["t4"].Shards != 2 {
+		t.Fatalf("tenant after eviction got %d shards, want 2 from the returned budget",
+			snap.PerTenant["t4"].Shards)
+	}
+	if snap.ShardsInUse != 4 {
+		t.Fatalf("shards in use = %d, want 4 (t2 + t4)", snap.ShardsInUse)
+	}
+}
+
+func TestPoolIdleEviction(t *testing.T) {
+	var evicted atomic.Uint64
+	var finalProcessed atomic.Uint64
+	p := NewPool(tokenSet(1, "x-token"), PoolConfig{
+		Engine:        Config{Shards: 1, BatchSize: 4},
+		IdleAfter:     50 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+		OnEvict: func(key string, final Snapshot) {
+			evicted.Add(1)
+			finalProcessed.Add(final.Processed)
+		},
+	})
+	defer p.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := p.Submit("ephemeral", pkt(int64(i), "a.example.com", "x-token")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for len(p.Tenants()) > 0 {
+		select {
+		case <-deadline:
+			t.Fatal("idle tenant never evicted")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if evicted.Load() != 1 || finalProcessed.Load() != n {
+		t.Fatalf("eviction callback: count=%d processed=%d, want 1 and %d",
+			evicted.Load(), finalProcessed.Load(), n)
+	}
+	// The retired tenant's history survives in the aggregate.
+	snap := p.Metrics()
+	if snap.Aggregate.Processed != n || snap.Aggregate.Matched != n {
+		t.Fatalf("aggregate lost evicted history: %+v", snap.Aggregate)
+	}
+	if snap.Evicted != 1 || snap.Created != 1 {
+		t.Fatalf("lifecycle counters: created=%d evicted=%d", snap.Created, snap.Evicted)
+	}
+}
+
+// TestPoolEvictionRacesIngest is the satellite stress: an aggressive
+// janitor evicting while producers hammer Submit must never lose a
+// packet — evicted tenants drain, and racing Submits recreate them.
+func TestPoolEvictionRacesIngest(t *testing.T) {
+	p := NewPool(tokenSet(1, "x-token"), PoolConfig{
+		Engine:        Config{Shards: 1, BatchSize: 2, FlushInterval: 100 * time.Microsecond},
+		IdleAfter:     time.Millisecond,
+		SweepInterval: time.Millisecond,
+	})
+	const (
+		producers  = 4
+		perFeeder  = 500
+		tenantKeys = 3
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perFeeder; i++ {
+				key := fmt.Sprintf("pop-%d", i%tenantKeys)
+				if err := p.Submit(key, pkt(int64(i), "a.example.com", "x-token")); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if i%100 == 0 {
+					time.Sleep(2 * time.Millisecond) // let idleness accrue
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Close()
+	snap := p.Metrics()
+	const want = producers * perFeeder
+	if snap.Aggregate.Ingested != want || snap.Aggregate.Processed != want {
+		t.Fatalf("lost packets across evictions: ingested=%d processed=%d, want %d",
+			snap.Aggregate.Ingested, snap.Aggregate.Processed, want)
+	}
+	if snap.Evicted == 0 {
+		t.Log("warning: no evictions fired during the race window")
+	}
+}
+
+func TestPoolMaxTenantsEvictsLRU(t *testing.T) {
+	p := NewPool(nil, PoolConfig{
+		Engine:     Config{Shards: 1},
+		MaxTenants: 2,
+	})
+	defer p.Close()
+	p.Tenant("old")
+	time.Sleep(2 * time.Millisecond)
+	p.Tenant("mid")
+	time.Sleep(2 * time.Millisecond)
+	p.Tenant("old") // refresh: "mid" is now least recently active
+	p.Tenant("new") // overflow evicts "mid"
+	keys := map[string]bool{}
+	for _, k := range p.Tenants() {
+		keys[k] = true
+	}
+	if !keys["old"] || !keys["new"] || keys["mid"] {
+		t.Fatalf("tenants after LRU overflow = %v, want {old, new}", keys)
+	}
+	if got := p.Metrics().Evicted; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(nil, PoolConfig{Engine: Config{Shards: 1}})
+	p.Tenant("x")
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Submit("x", pkt(0, "a.example.com", "q=1")); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if p.TrySubmit("x", pkt(0, "a.example.com", "q=1")) {
+		t.Fatal("TrySubmit accepted after Close")
+	}
+	if p.Tenant("x") != nil {
+		t.Fatal("Tenant returned an engine after Close")
+	}
+}
+
+// TestPoolConfigureTenant checks the per-tenant config hook sees the
+// budget-granted shard count and can attach per-tenant sinks.
+func TestPoolConfigureTenant(t *testing.T) {
+	sinks := map[string]*CountSink{}
+	var mu sync.Mutex
+	p := NewPool(tokenSet(1, "x-token"), PoolConfig{
+		Engine:      Config{Shards: 1, BatchSize: 4},
+		ShardBudget: 8,
+		ConfigureTenant: func(key string, cfg Config) Config {
+			sink := NewCountSink()
+			mu.Lock()
+			sinks[key] = sink
+			mu.Unlock()
+			cfg.Sink = sink
+			return cfg
+		},
+	})
+	defer p.Close()
+	for i := 0; i < 50; i++ {
+		if err := p.Submit("a", pkt(int64(i), "h.example.com", "x-token")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if err := p.Submit("b", pkt(int64(i), "h.example.com", "zone=1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	aPackets, aLeaks := sinks["a"].Totals()
+	bPackets, bLeaks := sinks["b"].Totals()
+	if aPackets != 50 || aLeaks != 50 {
+		t.Fatalf("tenant a sink = (%d, %d), want (50, 50)", aPackets, aLeaks)
+	}
+	if bPackets != 30 || bLeaks != 0 {
+		t.Fatalf("tenant b sink = (%d, %d), want (30, 0)", bPackets, bLeaks)
+	}
+}
+
+// TestPoolReloadPinnedRace hammers the pin-vs-pool-wide-reload ordering:
+// whatever the interleaving, a tenant pinned by ReloadTenant must end up
+// on its private set, never silently reverted to the pool default.
+func TestPoolReloadPinnedRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		p := NewPool(tokenSet(1, "default-token"), PoolConfig{Engine: Config{Shards: 1}})
+		p.Tenant("t")
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); p.Reload(tokenSet(2, "default-token")) }()
+		go func() { defer wg.Done(); p.ReloadTenant("t", tokenSet(9, "pinned-token")) }()
+		wg.Wait()
+		if m := p.MatchPacket("t", pkt(0, "h.example.com", "pinned-token")); len(m) == 0 {
+			t.Fatalf("iteration %d: pinned set lost to a concurrent pool-wide reload", i)
+		}
+		p.Close()
+	}
+}

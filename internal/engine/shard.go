@@ -24,7 +24,20 @@ type shard struct {
 	in chan []item // full batches in flight to the worker
 
 	mu  sync.Mutex
-	acc []item // accumulating batch, at most batchSize entries
+	acc []item // accumulating batch, at most the current target entries
+
+	// target is the adaptive batch size: the accumulator dispatches when
+	// it reaches this many packets. Producers double it (up to
+	// Config.MaxBatch) when a dispatch finds the queue at least half
+	// full, and the flusher halves it (down to Config.MinBatch) when a
+	// partial batch ships into a drained queue.
+	target atomic.Int32
+
+	// sink is this shard's bound consumer (nil when the engine has no
+	// sink); countOnly caches sink.CountOnly() && no OnVerdict, letting
+	// the worker skip verdict assembly per batch rather than per packet.
+	sink      ShardSink
+	countOnly bool
 
 	processed atomic.Uint64
 	matched   atomic.Uint64
@@ -32,19 +45,61 @@ type shard struct {
 }
 
 func newShard(queueBatches, batchSize int) *shard {
-	return &shard{
+	s := &shard{
 		in:  make(chan []item, queueBatches),
 		acc: make([]item, 0, batchSize),
 		lat: newLatencyRing(),
 	}
+	s.target.Store(int32(batchSize))
+	return s
+}
+
+// adapt retunes the batch target after a dispatch that observed queueLen
+// batches in flight. drained marks a flusher-driven partial dispatch into
+// an empty queue — the signal that traffic is too light to fill a batch
+// within the flush interval, so smaller batches (lower latency) win.
+// Lost updates between racing producers are harmless: both sides compute
+// from a loaded value and stay inside [MinBatch, MaxBatch].
+func (s *shard) adapt(queueLen int, drained bool, cfg Config) {
+	t := int(s.target.Load())
+	switch {
+	case drained && queueLen == 0:
+		if half := t / 2; half >= cfg.MinBatch {
+			s.target.Store(int32(half))
+		} else if t > cfg.MinBatch {
+			s.target.Store(int32(cfg.MinBatch))
+		}
+	case queueLen >= (cap(s.in)+1)/2:
+		if doubled := t * 2; doubled <= cfg.MaxBatch {
+			s.target.Store(int32(doubled))
+		} else if t < cfg.MaxBatch {
+			s.target.Store(int32(cfg.MaxBatch))
+		}
+	}
 }
 
 // run is the worker loop: drain batches until the channel closes, loading
-// the live signature generation once per batch.
+// the live signature generation once per batch. Count-only sinks take a
+// dedicated loop with no Verdict assembly at all; the full path feeds the
+// OnVerdict callback and/or the sink's Verdict method.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
 	for batch := range s.in {
 		cs := e.set.Load()
+		if s.countOnly {
+			for _, it := range batch {
+				leak := len(cs.match(it.p)) > 0
+				s.processed.Add(1)
+				if leak {
+					s.matched.Add(1)
+				}
+				if it.enq != 0 {
+					s.lat.record(time.Duration(time.Now().UnixNano() - it.enq))
+				}
+				s.sink.Count(leak)
+			}
+			continue
+		}
 		for _, it := range batch {
 			matched := cs.match(it.p)
 			s.processed.Add(1)
@@ -56,14 +111,20 @@ func (e *Engine) run(s *shard) {
 				lat = time.Duration(time.Now().UnixNano() - it.enq)
 				s.lat.record(lat)
 			}
-			if e.onVerdict != nil {
-				e.onVerdict(Verdict{
+			if e.onVerdict != nil || s.sink != nil {
+				v := Verdict{
 					Packet:  it.p,
 					Seq:     it.seq,
 					Matched: matched,
 					Version: cs.version,
 					Latency: lat,
-				})
+				}
+				if e.onVerdict != nil {
+					e.onVerdict(v)
+				}
+				if s.sink != nil {
+					s.sink.Verdict(v)
+				}
 			}
 		}
 	}
@@ -72,22 +133,31 @@ func (e *Engine) run(s *shard) {
 // flush hands the accumulating batch to the worker. When block is false a
 // full queue leaves the accumulator in place for the next flusher tick;
 // when true the send waits for the worker (the backpressure point).
-func (s *shard) flush(block bool, batchSize int) {
+func (s *shard) flush(block bool, cfg Config) {
 	s.mu.Lock()
 	if len(s.acc) == 0 {
 		s.mu.Unlock()
 		return
 	}
 	batch := s.acc
+	target := int(s.target.Load())
+	partial := len(batch) < target
 	if block {
-		s.acc = make([]item, 0, batchSize)
+		s.acc = make([]item, 0, target)
 		s.mu.Unlock()
 		s.in <- batch
 		return
 	}
+	// Occupancy is sampled before the send: a partial batch shipped into
+	// an already-empty queue is the light-traffic signal that shrinks the
+	// batch target.
+	qlen := len(s.in)
 	select {
 	case s.in <- batch:
-		s.acc = make([]item, 0, batchSize)
+		s.acc = make([]item, 0, target)
+		if partial {
+			s.adapt(qlen, true, cfg)
+		}
 	default:
 		// Queue full: the worker is saturated; retry on the next tick.
 	}

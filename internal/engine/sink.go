@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sink receives match results from the engine's shard workers. Bind is
+// called once per shard at engine construction, before any packet flows,
+// so an implementation can hand every worker private state — aggregation
+// then happens at snapshot time, never on the hot path.
+//
+// Two implementations ship with the package: CallbackSink adapts a
+// per-verdict function (the Config.OnVerdict behavior), and CountSink
+// aggregates counters without ever assembling a Verdict, which is the
+// fastest way to answer "how much of this population leaks" when nobody
+// consumes individual verdicts.
+type Sink interface {
+	// Bind returns shard i's private consumer (0 <= i < shards). It is
+	// called sequentially during New, once per shard.
+	Bind(shard, shards int) ShardSink
+}
+
+// ShardSink is one shard's verdict consumer. Exactly one of Count or
+// Verdict fires per packet: when CountOnly reports true (sampled once at
+// bind time) the worker skips Verdict assembly entirely and calls Count;
+// otherwise it builds the full Verdict and calls Verdict. Count runs on
+// the shard's worker goroutine only; Verdict may race with other shards'
+// Verdict calls when the implementation shares state across shards.
+type ShardSink interface {
+	// CountOnly reports whether this shard's worker may take the
+	// count-only fast path. The engine reads it once at construction.
+	CountOnly() bool
+	// Count records one processed packet on the fast path; leak reports
+	// whether it matched at least one signature.
+	Count(leak bool)
+	// Verdict receives one fully assembled verdict on the slow path.
+	Verdict(v Verdict)
+}
+
+// CallbackSink adapts a per-verdict function to the Sink interface —
+// the sink form of Config.OnVerdict. The function is shared by every
+// shard and must be safe for concurrent use.
+func CallbackSink(fn func(Verdict)) Sink { return callbackSink{fn} }
+
+type callbackSink struct{ fn func(Verdict) }
+
+func (s callbackSink) Bind(shard, shards int) ShardSink { return s }
+func (s callbackSink) CountOnly() bool                  { return false }
+func (s callbackSink) Count(bool)                       {}
+func (s callbackSink) Verdict(v Verdict)                { s.fn(v) }
+
+// countShardPad sizes the padding that keeps each shard's counters on
+// their own cache line, so concurrent shards never write-share a line.
+const countShardPad = 64
+
+// CountSink is the count-only aggregation sink: per-shard packet and leak
+// tallies with no verdict assembly, no callback indirection, and no
+// cross-shard contention on the hot path. Construct with NewCountSink,
+// pass as Config.Sink, and read the aggregate with Totals. One CountSink
+// may back several engines (e.g. as a Pool's template sink), in which
+// case Totals spans all of them; same-index shards then share a slot,
+// which stays correct because the counters are atomic.
+type CountSink struct {
+	mu     sync.Mutex // serializes Bind growth
+	shards atomic.Pointer[[]*countShard]
+}
+
+type countShard struct {
+	packets atomic.Uint64
+	leaks   atomic.Uint64
+	_       [countShardPad - 16]byte
+}
+
+// NewCountSink returns an empty count sink ready to be bound.
+func NewCountSink() *CountSink { return &CountSink{} }
+
+// Bind implements Sink.
+func (c *CountSink) Bind(shard, shards int) ShardSink {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var cur []*countShard
+	if p := c.shards.Load(); p != nil {
+		cur = *p
+	}
+	if len(cur) <= shard {
+		grown := make([]*countShard, shards)
+		copy(grown, cur)
+		for i := len(cur); i < len(grown); i++ {
+			grown[i] = new(countShard)
+		}
+		c.shards.Store(&grown)
+		cur = grown
+	}
+	return (*countShardSink)(cur[shard])
+}
+
+// Totals returns the packets processed and the packets that matched at
+// least one signature, summed across shards. It is safe to call while
+// streaming; the two numbers are each internally consistent but may lag
+// one another by in-flight packets.
+func (c *CountSink) Totals() (packets, leaks uint64) {
+	if p := c.shards.Load(); p != nil {
+		for _, s := range *p {
+			packets += s.packets.Load()
+			leaks += s.leaks.Load()
+		}
+	}
+	return packets, leaks
+}
+
+// countShardSink is one shard's slot, viewed through the ShardSink
+// interface.
+type countShardSink countShard
+
+func (s *countShardSink) CountOnly() bool { return true }
+
+func (s *countShardSink) Count(leak bool) {
+	s.packets.Add(1)
+	if leak {
+		s.leaks.Add(1)
+	}
+}
+
+func (s *countShardSink) Verdict(v Verdict) { s.Count(v.Leak()) }

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// sinkWorkload streams n packets, every third a leak, through an engine
+// built by mk and returns it closed.
+func sinkWorkload(t *testing.T, n int, cfg Config) *Engine {
+	t.Helper()
+	e := New(tokenSet(1, "udid=f3a9c1d2"), cfg)
+	for i := 0; i < n; i++ {
+		payload := "zone=1"
+		if i%3 == 0 {
+			payload = "udid=f3a9c1d2"
+		}
+		if err := e.Submit(pkt(int64(i), fmt.Sprintf("h%d.example.com", i%11), payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	return e
+}
+
+func TestCountSinkTotals(t *testing.T) {
+	const n = 900
+	sink := NewCountSink()
+	e := sinkWorkload(t, n, Config{Shards: 4, BatchSize: 16, Sink: sink})
+	packets, leaks := sink.Totals()
+	if packets != n {
+		t.Fatalf("count sink saw %d packets, want %d", packets, n)
+	}
+	if want := uint64(n / 3); leaks != want {
+		t.Fatalf("count sink saw %d leaks, want %d", leaks, want)
+	}
+	m := e.Metrics()
+	if m.Processed != packets || m.Matched != leaks {
+		t.Fatalf("sink totals (%d, %d) disagree with metrics (%d, %d)",
+			packets, leaks, m.Processed, m.Matched)
+	}
+	// No OnVerdict and a count-only sink: every shard took the fast path.
+	for i, s := range e.shards {
+		if !s.countOnly {
+			t.Errorf("shard %d not on the count-only fast path", i)
+		}
+	}
+}
+
+func TestCallbackSinkMatchesOnVerdict(t *testing.T) {
+	const n = 600
+	var viaSink, viaCallback atomic.Uint64
+	sinkWorkload(t, n, Config{Shards: 2, BatchSize: 8,
+		Sink: CallbackSink(func(v Verdict) {
+			if v.Leak() {
+				viaSink.Add(1)
+			}
+		})})
+	sinkWorkload(t, n, Config{Shards: 2, BatchSize: 8,
+		OnVerdict: func(v Verdict) {
+			if v.Leak() {
+				viaCallback.Add(1)
+			}
+		}})
+	if viaSink.Load() != viaCallback.Load() || viaSink.Load() != n/3 {
+		t.Fatalf("CallbackSink saw %d leaks, OnVerdict saw %d, want %d",
+			viaSink.Load(), viaCallback.Load(), n/3)
+	}
+}
+
+// TestSinkAndCallbackBothFire checks that configuring both delivery paths
+// feeds both, which forces the full-verdict path even for a count-only
+// sink.
+func TestSinkAndCallbackBothFire(t *testing.T) {
+	const n = 300
+	sink := NewCountSink()
+	var callbacks atomic.Uint64
+	e := sinkWorkload(t, n, Config{Shards: 2, BatchSize: 8,
+		Sink:      sink,
+		OnVerdict: func(Verdict) { callbacks.Add(1) },
+	})
+	packets, _ := sink.Totals()
+	if packets != n || callbacks.Load() != n {
+		t.Fatalf("sink saw %d, callback saw %d, want %d each", packets, callbacks.Load(), n)
+	}
+	for i, s := range e.shards {
+		if s.countOnly {
+			t.Errorf("shard %d took the count-only path despite OnVerdict", i)
+		}
+	}
+}
+
+// TestCountSinkSharedAcrossEngines is the pool-template scenario: one sink
+// bound by two engines with different shard counts aggregates both.
+func TestCountSinkSharedAcrossEngines(t *testing.T) {
+	sink := NewCountSink()
+	mk := func(shards, n int) {
+		e := New(tokenSet(1, "udid=f3a9c1d2"), Config{Shards: shards, BatchSize: 4, Sink: sink})
+		for i := 0; i < n; i++ {
+			if err := e.Submit(pkt(int64(i), "a.example.com", "udid=f3a9c1d2")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Close()
+	}
+	mk(1, 100)
+	mk(4, 200)
+	packets, leaks := sink.Totals()
+	if packets != 300 || leaks != 300 {
+		t.Fatalf("shared sink totals = (%d, %d), want (300, 300)", packets, leaks)
+	}
+}

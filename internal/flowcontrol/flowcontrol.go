@@ -11,6 +11,12 @@
 // subjected to a policy (allow / block / prompt); every decision lands in
 // an audit log, giving the user exactly the per-transmission control the
 // paper argues Android lacks (§III-A).
+//
+// Matching is delegated through the swappable Backend interface: a batch
+// detect.Engine for a static set, a streaming engine.Engine for sharded
+// hot reload, or — via NewPoolBackend — a multi-tenant engine.Pool that
+// vets each destination host (or app) against its own population's
+// signature set.
 package flowcontrol
 
 import (

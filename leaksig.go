@@ -105,6 +105,46 @@ func DetectStream(set *SignatureSet, packets []*Packet, cfg StreamConfig) []bool
 	return engine.MatchSet(set, capture.New(packets), cfg)
 }
 
+// Pool is the multi-tenant streaming layer: one engine per tenant key
+// (app package, device cohort, destination host) sharing a global shard
+// budget, with lazy creation, idle eviction, and pool-wide aggregated
+// metrics (see internal/engine).
+type Pool = engine.Pool
+
+// PoolConfig parameterizes NewPool; the zero value selects sensible
+// defaults.
+type PoolConfig = engine.PoolConfig
+
+// PoolSnapshot is a point-in-time view of a pool's tenants and lifetime
+// aggregates.
+type PoolSnapshot = engine.PoolSnapshot
+
+// NewPool starts an empty multi-tenant pool whose tenants begin life on
+// the signature set (nil for empty). Route packets with Pool.Submit, pin
+// per-tenant sets with Pool.ReloadTenant, and roll the shared default
+// with Pool.Reload.
+func NewPool(set *SignatureSet, cfg PoolConfig) *Pool {
+	return engine.NewPool(set, cfg)
+}
+
+// Sink is the streaming engine's per-shard result consumer interface;
+// ShardSink is one shard's bound consumer.
+type Sink = engine.Sink
+
+// ShardSink is one shard's private verdict consumer (see engine.Sink).
+type ShardSink = engine.ShardSink
+
+// CountSink aggregates packet and leak tallies without assembling
+// verdicts — the fastest streaming posture when only totals matter.
+type CountSink = engine.CountSink
+
+// NewCountSink returns an empty count-only aggregation sink; pass it as
+// StreamConfig.Sink and read totals with CountSink.Totals.
+func NewCountSink() *CountSink { return engine.NewCountSink() }
+
+// CallbackSink adapts a per-verdict function to the Sink interface.
+func CallbackSink(fn func(StreamVerdict)) Sink { return engine.CallbackSink(fn) }
+
 // Dataset is a synthetic capture with its device and ground truth.
 type Dataset struct {
 	Packets   []*Packet

@@ -100,3 +100,56 @@ func TestDetectStreamParity(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadePoolAndSink smoke-tests the multi-tenant and count-only
+// facade surface: two tenants with private signature sets stay isolated,
+// and a count sink agrees with the callback path.
+func TestFacadePoolAndSink(t *testing.T) {
+	ds := SyntheticDataset(5, 50, 3000)
+	sigs := GenerateSignatures(ds.SuspiciousPackets()[:80], Config{})
+	if sigs.Len() == 0 {
+		t.Fatal("no signatures")
+	}
+
+	pool := NewPool(nil, PoolConfig{Engine: StreamConfig{Shards: 2}})
+	defer pool.Close()
+	pool.ReloadTenant("signed", sigs)
+	// Tenant "unsigned" stays on the pool default (empty set).
+	var want int
+	for i, p := range ds.Packets {
+		if ds.Sensitive[i] {
+			want++
+		}
+		if err := pool.Submit("signed", p); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Submit("unsigned", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Flush()
+	signed, ok := pool.TenantMetrics("signed")
+	if !ok || signed.Matched == 0 {
+		t.Fatalf("signed tenant matched %d packets (live=%v)", signed.Matched, ok)
+	}
+	unsigned, ok := pool.TenantMetrics("unsigned")
+	if !ok || unsigned.Matched != 0 {
+		t.Fatalf("unsigned tenant matched %d packets, want 0 (live=%v)", unsigned.Matched, ok)
+	}
+
+	sink := NewCountSink()
+	eng := NewStreamEngine(sigs, StreamConfig{Shards: 2, Sink: sink})
+	for _, p := range ds.Packets {
+		if err := eng.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Close()
+	packets, leaks := sink.Totals()
+	if packets != uint64(len(ds.Packets)) {
+		t.Fatalf("count sink saw %d packets, want %d", packets, len(ds.Packets))
+	}
+	if leaks != signed.Matched {
+		t.Fatalf("count sink saw %d leaks, signed tenant matched %d", leaks, signed.Matched)
+	}
+}
