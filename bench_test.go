@@ -25,6 +25,7 @@ import (
 	"leaksig/internal/eval"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/ncd"
+	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 	"leaksig/internal/trafficgen"
 	"leaksig/internal/whois"
@@ -526,4 +527,70 @@ func BenchmarkPoolMultiTenant(b *testing.B) {
 			b.ReportMetric(float64(tenants), "tenants")
 		})
 	}
+}
+
+// --- Online signature generation benchmarks ---------------------------------
+
+// BenchmarkSiggenIntake measures the learner's intake hot path — the
+// per-miss cost an engine shard pays to feed online generation: the
+// verdict filter, the non-blocking channel offer, and (on the intake
+// goroutine) the per-tenant reservoir admission.
+func BenchmarkSiggenIntake(b *testing.B) {
+	ps := benchPackets(512)
+	for _, tenants := range []int{1, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			svc := siggen.NewService(siggen.Config{
+				IntakeDepth:         1 << 16,
+				MaxTenantReservoirs: tenants,
+			})
+			defer svc.Close()
+			sinks := make([]engine.ShardSink, tenants)
+			for i := range sinks {
+				sinks[i] = svc.MissSinkFor(fmt.Sprintf("tenant-%d", i)).Bind(0, 1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinks[i%tenants].Verdict(engine.Verdict{Packet: ps[i%len(ps)]})
+			}
+			b.StopTimer()
+			st := svc.Stats()
+			b.ReportMetric(float64(st.SinkDropped)/float64(b.N)*100, "dropped%")
+		})
+	}
+}
+
+// BenchmarkIncrementalCluster measures the rolling clusterer's Observe
+// path — one packet assigned against every live medoid — at the cluster
+// table sizes a learner actually runs with, plus the periodic Compact.
+func BenchmarkIncrementalCluster(b *testing.B) {
+	ps := benchPackets(2048)
+	for _, maxClusters := range []int{8, 32, 64} {
+		b.Run(fmt.Sprintf("observe/maxClusters=%d", maxClusters), func(b *testing.B) {
+			c := siggen.NewClusterer(siggen.ClusterConfig{MaxClusters: maxClusters}, 1)
+			// Warm the table so every observed packet pays the full scan.
+			for _, p := range ps[:256] {
+				c.Observe(p)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Observe(ps[i%len(ps)])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.Len()), "clusters")
+		})
+	}
+	b.Run("compact/maxClusters=32", func(b *testing.B) {
+		c := siggen.NewClusterer(siggen.ClusterConfig{MaxClusters: 32}, 1)
+		for _, p := range ps[:512] {
+			c.Observe(p)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Keep clusters alive across compactions so every epoch does
+			// real merge/election work.
+			c.Observe(ps[i%len(ps)])
+			c.Compact()
+		}
+	})
 }

@@ -4,21 +4,36 @@
 // against the signature set, blocking or logging transmissions of
 // sensitive information.
 //
+// Vetting runs through a streaming engine backend, so the proxy shares
+// the engine's telemetry (inline vets land in the SyncVetted/SyncMatched
+// counters of the periodic stats line) and its hot-reload path: with
+// -server, a sigserver watch swaps the compiled set atomically on every
+// publish. With -learn, requests that match nothing — exactly the flows
+// the current signatures cannot explain — are forwarded in batches to a
+// siggend intake, feeding the online generation loop that will publish
+// the signatures this proxy later enforces.
+//
 // Usage:
 //
 //	flowproxy -addr :8080 -sigs signatures.json -policy block
 //	flowproxy -addr :8080 -server http://sigserver:8700 -refresh 30s
+//	flowproxy -addr :8080 -server http://sigserver:8700 -learn http://siggend:8810
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
+	"leaksig/internal/engine"
 	"leaksig/internal/flowcontrol"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/signature"
@@ -29,11 +44,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowproxy: ")
 	var (
-		addr    = flag.String("addr", ":8080", "proxy listen address")
-		sigsIn  = flag.String("sigs", "", "signature set file (static)")
-		server  = flag.String("server", "", "signature server base URL (dynamic)")
-		refresh = flag.Duration("refresh", 30*time.Second, "poll interval with -server")
-		policy  = flag.String("policy", "block", "block | log (log allows but records)")
+		addr       = flag.String("addr", ":8080", "proxy listen address")
+		sigsIn     = flag.String("sigs", "", "signature set file (static)")
+		server     = flag.String("server", "", "signature server base URL (dynamic)")
+		refresh    = flag.Duration("refresh", 30*time.Second, "poll interval with -server")
+		policy     = flag.String("policy", "block", "block | log (log allows but records)")
+		learn      = flag.String("learn", "", "siggend base URL; unmatched flows are forwarded to its /observe intake")
+		learnToken = flag.String("learn-token", "", "bearer token for the siggend /observe intake")
 	)
 	flag.Parse()
 
@@ -65,7 +82,17 @@ func main() {
 		log.Fatalf("unknown policy %q", *policy)
 	}
 
-	proxy := flowcontrol.NewProxy(set, pol, nil)
+	// The engine backend gives the proxy sharded compilation, atomic hot
+	// reload, and shared telemetry; its worker shards stay idle (vetting
+	// is inline via MatchPacket), costing only parked goroutines.
+	eng := engine.New(set, engine.Config{Shards: 1})
+	var be flowcontrol.Backend = eng
+	var fwd *missForwarder
+	if *learn != "" {
+		fwd = newMissForwarder(*learn, *learnToken)
+		be = flowcontrol.NewObservedBackend(eng, fwd.offer)
+	}
+	proxy := flowcontrol.NewProxyWith(be, pol, nil)
 	fmt.Printf("flow control proxy on %s with %d signatures (policy: %s)\n",
 		*addr, set.Len(), *policy)
 
@@ -76,7 +103,7 @@ func main() {
 			// land within one round trip; -refresh only bounds the retry
 			// and fallback cadence.
 			err := client.Watch(context.Background(), *refresh, func(newSet *signature.Set) {
-				proxy.SetSignatures(newSet)
+				eng.Reload(newSet)
 				log.Printf("signatures updated: %d entries, version %d", newSet.Len(), newSet.Version)
 			})
 			log.Printf("signature watch ended: %v", err)
@@ -87,11 +114,120 @@ func main() {
 		ticker := time.NewTicker(time.Minute)
 		for range ticker.C {
 			allowed, blocked := proxy.Stats()
-			log.Printf("stats: %d allowed, %d blocked", allowed, blocked)
+			m := eng.Metrics()
+			line := fmt.Sprintf("stats: %d allowed, %d blocked; engine v%d sigs=%d reloads=%d vetted=%d matched=%d",
+				allowed, blocked, m.Version, m.Signatures, m.Reloads, m.SyncVetted, m.SyncMatched)
+			if fwd != nil {
+				sent, dropped := fwd.stats()
+				line += fmt.Sprintf("; learn fwd=%d dropped=%d", sent, dropped)
+			}
+			log.Print(line)
 		}
 	}()
 
 	if err := http.ListenAndServe(*addr, proxy); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// missForwarder batches unmatched packets and ships them to a siggend
+// /observe intake. The offer path is one non-blocking channel send, so a
+// slow or absent learner never adds latency to proxied requests; the
+// shipping side carries its own HTTP timeout so a hung learner costs one
+// failed batch, never a wedged forwarder.
+type missForwarder struct {
+	ch      chan *httpmodel.Packet
+	url     string
+	token   string
+	hc      *http.Client
+	sent    atomic.Int64
+	dropped atomic.Int64
+}
+
+// forwarderBatch bounds one POST; forwarderLinger bounds how long a
+// partial batch waits before shipping anyway; forwarderTimeout bounds
+// one POST round trip.
+const (
+	forwarderBatch   = 64
+	forwarderLinger  = 500 * time.Millisecond
+	forwarderTimeout = 10 * time.Second
+)
+
+func newMissForwarder(base, token string) *missForwarder {
+	f := &missForwarder{
+		ch:    make(chan *httpmodel.Packet, 1024),
+		url:   base + "/observe",
+		token: token,
+		hc:    &http.Client{Timeout: forwarderTimeout},
+	}
+	go f.run()
+	return f
+}
+
+func (f *missForwarder) offer(p *httpmodel.Packet) {
+	select {
+	case f.ch <- p:
+	default:
+		f.dropped.Add(1)
+	}
+}
+
+func (f *missForwarder) stats() (sent, dropped int64) {
+	return f.sent.Load(), f.dropped.Load()
+}
+
+func (f *missForwarder) run() {
+	t := time.NewTicker(forwarderLinger)
+	defer t.Stop()
+	batch := make([]*httpmodel.Packet, 0, forwarderBatch)
+	ship := func() {
+		if len(batch) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, p := range batch {
+			enc.Encode(p)
+		}
+		req, err := http.NewRequest(http.MethodPost, f.url, &buf)
+		if err != nil {
+			log.Printf("learn forward: %v", err)
+			f.dropped.Add(int64(len(batch)))
+			batch = batch[:0]
+			return
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		if f.token != "" {
+			req.Header.Set("Authorization", "Bearer "+f.token)
+		}
+		resp, err := f.hc.Do(req)
+		switch {
+		case err != nil:
+			log.Printf("learn forward: %v", err)
+			f.dropped.Add(int64(len(batch)))
+		default:
+			// Drain before closing so the connection returns to the
+			// keep-alive pool instead of being torn down per batch.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				log.Printf("learn forward: %s", resp.Status)
+				f.dropped.Add(int64(len(batch)))
+			} else {
+				f.sent.Add(int64(len(batch)))
+			}
+		}
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case p := <-f.ch:
+			batch = append(batch, p)
+			if len(batch) >= forwarderBatch {
+				ship()
+			}
+		case <-t.C:
+			ship()
+		}
 	}
 }

@@ -16,11 +16,20 @@
 // Verdict lines then carry a "tenant" field and /stats aggregates
 // across tenants.
 //
+// With -learn the daemon closes the generation loop: every packet the
+// live signature set does not match is sampled into an embedded siggen
+// learner, which periodically clusters the misses, distills candidate
+// signatures, and auto-publishes accepted sets back to -server — the
+// very server this daemon watches, so its own engine (and every other
+// watcher) hot-reloads what it just learned. In pipe mode a final learn
+// epoch runs at stdin EOF before exit.
+//
 // Usage:
 //
 //	leakstream -server http://127.0.0.1:8700 < capture.jsonl > verdicts.jsonl
 //	leakstream -sigs signatures.json -listen :8900
 //	leakstream -sigs signatures.json -listen :8900 -pool -tenant-by app -idle 5m
+//	leakstream -server http://127.0.0.1:8700 -learn < capture.jsonl > verdicts.jsonl
 //
 // HTTP endpoints (with -listen):
 //
@@ -45,8 +54,10 @@ import (
 	"sync"
 	"time"
 
+	"leaksig/internal/capture"
 	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
@@ -74,6 +85,12 @@ func main() {
 		// defaults bounded: past it the least-recently-active tenant is
 		// recycled rather than goroutines growing without limit.
 		maxTenants = flag.Int("max-tenants", 1024, "live tenant cap with -pool, LRU-evicted past it (0: unlimited)")
+
+		learn           = flag.Bool("learn", false, "sample unmatched flows into an online signature generator publishing back to -server")
+		learnInterval   = flag.Duration("learn-interval", 30*time.Second, "generation epoch cadence with -learn")
+		learnBenign     = flag.String("learn-benign", "", "benign capture (JSONL) for the -learn Bayes and FP gates")
+		learnMinCluster = flag.Int("learn-min-cluster", 3, "cluster size a -learn signature needs")
+		learnToken      = flag.String("learn-token", "", "bearer token for the -learn publish endpoint")
 	)
 	flag.Parse()
 
@@ -111,6 +128,35 @@ func main() {
 		Affinity:   aff,
 	}
 
+	// With -learn, an embedded siggen service samples every miss and
+	// auto-publishes generated sets back into the watched server: the
+	// closed detect → cluster → generate → publish → hot-reload loop in
+	// one process.
+	var svc *siggen.Service
+	if *learn {
+		if *server == "" {
+			log.Fatal("-learn requires -server (generated sets publish back to it)")
+		}
+		var benign []*httpmodel.Packet
+		if *learnBenign != "" {
+			bset, err := capture.LoadJSONL(*learnBenign)
+			if err != nil {
+				log.Fatalf("loading -learn-benign capture: %v", err)
+			}
+			benign = bset.Packets
+		}
+		svc = siggen.NewService(siggen.Config{
+			Publisher:        siggen.NewHTTPPublisher(*server, *learnToken),
+			Benign:           benign,
+			MinClusterSize:   *learnMinCluster,
+			GenerateInterval: *learnInterval,
+			OnPublish: func(set *signature.Set) {
+				log.Printf("learn: published version %d (%d signatures)", set.Version, set.Len())
+			},
+		})
+		defer svc.Close()
+	}
+
 	// The daemon fronts either one engine or a pool of them; backend
 	// abstracts the difference for ingest, reload, and stats.
 	var be backend
@@ -122,11 +168,17 @@ func main() {
 			IdleAfter:   *idle,
 			ConfigureTenant: func(key string, cfg engine.Config) engine.Config {
 				cfg.OnVerdict = func(v engine.Verdict) { out.emitTenant(key, v) }
+				if svc != nil {
+					cfg.Sink = svc.MissSinkFor(key)
+				}
 				return cfg
 			},
 		}, *tenantBy)
 	} else {
 		cfg.OnVerdict = out.emit
+		if svc != nil {
+			cfg.Sink = svc.MissSink()
+		}
 		be = &engineBackend{eng: engine.New(set, cfg)}
 	}
 
@@ -170,8 +222,19 @@ func main() {
 	// the engine.
 	accepted, rejected := streamNDJSON(os.Stdin, be.submitter(""))
 	if *listen == "" {
+		// Closing the backend drains every queued packet through the
+		// matcher — and, with -learn, through the miss sink — so the
+		// final learn epoch below sees the complete stream.
 		be.close()
 		out.flush()
+		if svc != nil {
+			set, err := svc.RunEpoch(ctx)
+			if err != nil {
+				log.Printf("learn: final epoch: %v", err)
+			} else if set == nil {
+				log.Printf("learn: final epoch published nothing")
+			}
+		}
 		log.Printf("stdin done: %d accepted, %d rejected lines", accepted, rejected)
 		log.Print(be.statsLine())
 		return

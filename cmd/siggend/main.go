@@ -1,0 +1,220 @@
+// Command siggend is the online signature-generation daemon: the server
+// half of the paper's Figure 3(a) run as a live loop instead of a
+// one-shot pipeline. It ingests suspect flows (misses forwarded by
+// leakstream, flowproxy, or any NDJSON producer), maintains rolling
+// clusters over a bounded per-tenant sample, distills conjunction
+// signatures gated by a Bayes model and a held-out benign corpus, and
+// auto-publishes accepted sets to a sigserver — which every watching
+// engine hot-reloads. No manual leakgen/leakcluster invocation remains
+// in the loop.
+//
+// Usage:
+//
+//	siggend -server http://127.0.0.1:8700 -listen :8810 -interval 30s
+//	siggend -server http://127.0.0.1:8700 -benign benign.jsonl < misses.jsonl
+//
+// Packets enter as NDJSON on stdin (pipe mode: a final epoch runs at
+// EOF, then the daemon exits unless -listen is set) and/or over HTTP:
+//
+//	POST /observe — NDJSON packets in, offered to the learner;
+//	                responds {"observed":N,"dropped":M}
+//	GET  /stats   — learner statistics as JSON
+//	GET  /healthz — liveness
+//
+// /observe is a write path into fleet signature generation: whoever can
+// reach it influences what the learner clusters and ultimately
+// publishes. Without -observe-token, bind -listen to loopback (or front
+// it with an authenticating proxy) — the same exposure rule as
+// sigserver's /publish.
+package main
+
+import (
+	"bufio"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"leaksig/internal/capture"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/siggen"
+	"leaksig/internal/signature"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("siggend: ")
+	var (
+		server   = flag.String("server", "", "sigserver base URL to auto-publish into (empty: generate only, log what would publish)")
+		token    = flag.String("token", "", "bearer token for the publish endpoint")
+		listen   = flag.String("listen", "", "HTTP intake address (empty: stdin only)")
+		obsToken = flag.String("observe-token", "", "bearer token required on POST /observe (empty: unauthenticated — keep -listen on loopback)")
+		interval = flag.Duration("interval", 30*time.Second, "generation epoch cadence (0: only the final stdin epoch)")
+		benignIn = flag.String("benign", "", "benign capture (JSONL) for the Bayes and held-out FP gates")
+		tenantBy = flag.String("tenant-by", "app", "reservoir tenant key: app | host | none")
+
+		reservoir   = flag.Int("reservoir", 256, "per-tenant reservoir size")
+		maxTenants  = flag.Int("max-tenants", 64, "tenants with private reservoirs; the rest share one")
+		maxClusters = flag.Int("max-clusters", 64, "rolling cluster table size")
+		maxMembers  = flag.Int("max-members", 64, "member window per cluster")
+		minCluster  = flag.Int("min-cluster", 3, "members a cluster needs before emitting a signature")
+		join        = flag.Float64("join", 0.22, "cluster join threshold as a fraction of the metric maximum")
+		maxFP       = flag.Float64("max-fp", 0.01, "held-out benign fraction a signature may match")
+		minSamples  = flag.Int("min-samples", 8, "new samples required before a timed epoch generates")
+		seed        = flag.Int64("seed", 1, "sampling seed")
+		statsInt    = flag.Duration("stats", 0, "stats reporting interval on stderr (0: off)")
+	)
+	flag.Parse()
+
+	var benign []*httpmodel.Packet
+	if *benignIn != "" {
+		set, err := capture.LoadJSONL(*benignIn)
+		if err != nil {
+			log.Fatalf("loading benign capture: %v", err)
+		}
+		benign = set.Packets
+		log.Printf("benign corpus: %d packets (half train, half held out)", len(benign))
+	}
+
+	var keyFn func(*httpmodel.Packet) string
+	switch *tenantBy {
+	case "app":
+		keyFn = func(p *httpmodel.Packet) string { return p.App }
+	case "host":
+		keyFn = func(p *httpmodel.Packet) string { return p.Host }
+	case "none":
+		keyFn = func(*httpmodel.Packet) string { return "" }
+	default:
+		log.Fatalf("unknown -tenant-by %q (want app, host, or none)", *tenantBy)
+	}
+
+	cfg := siggen.Config{
+		Cluster: siggen.ClusterConfig{
+			JoinFraction: *join,
+			MaxClusters:  *maxClusters,
+			MaxMembers:   *maxMembers,
+		},
+		ReservoirSize:       *reservoir,
+		MaxTenantReservoirs: *maxTenants,
+		MinClusterSize:      *minCluster,
+		Benign:              benign,
+		MaxHoldoutFP:        *maxFP,
+		GenerateInterval:    *interval,
+		MinNewSamples:       *minSamples,
+		Seed:                *seed,
+		OnPublish: func(set *signature.Set) {
+			log.Printf("published version %d: %d signatures", set.Version, set.Len())
+		},
+	}
+	if *server != "" {
+		cfg.Publisher = siggen.NewHTTPPublisher(*server, *token)
+	}
+	svc := siggen.NewService(cfg)
+	defer svc.Close()
+
+	if *statsInt > 0 {
+		go func() {
+			t := time.NewTicker(*statsInt)
+			defer t.Stop()
+			for range t.C {
+				st := svc.Stats()
+				log.Printf("stats: observed=%d sampled=%d dropped=%d clusters=%d members=%d epochs=%d publishes=%d v=%d",
+					st.Observed, st.Sampled, st.SinkDropped, st.Clusters,
+					st.ClusterMembers, st.Epochs, st.Publishes, st.LastVersion)
+			}
+		}()
+	}
+
+	if *listen != "" {
+		srv := &http.Server{Addr: *listen, Handler: handler(svc, keyFn, *obsToken)}
+		go func() {
+			log.Printf("HTTP intake on %s (/observe, /stats, /healthz)", *listen)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	observed, dropped := observeNDJSON(os.Stdin, svc, keyFn)
+	if *listen == "" {
+		set, err := svc.RunEpoch(context.Background())
+		if err != nil {
+			log.Printf("final epoch: %v", err)
+		}
+		switch {
+		case set != nil && cfg.Publisher != nil:
+			log.Printf("final epoch published version %d (%d signatures)", set.Version, set.Len())
+		case set != nil:
+			log.Printf("final epoch generated %d signatures (no -server; not published)", set.Len())
+		default:
+			log.Printf("final epoch published nothing")
+		}
+		log.Printf("stdin done: %d observed, %d dropped/filtered", observed, dropped)
+		return
+	}
+	select {} // daemon mode: serve until killed
+}
+
+// observeNDJSON offers every NDJSON packet on r to the learner.
+func observeNDJSON(r io.Reader, svc *siggen.Service, keyFn func(*httpmodel.Packet) string) (observed, dropped int) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		p := new(httpmodel.Packet)
+		if err := json.Unmarshal(line, p); err != nil {
+			log.Printf("skipping malformed packet line: %v", err)
+			dropped++
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			log.Printf("skipping invalid packet: %v", err)
+			dropped++
+			continue
+		}
+		if svc.Observe(keyFn(p), p) {
+			observed++
+		} else {
+			dropped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Printf("reading stdin: %v", err)
+	}
+	return observed, dropped
+}
+
+// handler exposes the learner over HTTP. A non-empty obsToken requires
+// `Authorization: Bearer <token>` on the intake, since /observe shapes
+// what the fleet will eventually enforce.
+func handler(svc *siggen.Service, keyFn func(*httpmodel.Packet) string, obsToken string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		if obsToken != "" {
+			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+obsToken)) != 1 {
+				http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+				return
+			}
+		}
+		observed, dropped := observeNDJSON(r.Body, svc, keyFn)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"observed":%d,"dropped":%d}`+"\n", observed, dropped)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(svc.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	return mux
+}

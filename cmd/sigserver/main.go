@@ -1,14 +1,22 @@
 // Command sigserver serves a signature set over HTTP — the distribution
 // half of the paper's Figure 3(a). Devices running flowproxy or
 // leakstream watch it for updates; a new set can be published into the
-// running server through the admin endpoint, and every long-poll watcher
-// picks the rollover up within one round trip.
+// running server through the publish endpoint, and every long-poll
+// watcher picks the rollover up within one round trip.
 //
 // Usage:
 //
 //	sigserver -addr :8700 -sigs signatures.json -token S3CRET
+//	sigserver -addr 127.0.0.1:8700          # start empty; siggend/leakstream -learn fill it
 //	curl -X POST -H 'Authorization: Bearer S3CRET' \
 //	     --data-binary @new.json http://127.0.0.1:8700/publish
+//
+// A publish whose body carries a non-zero "version" engages the
+// strict-increase guard: versions at or below the current one are
+// rejected with 409 Conflict (and counted in GET /stats as
+// publishes_rejected), so a stale or looping auto-publisher can never
+// roll the fleet backwards. A zero version auto-bumps, preserving the
+// manual curl workflow.
 //
 // Without -token the publish endpoint is open: bind -addr to loopback
 // (or front it with an authenticating proxy) before exposing the
@@ -17,7 +25,6 @@
 package main
 
 import (
-	"crypto/subtle"
 	"flag"
 	"fmt"
 	"log"
@@ -33,46 +40,32 @@ func main() {
 	log.SetPrefix("sigserver: ")
 	var (
 		addr   = flag.String("addr", ":8700", "listen address")
-		sigsIn = flag.String("sigs", "signatures.json", "signature set to publish")
+		sigsIn = flag.String("sigs", "", "signature set to publish at startup (empty: start empty at version 0)")
 		token  = flag.String("token", "", "bearer token required on POST /publish (empty: unauthenticated)")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*sigsIn)
-	if err != nil {
-		log.Fatalf("opening signatures: %v", err)
-	}
-	set, err := signature.ReadJSON(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("reading signatures: %v", err)
-	}
-
 	srv := sigserver.New()
 	srv.OnPublish(func(v int64) { log.Printf("published version %d", v) })
-	version := srv.Publish(set)
-	fmt.Printf("published %d signatures as version %d\n", set.Len(), version)
 
-	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
-	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
-		if *token != "" {
-			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+*token)) != 1 {
-				http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
-				return
-			}
-		}
-		newSet, err := signature.ReadJSON(r.Body)
+	if *sigsIn != "" {
+		f, err := os.Open(*sigsIn)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
-			return
+			log.Fatalf("opening signatures: %v", err)
 		}
-		v := srv.Publish(newSet)
-		fmt.Fprintf(w, "%d\n", v)
-	})
+		set, err := signature.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading signatures: %v", err)
+		}
+		version := srv.Publish(set)
+		fmt.Printf("published %d signatures as version %d\n", set.Len(), version)
+	} else {
+		fmt.Println("starting empty at version 0 (publish to fill)")
+	}
 
-	fmt.Printf("serving on %s (GET /signatures, /version, /wait, /healthz; POST /publish)\n", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	fmt.Printf("serving on %s (GET /signatures, /version, /wait, /stats, /healthz; POST /publish)\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.HandlerWithPublish(*token)); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -22,7 +22,9 @@ import (
 	"leaksig/internal/core"
 	"leaksig/internal/detect"
 	"leaksig/internal/engine"
+	"leaksig/internal/httpmodel"
 	"leaksig/internal/sensitive"
+	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 	"leaksig/internal/trafficgen"
@@ -250,6 +252,143 @@ func TestStreamingPipeline(t *testing.T) {
 	m := eng.Metrics()
 	if m.Reloads < 2 || m.Version != 2 {
 		t.Errorf("engine metrics after rollover: reloads=%d version=%d", m.Reloads, m.Version)
+	}
+	cancel()
+	<-watchDone
+}
+
+// TestClosedLoopOnlineGeneration is the acceptance test for the online
+// generation subsystem: an engine starts on an EMPTY signature set, a
+// leaking trace streams through it (every packet a miss), and the siggen
+// learner — fed only by the engine's miss sink, publishing over the
+// sigserver HTTP API, with the engine hot-reloading via Watch — must
+// close the loop so that a replay of the same trace is flagged. No
+// leakgen/leakcluster invocation anywhere.
+func TestClosedLoopOnlineGeneration(t *testing.T) {
+	ds := trafficgen.Generate(trafficgen.Config{Seed: 44, NumApps: 60, TotalPackets: 5000})
+	oracle := sensitive.NewOracle(ds.Device)
+	leaking := ds.Capture.Filter(oracle.IsSensitive)
+	benign := ds.Capture.Filter(func(p *httpmodel.Packet) bool { return !oracle.IsSensitive(p) })
+	if leaking.Len() == 0 || benign.Len() == 0 {
+		t.Fatal("degenerate dataset")
+	}
+	trace := leaking.Sample(rand.New(rand.NewSource(3)), 250).Packets
+	benignCorpus := benign.Sample(rand.New(rand.NewSource(4)), 300).Packets
+
+	// Distribution server over real HTTP, publish endpoint mounted.
+	srv := sigserver.New()
+	ts := httptest.NewServer(srv.HandlerWithPublish(""))
+	defer ts.Close()
+
+	// The learner, publishing through the HTTP API like cmd/siggend.
+	learner := siggen.NewService(siggen.Config{
+		Publisher:      siggen.NewHTTPPublisher(ts.URL, ""),
+		Benign:         benignCorpus,
+		MinClusterSize: 2,
+		MaxHoldoutFP:   0.02,
+		Cluster:        siggen.ClusterConfig{MaxClusters: 32},
+	})
+	defer learner.Close()
+
+	// The engine: empty set, miss sink into the learner, verdict counts
+	// by version for the replay assertion.
+	var mu sync.Mutex
+	leaksByVersion := map[int64]int{}
+	eng := engine.New(nil, engine.Config{
+		Shards: 2,
+		Sink:   learner.MissSink(),
+		OnVerdict: func(v engine.Verdict) {
+			if v.Leak() {
+				mu.Lock()
+				leaksByVersion[v.Version]++
+				mu.Unlock()
+			}
+		},
+	})
+	defer eng.Close()
+
+	// The engine watches the same server the learner publishes into.
+	client := sigserver.NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		client.Watch(ctx, 50*time.Millisecond, func(set *signature.Set) { eng.Reload(set) })
+	}()
+
+	// Pass 1: the leaking trace against the empty set — all misses, all
+	// sampled by the learner.
+	for _, p := range trace {
+		if err := eng.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	mu.Lock()
+	if len(leaksByVersion) != 0 {
+		mu.Unlock()
+		t.Fatal("empty set produced leak verdicts")
+	}
+	mu.Unlock()
+
+	// One learner epoch: cluster, distill, publish.
+	published, err := learner.RunEpoch(ctx)
+	if err != nil {
+		t.Fatalf("learn epoch: %v", err)
+	}
+	if published == nil || published.Len() == 0 {
+		t.Fatalf("learner published nothing; stats %+v", learner.Stats())
+	}
+	if _, v := srv.Current(); v != published.Version {
+		t.Fatalf("server at %d, published %d", v, published.Version)
+	}
+
+	// The engine must hot-reload the generated set via its watch.
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Version() != published.Version {
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never reloaded to version %d (at %d)", published.Version, eng.Version())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Pass 2: replay the same trace; the learned signatures must flag it.
+	for _, p := range trace {
+		if err := eng.Submit(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	mu.Lock()
+	flagged := leaksByVersion[published.Version]
+	mu.Unlock()
+	if flagged == 0 {
+		t.Fatalf("replay of the leaking trace was not flagged; published %d signatures, stats %+v",
+			published.Len(), learner.Stats())
+	}
+	t.Logf("closed loop: %d signatures published as v%d; replay flagged %d/%d packets",
+		published.Len(), published.Version, flagged, len(trace))
+
+	// The learned set must not blanket-match benign traffic.
+	benignHits := 0
+	for _, p := range benignCorpus {
+		if len(eng.MatchPacket(p)) > 0 {
+			benignHits++
+		}
+	}
+	if frac := float64(benignHits) / float64(len(benignCorpus)); frac > 0.10 {
+		t.Errorf("learned set matches %.0f%% of benign traffic", frac*100)
+	}
+
+	// Stale-publish guard: replaying the published version must bounce
+	// without disturbing the server.
+	stale := &signature.Set{Version: published.Version}
+	if _, err := srv.PublishVersioned(stale); err == nil {
+		t.Fatal("stale publish was accepted")
+	}
+	if st := srv.Stats(); st.PublishesRejected == 0 {
+		t.Fatal("rejection not counted")
 	}
 	cancel()
 	<-watchDone

@@ -175,6 +175,12 @@ type Engine struct {
 	dropped  atomic.Uint64
 	reloads  atomic.Int64
 
+	// Synchronous-vet counters: MatchPacket bypasses the queue, so the
+	// shard counters never see it; these make inline consumers (the
+	// flowcontrol proxy) share the engine's telemetry.
+	syncVetted  atomic.Uint64
+	syncMatched atomic.Uint64
+
 	submitMu sync.RWMutex // closed check vs Close
 	closed   bool
 
@@ -229,9 +235,15 @@ func (e *Engine) Version() int64 { return e.set.Load().version }
 
 // MatchPacket vets one packet synchronously against the live set,
 // bypassing the queue. This is the flowcontrol backend hook: a proxy gets
-// the engine's hot-reload semantics with inline request latency.
+// the engine's hot-reload semantics with inline request latency, and its
+// verdicts land in the SyncVetted/SyncMatched telemetry.
 func (e *Engine) MatchPacket(p *httpmodel.Packet) []int {
-	return e.set.Load().match(p)
+	m := e.set.Load().match(p)
+	e.syncVetted.Add(1)
+	if len(m) > 0 {
+		e.syncMatched.Add(1)
+	}
+	return m
 }
 
 // isClosed reports whether Close has begun.

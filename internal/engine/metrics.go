@@ -65,6 +65,9 @@ type Snapshot struct {
 	Matched   uint64 // processed packets that matched >= 1 signature
 	Dropped   uint64 // packets rejected by TrySubmit under backpressure
 
+	SyncVetted  uint64 // packets vetted inline via MatchPacket (proxy path)
+	SyncMatched uint64 // inline vets that matched >= 1 signature
+
 	QueueDepth  int           // packets accepted but not yet processed
 	BatchTarget int           // mean adaptive batch target across shards
 	Uptime      time.Duration // since construction
@@ -79,9 +82,10 @@ type Snapshot struct {
 // String renders the snapshot as one log-friendly line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"engine: v%d sigs=%d shards=%d reloads=%d in=%d out=%d matched=%d dropped=%d queue=%d batch=%d pps=%.0f matchrate=%.4f p50=%s p99=%s",
+		"engine: v%d sigs=%d shards=%d reloads=%d in=%d out=%d matched=%d dropped=%d sync=%d/%d queue=%d batch=%d pps=%.0f matchrate=%.4f p50=%s p99=%s",
 		s.Version, s.Signatures, s.Shards, s.Reloads,
 		s.Ingested, s.Processed, s.Matched, s.Dropped,
+		s.SyncMatched, s.SyncVetted,
 		s.QueueDepth, s.BatchTarget, s.PacketsPerSec, s.MatchRate, s.P50, s.P99)
 }
 
@@ -90,13 +94,15 @@ func (s Snapshot) String() string {
 func (e *Engine) Metrics() Snapshot {
 	cs := e.set.Load()
 	snap := Snapshot{
-		Shards:     len(e.shards),
-		Version:    cs.version,
-		Signatures: cs.sigs,
-		Reloads:    e.reloads.Load(),
-		Ingested:   e.ingested.Load(),
-		Dropped:    e.dropped.Load(),
-		Uptime:     time.Since(e.start),
+		Shards:      len(e.shards),
+		Version:     cs.version,
+		Signatures:  cs.sigs,
+		Reloads:     e.reloads.Load(),
+		Ingested:    e.ingested.Load(),
+		Dropped:     e.dropped.Load(),
+		SyncVetted:  e.syncVetted.Load(),
+		SyncMatched: e.syncMatched.Load(),
+		Uptime:      time.Since(e.start),
 	}
 	var lat []int
 	var targets int

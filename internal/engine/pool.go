@@ -107,6 +107,7 @@ type Pool struct {
 	// Counters folded in from evicted tenants, so the aggregate never
 	// loses history.
 	retIngested, retProcessed, retMatched, retDropped uint64
+	retSyncVetted, retSyncMatched                     uint64
 	retReloads                                        int64
 
 	stopJanitor chan struct{}
@@ -369,6 +370,8 @@ func (p *Pool) Evict(key string) bool {
 	p.retProcessed += final.Processed
 	p.retMatched += final.Matched
 	p.retDropped += final.Dropped
+	p.retSyncVetted += final.SyncVetted
+	p.retSyncMatched += final.SyncMatched
 	p.retReloads += final.Reloads
 	p.mu.Unlock()
 	p.evictions.Add(1)
@@ -467,6 +470,8 @@ func (p *Pool) Close() {
 		p.retProcessed += final.Processed
 		p.retMatched += final.Matched
 		p.retDropped += final.Dropped
+		p.retSyncVetted += final.SyncVetted
+		p.retSyncMatched += final.SyncMatched
 		p.retReloads += final.Reloads
 		p.mu.Unlock()
 	}
@@ -504,12 +509,14 @@ func (p *Pool) Metrics() PoolSnapshot {
 		ShardsInUse: p.shardsInUse,
 		PerTenant:   make(map[string]Snapshot, len(tenants)),
 		Aggregate: Snapshot{
-			Ingested:  p.retIngested,
-			Processed: p.retProcessed,
-			Matched:   p.retMatched,
-			Dropped:   p.retDropped,
-			Reloads:   p.retReloads,
-			Uptime:    time.Since(p.start),
+			Ingested:    p.retIngested,
+			Processed:   p.retProcessed,
+			Matched:     p.retMatched,
+			Dropped:     p.retDropped,
+			SyncVetted:  p.retSyncVetted,
+			SyncMatched: p.retSyncMatched,
+			Reloads:     p.retReloads,
+			Uptime:      time.Since(p.start),
 		},
 	}
 	p.mu.RUnlock()
@@ -521,6 +528,8 @@ func (p *Pool) Metrics() PoolSnapshot {
 		snap.Aggregate.Processed += m.Processed
 		snap.Aggregate.Matched += m.Matched
 		snap.Aggregate.Dropped += m.Dropped
+		snap.Aggregate.SyncVetted += m.SyncVetted
+		snap.Aggregate.SyncMatched += m.SyncMatched
 		snap.Aggregate.Reloads += m.Reloads
 		snap.Aggregate.QueueDepth += m.QueueDepth
 	}

@@ -118,8 +118,11 @@ func TestPoolIdleEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Wait on the eviction callback, not the tenant map: the map entry
+	// disappears before the drain completes, so map emptiness races the
+	// final counters.
 	deadline := time.After(5 * time.Second)
-	for len(p.Tenants()) > 0 {
+	for evicted.Load() == 0 {
 		select {
 		case <-deadline:
 			t.Fatal("idle tenant never evicted")
@@ -279,5 +282,83 @@ func TestPoolReloadPinnedRace(t *testing.T) {
 			t.Fatalf("iteration %d: pinned set lost to a concurrent pool-wide reload", i)
 		}
 		p.Close()
+	}
+}
+
+// TestPoolEvictDrainsSinkBeforeRetiring pins the contract the siggen
+// miss sink depends on: when a tenant is evicted, every packet it
+// accepted must flow through its bound sink before Evict returns —
+// otherwise the learner would silently lose the tail of an evicted
+// population's sample.
+func TestPoolEvictDrainsSinkBeforeRetiring(t *testing.T) {
+	const n = 400
+	var seen atomic.Uint64
+	sink := CallbackSink(func(v Verdict) {
+		if v.Seq%64 == 0 {
+			time.Sleep(200 * time.Microsecond) // keep the queue non-empty
+		}
+		seen.Add(1)
+	})
+	p := NewPool(nil, PoolConfig{Engine: Config{Shards: 2, BatchSize: 4, Sink: sink}})
+	defer p.Close()
+	for i := 0; i < n; i++ {
+		if err := p.Submit("victim", pkt(int64(i), "host.example.com", "zone=1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Evict("victim") {
+		t.Fatal("tenant missing")
+	}
+	if got := seen.Load(); got != n {
+		t.Fatalf("sink saw %d of %d packets when Evict returned", got, n)
+	}
+}
+
+// TestPoolEvictRacesSinkFlush hammers eviction against concurrent
+// submitters: whatever interleaving happens, once the pool is closed the
+// sink must have seen every accepted packet exactly once.
+func TestPoolEvictRacesSinkFlush(t *testing.T) {
+	var seen atomic.Uint64
+	sink := CallbackSink(func(Verdict) { seen.Add(1) })
+	p := NewPool(nil, PoolConfig{Engine: Config{Shards: 1, BatchSize: 4, Sink: sink}})
+
+	const (
+		workers    = 4
+		perWorker  = 300
+		evictEvery = 50 * time.Microsecond
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	evictorDone := make(chan struct{})
+	go func() { // the evictor
+		defer close(evictorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Evict("victim")
+				time.Sleep(evictEvery)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := p.Submit("victim", pkt(int64(w*perWorker+i), "host.example.com", "zone=1")); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-evictorDone
+	p.Close()
+	if got := seen.Load(); got != workers*perWorker {
+		t.Fatalf("sink saw %d packets, want %d (lost across eviction)", got, workers*perWorker)
 	}
 }

@@ -50,6 +50,54 @@ func (s callbackSink) CountOnly() bool                  { return false }
 func (s callbackSink) Count(bool)                       {}
 func (s callbackSink) Verdict(v Verdict)                { s.fn(v) }
 
+// TeeSink fans every result out to several sinks — e.g. a CountSink for
+// cheap totals plus a siggen miss sink feeding the online signature
+// generator. The tee takes the count-only fast path only when every
+// child does; otherwise verdicts are assembled once and every child's
+// Verdict sees them.
+func TeeSink(sinks ...Sink) Sink {
+	switch len(sinks) {
+	case 0:
+		return nil
+	case 1:
+		return sinks[0]
+	}
+	return teeSink(sinks)
+}
+
+type teeSink []Sink
+
+func (t teeSink) Bind(shard, shards int) ShardSink {
+	bound := make(teeShardSink, len(t))
+	for i, s := range t {
+		bound[i] = s.Bind(shard, shards)
+	}
+	return bound
+}
+
+type teeShardSink []ShardSink
+
+func (t teeShardSink) CountOnly() bool {
+	for _, s := range t {
+		if !s.CountOnly() {
+			return false
+		}
+	}
+	return true
+}
+
+func (t teeShardSink) Count(leak bool) {
+	for _, s := range t {
+		s.Count(leak)
+	}
+}
+
+func (t teeShardSink) Verdict(v Verdict) {
+	for _, s := range t {
+		s.Verdict(v)
+	}
+}
+
 // countShardPad sizes the padding that keeps each shard's counters on
 // their own cache line, so concurrent shards never write-share a line.
 const countShardPad = 64

@@ -111,3 +111,52 @@ func TestCountSinkSharedAcrossEngines(t *testing.T) {
 		t.Fatalf("shared sink totals = (%d, %d), want (300, 300)", packets, leaks)
 	}
 }
+
+func TestTeeSinkFansOut(t *testing.T) {
+	const n = 600
+	count := NewCountSink()
+	var cb atomic.Uint64
+	sinkWorkload(t, n, Config{Shards: 2, BatchSize: 8,
+		Sink: TeeSink(count, CallbackSink(func(v Verdict) {
+			if v.Leak() {
+				cb.Add(1)
+			}
+		}))})
+	packets, leaks := count.Totals()
+	if packets != n || leaks != n/3 {
+		t.Fatalf("count side saw (%d, %d), want (%d, %d)", packets, leaks, n, n/3)
+	}
+	if cb.Load() != n/3 {
+		t.Fatalf("callback side saw %d leaks, want %d", cb.Load(), n/3)
+	}
+}
+
+func TestTeeSinkCountOnlyOnlyWhenAllChildrenAre(t *testing.T) {
+	countA, countB := NewCountSink(), NewCountSink()
+	if !TeeSink(countA, countB).Bind(0, 1).CountOnly() {
+		t.Fatal("tee of count-only sinks should be count-only")
+	}
+	if TeeSink(countA, CallbackSink(func(Verdict) {})).Bind(0, 1).CountOnly() {
+		t.Fatal("tee with a verdict consumer must not be count-only")
+	}
+	if TeeSink() != nil {
+		t.Fatal("empty tee should be nil")
+	}
+	if TeeSink(countA) != Sink(countA) {
+		t.Fatal("single-child tee should unwrap")
+	}
+}
+
+func TestMatchPacketSyncTelemetry(t *testing.T) {
+	e := New(tokenSet(1, "udid=f3a9c1d2"), Config{Shards: 1})
+	defer e.Close()
+	e.MatchPacket(pkt(1, "a.example.com", "udid=f3a9c1d2"))
+	e.MatchPacket(pkt(2, "a.example.com", "zone=1"))
+	m := e.Metrics()
+	if m.SyncVetted != 2 || m.SyncMatched != 1 {
+		t.Fatalf("sync telemetry = %d/%d, want 2/1", m.SyncMatched, m.SyncVetted)
+	}
+	if m.Ingested != 0 || m.Processed != 0 {
+		t.Fatalf("inline vets must not touch the stream counters: %+v", m)
+	}
+}

@@ -1,0 +1,295 @@
+package siggen
+
+import (
+	"math/rand"
+
+	"leaksig/internal/cluster"
+	"leaksig/internal/distance"
+	"leaksig/internal/httpmodel"
+)
+
+// ClusterConfig tunes the incremental clusterer. The zero value selects
+// the defaults noted on each field.
+type ClusterConfig struct {
+	// Distance configures the packet metric (§IV-B/C) used for both the
+	// arrival assignment and the epoch compaction.
+	Distance distance.Config
+
+	// JoinFraction positions the assignment threshold as a fraction of
+	// the metric's maximum value, mirroring core.Config.CutFraction so an
+	// online cluster corresponds to a flat cut of the offline dendrogram
+	// at the same height. Default 0.22.
+	JoinFraction float64
+
+	// MaxClusters bounds the live cluster count; an arrival farther than
+	// the join threshold from every medoid when the table is full is
+	// dropped (and counted). Default 64.
+	MaxClusters int
+
+	// MaxMembers bounds each cluster's member list; past it, new arrivals
+	// overwrite the oldest member ring-buffer style, so a long-lived
+	// cluster tracks its population's recent shape. Default 64.
+	MaxMembers int
+
+	// ElectSample caps both the candidate and reference sets of the
+	// medoid election (the member minimizing summed distance to a sample
+	// of its peers), keeping elections O(ElectSample²) instead of
+	// O(members²). Default 16.
+	ElectSample int
+
+	// StaleEpochs drops clusters that saw no arrival for this many
+	// compaction epochs — the forgetting half of "rolling". Default 8.
+	StaleEpochs int
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.JoinFraction == 0 {
+		c.JoinFraction = 0.22
+	}
+	if c.MaxClusters <= 0 {
+		c.MaxClusters = 64
+	}
+	if c.MaxMembers <= 0 {
+		c.MaxMembers = 64
+	}
+	if c.ElectSample <= 0 {
+		c.ElectSample = 16
+	}
+	if c.StaleEpochs <= 0 {
+		c.StaleEpochs = 8
+	}
+	return c
+}
+
+// rolling is one live cluster: a bounded member window around an elected
+// medoid.
+type rolling struct {
+	members   []*httpmodel.Packet
+	next      int // ring cursor once members is full
+	medoid    *httpmodel.Packet
+	lastEpoch int // compaction epoch of the most recent arrival
+}
+
+// add appends the packet, overwriting the oldest member once the window
+// is full.
+func (r *rolling) add(p *httpmodel.Packet, maxMembers int) {
+	if len(r.members) < maxMembers {
+		r.members = append(r.members, p)
+		return
+	}
+	r.members[r.next] = p
+	r.next = (r.next + 1) % len(r.members)
+}
+
+// Clusterer maintains rolling clusters over an unbounded packet stream —
+// the online counterpart of cluster.Agglomerate. Arrivals are assigned to
+// the nearest medoid when it lies within the join threshold (updating
+// that cluster in place) and seed a new cluster otherwise; Compact runs
+// periodically, re-electing medoids, merging clusters whose medoids
+// agglomerate below the threshold (reusing the offline nearest-neighbor
+// chain over the medoid matrix), and pruning clusters gone stale. Not
+// safe for concurrent use; the siggen Service serializes access.
+type Clusterer struct {
+	cfg    ClusterConfig
+	metric *distance.Metric
+	joinAt float64
+	rng    *rand.Rand
+
+	clusters []*rolling
+	epoch    int
+
+	observed uint64
+	rejected uint64 // arrivals dropped: table full and nothing close enough
+}
+
+// NewClusterer builds an empty clusterer. seed fixes the medoid-election
+// sampling so runs are reproducible.
+func NewClusterer(cfg ClusterConfig, seed int64) *Clusterer {
+	cfg = cfg.withDefaults()
+	m := distance.New(cfg.Distance)
+	return &Clusterer{
+		cfg:    cfg,
+		metric: m,
+		joinAt: cfg.JoinFraction * m.MaxValue(),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Metric exposes the configured packet metric.
+func (c *Clusterer) Metric() *distance.Metric { return c.metric }
+
+// Observe assigns one packet: join the nearest cluster within the
+// threshold, else seed a new cluster, else (table full) drop. It reports
+// whether the packet was retained.
+func (c *Clusterer) Observe(p *httpmodel.Packet) bool {
+	c.observed++
+	best, bestD := -1, 0.0
+	for i, cl := range c.clusters {
+		d := c.metric.Packet(p, cl.medoid)
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best >= 0 && bestD <= c.joinAt {
+		cl := c.clusters[best]
+		cl.add(p, c.cfg.MaxMembers)
+		cl.lastEpoch = c.epoch
+		return true
+	}
+	if len(c.clusters) < c.cfg.MaxClusters {
+		c.clusters = append(c.clusters, &rolling{
+			members:   []*httpmodel.Packet{p},
+			medoid:    p,
+			lastEpoch: c.epoch,
+		})
+		return true
+	}
+	c.rejected++
+	return false
+}
+
+// electMedoid picks the member minimizing summed distance to a sampled
+// reference set, over a sampled candidate set.
+func (c *Clusterer) electMedoid(r *rolling) {
+	n := len(r.members)
+	if n <= 2 {
+		r.medoid = r.members[0]
+		return
+	}
+	candidates := c.sampleMembers(r, c.cfg.ElectSample)
+	refs := c.sampleMembers(r, c.cfg.ElectSample)
+	best, bestSum := r.medoid, -1.0
+	for _, cand := range candidates {
+		sum := 0.0
+		for _, ref := range refs {
+			if ref != cand {
+				sum += c.metric.Packet(cand, ref)
+			}
+		}
+		if bestSum < 0 || sum < bestSum {
+			best, bestSum = cand, sum
+		}
+	}
+	r.medoid = best
+}
+
+// sampleMembers returns up to k distinct members, all of them when the
+// cluster is small.
+func (c *Clusterer) sampleMembers(r *rolling, k int) []*httpmodel.Packet {
+	n := len(r.members)
+	if n <= k {
+		return r.members
+	}
+	idx := c.rng.Perm(n)[:k]
+	out := make([]*httpmodel.Packet, k)
+	for i, j := range idx {
+		out[i] = r.members[j]
+	}
+	return out
+}
+
+// CompactStats reports what one compaction epoch did.
+type CompactStats struct {
+	Epoch      int     // epoch number just completed
+	Clusters   int     // live clusters after compaction
+	Members    int     // total members after compaction
+	Merged     int     // clusters folded into a neighbor
+	Pruned     int     // stale clusters dropped
+	Silhouette float64 // silhouette of the medoid clustering (0 when degenerate)
+}
+
+// Compact advances the epoch: prune stale clusters, re-elect every
+// medoid, then agglomerate the medoids (group-average, the paper's
+// criterion) and merge clusters whose medoids sit below the join
+// threshold. The returned silhouette scores the post-merge medoid
+// partition and feeds the Service's publish quality gate.
+func (c *Clusterer) Compact() CompactStats {
+	c.epoch++
+	st := CompactStats{Epoch: c.epoch}
+
+	// Prune clusters that saw nothing for StaleEpochs epochs.
+	kept := c.clusters[:0]
+	for _, cl := range c.clusters {
+		if c.epoch-cl.lastEpoch > c.cfg.StaleEpochs {
+			st.Pruned++
+			continue
+		}
+		kept = append(kept, cl)
+	}
+	c.clusters = kept
+
+	for _, cl := range c.clusters {
+		c.electMedoid(cl)
+	}
+
+	// Merge: offline agglomeration over the medoids, cut at the same
+	// threshold arrivals join under, so two clusters the online
+	// assignment split (arrival order artifacts) re-fuse here.
+	if len(c.clusters) >= 2 {
+		medoids := make([]*httpmodel.Packet, len(c.clusters))
+		for i, cl := range c.clusters {
+			medoids[i] = cl.medoid
+		}
+		mx := distance.NewMatrix(c.metric, medoids)
+		dend := cluster.Agglomerate(mx, cluster.GroupAverage)
+		groups := dend.CutDistance(c.joinAt)
+		merged := make([]*rolling, 0, len(groups))
+		for _, g := range groups {
+			dst := c.clusters[g[0]]
+			for _, idx := range g[1:] {
+				src := c.clusters[idx]
+				for _, p := range src.members {
+					dst.add(p, c.cfg.MaxMembers)
+				}
+				if src.lastEpoch > dst.lastEpoch {
+					dst.lastEpoch = src.lastEpoch
+				}
+				st.Merged++
+			}
+			if len(g) > 1 {
+				c.electMedoid(dst)
+			}
+			merged = append(merged, dst)
+		}
+		c.clusters = merged
+		st.Silhouette = cluster.Silhouette(mx, groups)
+	}
+
+	st.Clusters = len(c.clusters)
+	for _, cl := range c.clusters {
+		st.Members += len(cl.members)
+	}
+	return st
+}
+
+// Groups returns the member lists of every cluster holding at least
+// minSize packets — the input shape signature.Generate consumes. The
+// returned slices alias internal state; callers must not mutate them.
+func (c *Clusterer) Groups(minSize int) [][]*httpmodel.Packet {
+	if minSize < 1 {
+		minSize = 1
+	}
+	var out [][]*httpmodel.Packet
+	for _, cl := range c.clusters {
+		if len(cl.members) >= minSize {
+			out = append(out, cl.members)
+		}
+	}
+	return out
+}
+
+// Len returns the live cluster count.
+func (c *Clusterer) Len() int { return len(c.clusters) }
+
+// Members returns the total packets held across clusters.
+func (c *Clusterer) Members() int {
+	n := 0
+	for _, cl := range c.clusters {
+		n += len(cl.members)
+	}
+	return n
+}
+
+// Rejected returns how many arrivals were dropped because the cluster
+// table was full and no medoid was within the join threshold.
+func (c *Clusterer) Rejected() uint64 { return c.rejected }

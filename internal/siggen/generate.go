@@ -1,0 +1,121 @@
+package siggen
+
+import (
+	"sort"
+	"strings"
+
+	"leaksig/internal/detect"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+// DistillStats reports what one generation pass kept and why it dropped
+// the rest.
+type DistillStats struct {
+	Groups        int // clusters large enough to generate from
+	Candidates    int // signatures emitted by the conjunction generator
+	RejectedBayes int // dropped by the Bayes log-likelihood gate
+	RejectedFP    int // dropped by the held-out false-positive gate
+	Accepted      int // signatures in the returned set
+}
+
+// distill turns cluster groups into a publishable conjunction set. Three
+// filters run in sequence, mirroring the paper's §VI concerns about
+// careless signatures:
+//
+//  1. signature.Generate's own stoplist + benign-frequency token filters
+//     (benignTrain feeds the frequency filter);
+//  2. a Bayes gate: a model trained on the groups versus benignTrain
+//     scores each candidate's token set, and candidates whose summed
+//     log-likelihood ratio does not clear the calibrated threshold —
+//     token material as common in benign traffic as in suspect traffic —
+//     are dropped;
+//  3. a held-out false-positive gate: candidates matching more than
+//     maxHoldFP of benignHold (packets never seen during training) are
+//     dropped.
+//
+// Gates 2 and 3 need benign corpora to calibrate against and pass
+// everything when theirs is empty.
+func distill(groups [][]*httpmodel.Packet, benignTrain, benignHold []*httpmodel.Packet,
+	opts signature.Options, bayesOpts signature.BayesOptions, maxHoldFP float64) (*signature.Set, DistillStats) {
+
+	st := DistillStats{Groups: len(groups)}
+	opts.BenignSample = benignTrain
+	set := signature.Generate(groups, opts)
+	st.Candidates = set.Len()
+	if set.Len() == 0 {
+		return set, st
+	}
+
+	if len(benignTrain) > 0 {
+		bayes := signature.GenerateBayes(groups, benignTrain, bayesOpts)
+		kept := set.Signatures[:0]
+		for _, sig := range set.Signatures {
+			// A packet matching the conjunction contains every token, so
+			// the score of the joined tokens lower-bounds any matching
+			// packet's Bayes score; below threshold means the signature
+			// can only fire on Bayes-benign content.
+			content := []byte(strings.Join(sig.Tokens, "\n"))
+			if bayes.ScoreContent(content) <= bayes.Threshold {
+				st.RejectedBayes++
+				continue
+			}
+			kept = append(kept, sig)
+		}
+		set.Signatures = kept
+	}
+
+	if len(benignHold) > 0 && len(set.Signatures) > 0 {
+		eng := detect.NewEngine(set)
+		hits := make(map[int]int, set.Len())
+		for _, p := range benignHold {
+			for _, id := range eng.MatchPacket(p) {
+				hits[id]++
+			}
+		}
+		limit := maxHoldFP * float64(len(benignHold))
+		kept := set.Signatures[:0]
+		for _, sig := range set.Signatures {
+			if float64(hits[sig.ID]) > limit {
+				st.RejectedFP++
+				continue
+			}
+			kept = append(kept, sig)
+		}
+		set.Signatures = kept
+	}
+
+	for i, sig := range set.Signatures {
+		sig.ID = i
+	}
+	st.Accepted = set.Len()
+	return set, st
+}
+
+// setFingerprint canonically identifies a signature set's content (not
+// its version): the sorted signature keys joined. The service publishes
+// only when the fingerprint changes, so a stable traffic mix does not
+// spam watchers with identical rollovers.
+func setFingerprint(set *signature.Set) string {
+	keys := make([]string, set.Len())
+	for i, sig := range set.Signatures {
+		keys[i] = sig.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x01")
+}
+
+// splitBenign deals the benign corpus into training (even indices — the
+// token-frequency filter and Bayes model) and held-out (odd indices —
+// the false-positive gate) halves, so the FP gate always scores against
+// packets generation never saw.
+func splitBenign(benign []*httpmodel.Packet) (train, hold []*httpmodel.Packet) {
+	for i, p := range benign {
+		if i%2 == 0 {
+			train = append(train, p)
+		} else {
+			hold = append(hold, p)
+		}
+	}
+	return train, hold
+}

@@ -1,0 +1,90 @@
+package siggen
+
+import (
+	"leaksig/internal/engine"
+	"leaksig/internal/httpmodel"
+)
+
+// sample is one suspect flow in flight from an engine shard to the
+// intake goroutine.
+type sample struct {
+	tenant string
+	p      *httpmodel.Packet
+}
+
+// missSink adapts the Service's intake to the engine's Sink interface:
+// every verdict that matched nothing (a miss — exactly the traffic the
+// live signature set cannot explain) is offered to the learner. The
+// offer is a single non-blocking channel send, so a saturated learner
+// costs the matching hot path nothing beyond a dropped-sample counter —
+// detection latency is never held hostage to generation.
+type missSink struct {
+	svc    *Service
+	tenant string
+}
+
+// MissSink returns an engine Sink that feeds the service's intake with
+// unmatched flows, labeled with the tenant key ("" for a single-engine
+// deployment). Pass it as engine Config.Sink — alone, or combined with
+// other consumers via engine.TeeSink. One service may back any number of
+// engines and tenants.
+func (s *Service) MissSink() engine.Sink { return missSink{svc: s} }
+
+// MissSinkFor is MissSink with a tenant label — the pool form, installed
+// per tenant from PoolConfig.ConfigureTenant.
+func (s *Service) MissSinkFor(tenant string) engine.Sink {
+	return missSink{svc: s, tenant: tenant}
+}
+
+func (m missSink) Bind(shard, shards int) engine.ShardSink { return m }
+func (m missSink) CountOnly() bool                         { return false }
+func (m missSink) Count(bool)                              {}
+
+func (m missSink) Verdict(v engine.Verdict) {
+	if v.Leak() {
+		return // already explained by a signature; nothing to learn
+	}
+	m.svc.Observe(m.tenant, v.Packet)
+}
+
+// Observe offers one unmatched/suspect flow to the learner directly —
+// the hook for consumers outside the engine sink path (the flowcontrol
+// proxy's miss forwarding, cmd/siggend's HTTP intake). It applies the
+// suspect filter, then hands the packet to the intake goroutine without
+// blocking; it reports false when the packet was filtered out or the
+// intake queue was full.
+func (s *Service) Observe(tenant string, p *httpmodel.Packet) bool {
+	if s.cfg.SuspectFilter != nil && !s.cfg.SuspectFilter(p) {
+		return false
+	}
+	select {
+	case s.intake <- sample{tenant: tenant, p: p}:
+		s.observed.Add(1)
+		return true
+	default:
+		s.sinkDropped.Add(1)
+		return false
+	}
+}
+
+// admit routes one intake sample into its tenant's reservoir. Tenants
+// past the reservoir-table cap share one overflow reservoir, so tenant
+// cardinality (attacker-influenced in an exposed deployment) can never
+// grow memory without bound. Callers hold s.mu.
+func (s *Service) admit(smp sample) {
+	r := s.reservoirs[smp.tenant]
+	if r == nil {
+		if len(s.reservoirs) >= s.cfg.MaxTenantReservoirs {
+			s.overflowTenants.Add(1)
+			r = s.overflow
+		} else {
+			r = newReservoir(s.cfg.ReservoirSize)
+			s.reservoirs[smp.tenant] = r
+		}
+	}
+	if r.offer(smp.p, s.rng) {
+		s.sampled.Add(1)
+	}
+	s.admitted.Add(1)
+	s.newSamples++
+}

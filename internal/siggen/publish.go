@@ -1,0 +1,60 @@
+package siggen
+
+import (
+	"context"
+
+	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
+)
+
+// Publisher is where accepted signature sets go. The service stamps each
+// set with a version strictly greater than the last one it saw, so a
+// conforming publisher (sigserver's versioned publish path) rejects
+// stale or looping writers instead of ping-ponging the fleet between
+// generations.
+type Publisher interface {
+	// CurrentVersion returns the live published version, used to seed
+	// and re-sync the service's version counter.
+	CurrentVersion(ctx context.Context) (int64, error)
+	// Publish submits the set (Version pre-stamped by the service) and
+	// returns the version the server accepted it as.
+	Publish(ctx context.Context, set *signature.Set) (int64, error)
+}
+
+// ServerPublisher publishes into an in-process sigserver.Server — the
+// embedded deployment (leakstream -learn against its own server, tests).
+type ServerPublisher struct{ Server *sigserver.Server }
+
+// CurrentVersion implements Publisher.
+func (p ServerPublisher) CurrentVersion(context.Context) (int64, error) {
+	_, v := p.Server.Current()
+	return v, nil
+}
+
+// Publish implements Publisher.
+func (p ServerPublisher) Publish(_ context.Context, set *signature.Set) (int64, error) {
+	return p.Server.PublishVersioned(set)
+}
+
+// httpPublisher publishes over sigserver's HTTP API — the cmd/siggend
+// deployment against a remote distribution server.
+type httpPublisher struct{ client *sigserver.Client }
+
+// NewHTTPPublisher returns a publisher POSTing to the sigserver at base
+// (e.g. "http://127.0.0.1:8700"); token, when non-empty, is sent as the
+// publish bearer token.
+func NewHTTPPublisher(base, token string) Publisher {
+	c := sigserver.NewClient(base, nil)
+	c.SetToken(token)
+	return httpPublisher{client: c}
+}
+
+// CurrentVersion implements Publisher.
+func (p httpPublisher) CurrentVersion(ctx context.Context) (int64, error) {
+	return p.client.Version(ctx)
+}
+
+// Publish implements Publisher.
+func (p httpPublisher) Publish(ctx context.Context, set *signature.Set) (int64, error) {
+	return p.client.Publish(ctx, set)
+}

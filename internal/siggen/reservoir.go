@@ -1,0 +1,51 @@
+package siggen
+
+import (
+	"math/rand"
+
+	"leaksig/internal/httpmodel"
+)
+
+// reservoir is a bounded uniform sample of a packet stream (Vitter's
+// algorithm R): the first capacity offers are stored outright, after which
+// the i-th offer replaces a random stored packet with probability
+// capacity/i. Storage is therefore hard-bounded at capacity packets no
+// matter how fast a tenant bursts, while remaining a uniform sample of
+// everything offered since the last take.
+type reservoir struct {
+	buf  []*httpmodel.Packet
+	seen uint64 // offers since the last take
+	cap  int
+}
+
+func newReservoir(capacity int) *reservoir {
+	return &reservoir{buf: make([]*httpmodel.Packet, 0, capacity), cap: capacity}
+}
+
+// offer admits the packet into the sample with the reservoir probability
+// and reports whether it was stored.
+func (r *reservoir) offer(p *httpmodel.Packet, rng *rand.Rand) bool {
+	r.seen++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, p)
+		return true
+	}
+	if j := rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+		r.buf[j] = p
+		return true
+	}
+	return false
+}
+
+// take returns the sampled packets and resets the reservoir for the next
+// epoch, so each epoch clusters a fresh uniform sample of that epoch's
+// stream.
+func (r *reservoir) take() []*httpmodel.Packet {
+	out := r.buf
+	r.buf = make([]*httpmodel.Packet, 0, r.cap)
+	r.seen = 0
+	return out
+}
+
+// size returns how many packets are currently stored.
+func (r *reservoir) size() int { return len(r.buf) }

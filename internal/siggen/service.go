@@ -1,0 +1,462 @@
+// Package siggen is the online half of the paper's signature generation:
+// an incremental, always-on learner that closes the loop the offline
+// tools (cmd/leakcluster, cmd/leakgen) leave open.
+//
+// The offline pipeline materializes a corpus, computes a full distance
+// matrix, agglomerates once, and writes a signature file somebody must
+// publish by hand. This package runs the same method — the §IV-B/C packet
+// distance, group-average clustering, common-substring token extraction,
+// Bayes filtering — as a streaming service with three stages:
+//
+//	intake:   engine shards push unmatched ("miss") flows through a
+//	          MissSink into per-tenant bounded reservoirs (algorithm R),
+//	          so burst load can never grow learner memory and the sampled
+//	          corpus stays uniform over each epoch's traffic;
+//	cluster:  a rolling medoid clusterer assigns each sampled flow on
+//	          arrival (no from-scratch re-clustering), with epoch
+//	          compaction that re-elects medoids, agglomerates them with
+//	          internal/cluster, merges below-threshold neighbors, and
+//	          forgets stale clusters;
+//	publish:  each epoch distills candidate conjunction signatures from
+//	          the mature clusters, gates them through a Bayes model and a
+//	          held-out false-positive corpus, and — when the accepted set
+//	          actually changed — publishes it to a sigserver with a
+//	          strictly increasing version, which every watching engine
+//	          hot-reloads.
+//
+// Detection and generation thereby form the closed loop of the paper's
+// Figure 3: traffic the current signatures cannot explain is exactly the
+// corpus the next signature generation learns from.
+package siggen
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+// Config parameterizes the service. The zero value selects the defaults
+// noted on each field; only Publisher is required for auto-publishing
+// (without it epochs still cluster and distill, returning sets to the
+// RunEpoch caller).
+type Config struct {
+	// Cluster tunes the incremental clusterer (distance metric, join
+	// threshold, table bounds, staleness).
+	Cluster ClusterConfig
+
+	// ReservoirSize bounds each tenant's per-epoch sample; default 256.
+	ReservoirSize int
+
+	// MaxTenantReservoirs bounds how many tenants get private
+	// reservoirs; tenants past the cap share one overflow reservoir
+	// (tenant keys can be attacker-influenced). Default 64.
+	MaxTenantReservoirs int
+
+	// IntakeDepth is the sink-to-learner queue bound in packets; a full
+	// queue drops samples (counted) rather than stalling engine shards.
+	// Default 4096.
+	IntakeDepth int
+
+	// SuspectFilter, when non-nil, pre-screens misses before they enter
+	// the intake queue — e.g. a sensitive-payload oracle, or "has a
+	// query string or body". It runs on engine shard goroutines and must
+	// be cheap and concurrency-safe. Nil admits every miss.
+	SuspectFilter func(*httpmodel.Packet) bool
+
+	// MinClusterSize is how many members a cluster needs before it may
+	// emit a signature; default 3 (stricter than the offline default —
+	// an online learner sees volatile singletons constantly).
+	MinClusterSize int
+
+	// Signature configures token extraction and filtering; Bayes the
+	// gate model. Zero values select the package defaults.
+	Signature signature.Options
+	Bayes     signature.BayesOptions
+
+	// Benign is the benign corpus, split internally: even indices train
+	// the token-frequency filter and the Bayes gate, odd indices form
+	// the held-out false-positive corpus. Empty disables both gates.
+	Benign []*httpmodel.Packet
+
+	// MaxHoldoutFP is the held-out benign fraction a candidate signature
+	// may match before it is dropped; default 0.01.
+	MaxHoldoutFP float64
+
+	// MinSilhouette, when positive, skips publishing for epochs whose
+	// medoid-clustering silhouette falls below it — a low score means
+	// the clusters are not separable enough to trust their signatures.
+	// 0 disables the gate.
+	MinSilhouette float64
+
+	// GenerateInterval is the epoch cadence of the background loop; 0
+	// disables the timer, leaving epochs to explicit RunEpoch calls
+	// (pipe-mode daemons, tests).
+	GenerateInterval time.Duration
+
+	// MinNewSamples skips timed epochs until at least this many samples
+	// arrived since the last one; default 1. RunEpoch ignores it.
+	MinNewSamples int
+
+	// Publisher receives accepted sets; nil disables auto-publish.
+	Publisher Publisher
+
+	// OnPublish, when non-nil, observes every successful publish with
+	// the accepted set (Version already assigned). It runs on the epoch
+	// goroutine.
+	OnPublish func(set *signature.Set)
+
+	// Seed fixes the reservoir and medoid-election randomness; default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReservoirSize <= 0 {
+		c.ReservoirSize = 256
+	}
+	if c.MaxTenantReservoirs <= 0 {
+		c.MaxTenantReservoirs = 64
+	}
+	if c.IntakeDepth <= 0 {
+		c.IntakeDepth = 4096
+	}
+	if c.MinClusterSize <= 0 {
+		c.MinClusterSize = 3
+	}
+	if c.MaxHoldoutFP == 0 {
+		c.MaxHoldoutFP = 0.01
+	}
+	if c.MinNewSamples <= 0 {
+		c.MinNewSamples = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Service is the online signature generator. Construct with NewService;
+// all methods are safe for concurrent use. Feed it through MissSink /
+// MissSinkFor (engine sinks) or Observe (direct), and either let the
+// GenerateInterval loop publish or drive epochs yourself with RunEpoch.
+type Service struct {
+	cfg Config
+
+	intake chan sample
+
+	// mu guards the learner state: reservoirs, clusterer, distillation
+	// bookkeeping, and the epoch path itself.
+	mu              sync.Mutex
+	reservoirs      map[string]*reservoir
+	overflow        *reservoir
+	clusterer       *Clusterer
+	rng             *rand.Rand
+	newSamples      int            // samples admitted since the last epoch
+	pendingSet      *signature.Set // generated but not yet published (publish failed)
+	pendingFP       string         // fingerprint of pendingSet
+	publishing      bool           // a publisher round trip is in flight (s.mu released)
+	lastVersion     int64          // latest version we know the publisher holds
+	lastFingerprint string         // content identity of the last published set
+	lastCompact     CompactStats
+	lastDistill     DistillStats
+
+	observed        atomic.Uint64
+	sinkDropped     atomic.Uint64
+	admitted        atomic.Uint64
+	sampled         atomic.Uint64
+	overflowTenants atomic.Uint64
+	epochs          atomic.Uint64
+	publishes       atomic.Uint64
+	publishErrors   atomic.Uint64
+
+	benignTrain []*httpmodel.Packet
+	benignHold  []*httpmodel.Packet
+
+	stop     chan struct{}
+	loopDone chan struct{}
+	closed   atomic.Bool
+}
+
+// NewService starts the learner: the intake goroutine begins draining
+// immediately, and — when GenerateInterval is set — the epoch loop
+// begins generating.
+func NewService(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:        cfg,
+		intake:     make(chan sample, cfg.IntakeDepth),
+		reservoirs: make(map[string]*reservoir),
+		overflow:   newReservoir(cfg.ReservoirSize),
+		clusterer:  NewClusterer(cfg.Cluster, cfg.Seed),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		stop:       make(chan struct{}),
+		loopDone:   make(chan struct{}),
+	}
+	s.benignTrain, s.benignHold = splitBenign(cfg.Benign)
+	go s.run()
+	return s
+}
+
+// run drains the intake queue into the reservoirs and fires timed
+// epochs.
+func (s *Service) run() {
+	defer close(s.loopDone)
+	var tick <-chan time.Time
+	if s.cfg.GenerateInterval > 0 {
+		t := time.NewTicker(s.cfg.GenerateInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case smp := <-s.intake:
+			s.mu.Lock()
+			s.admit(smp)
+			s.mu.Unlock()
+		case <-tick:
+			s.mu.Lock()
+			switch {
+			case s.newSamples >= s.cfg.MinNewSamples:
+				s.epochLocked(context.Background())
+			case s.pendingSet != nil:
+				// Retry a generated-but-unpublished set without running
+				// the cluster pipeline: a pure retry must not advance
+				// the clusterer epoch (staleness pruning would discard
+				// the clusters while the server is down), and the set
+				// itself is already cached.
+				s.publishLocked(context.Background(), s.pendingSet, s.pendingFP)
+			}
+			s.mu.Unlock()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// RunEpoch drains any queued intake, runs one full epoch — cluster the
+// reservoir samples, compact, distill, publish if changed — and returns
+// the set it published (nil when nothing was generated or nothing
+// changed). The error reports publish failures; generation itself cannot
+// fail.
+func (s *Service) RunEpoch(ctx context.Context) (*signature.Set, error) {
+	// Every sample observed before this call must make the epoch. One
+	// may sit in the run() goroutine's hands — dequeued from the channel
+	// but not yet admitted — so wait until admissions catch up with the
+	// entry snapshot before generating (bounded: with producers quiesced
+	// this converges in one handoff; with live producers the snapshot
+	// keeps the wait finite).
+	target := s.observed.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for deadline := time.Now().Add(time.Second); ; {
+		s.drainLocked()
+		if s.admitted.Load() >= target || time.Now().After(deadline) {
+			break
+		}
+		s.mu.Unlock()
+		time.Sleep(100 * time.Microsecond)
+		s.mu.Lock()
+	}
+	return s.epochLocked(ctx)
+}
+
+// drainLocked empties the intake queue into the reservoirs without
+// blocking. Callers hold s.mu.
+func (s *Service) drainLocked() {
+	for {
+		select {
+		case smp := <-s.intake:
+			s.admit(smp)
+		default:
+			return
+		}
+	}
+}
+
+// errStalePublish marks an epoch that lost a publish race; the service
+// re-syncs its version and the next epoch retries.
+var errStalePublish = errors.New("siggen: publish raced a newer version")
+
+// publishTimeout bounds one epoch's publisher round trips so a hung
+// server costs one failed (and retried) publish, never a wedged epoch
+// goroutine.
+const publishTimeout = 30 * time.Second
+
+// epochLocked is one generation epoch. Callers hold s.mu.
+func (s *Service) epochLocked(ctx context.Context) (*signature.Set, error) {
+	s.epochs.Add(1)
+	s.newSamples = 0
+
+	// Stage 2: feed this epoch's samples into the rolling clusters,
+	// then compact.
+	for _, r := range s.reservoirs {
+		for _, p := range r.take() {
+			s.clusterer.Observe(p)
+		}
+	}
+	for _, p := range s.overflow.take() {
+		s.clusterer.Observe(p)
+	}
+	s.lastCompact = s.clusterer.Compact()
+
+	// Stage 3: distill and gate.
+	groups := s.clusterer.Groups(s.cfg.MinClusterSize)
+	opts := s.cfg.Signature
+	opts.MinClusterSize = s.cfg.MinClusterSize
+	set, dst := distill(groups, s.benignTrain, s.benignHold, opts, s.cfg.Bayes, s.cfg.MaxHoldoutFP)
+	s.lastDistill = dst
+	if set.Len() == 0 {
+		if s.pendingSet != nil {
+			// Nothing fresh, but an earlier generation still awaits
+			// publishing (its clusters may have been pruned since).
+			return s.publishLocked(ctx, s.pendingSet, s.pendingFP)
+		}
+		return nil, nil
+	}
+	if s.cfg.MinSilhouette > 0 && s.lastCompact.Silhouette < s.cfg.MinSilhouette {
+		return nil, nil
+	}
+	fp := setFingerprint(set)
+	if fp == s.lastFingerprint {
+		s.pendingSet, s.pendingFP = nil, ""
+		return nil, nil // same content as last publish; don't spam watchers
+	}
+
+	if s.cfg.Publisher == nil {
+		s.lastFingerprint = fp
+		return set, nil
+	}
+	return s.publishLocked(ctx, set, fp)
+}
+
+// publishLocked ships one generated set with a strictly increasing
+// version stamp. Callers hold s.mu; the publisher round trips run with
+// the mutex RELEASED (re-acquired for bookkeeping) under a hard
+// deadline, so a slow or hung server neither wedges Stats/Close nor
+// stalls intake admissions driven by RunEpoch. A `publishing` guard
+// keeps concurrent epochs from racing the version stamp: the loser
+// parks the set as pending and the next tick retries.
+func (s *Service) publishLocked(ctx context.Context, set *signature.Set, fp string) (*signature.Set, error) {
+	if s.publishing {
+		s.pendingSet, s.pendingFP = set, fp
+		return nil, nil
+	}
+	s.publishing = true
+	version := s.lastVersion + 1
+	needSeed := s.lastVersion == 0
+	s.mu.Unlock()
+
+	pubCtx, cancel := context.WithTimeout(ctx, publishTimeout)
+	if needSeed {
+		// First publish: seed the stamp from the server so we continue
+		// its sequence instead of starting a losing race at 1.
+		if v, err := s.cfg.Publisher.CurrentVersion(pubCtx); err == nil && v >= version {
+			version = v + 1
+		}
+	}
+	set.Version = version
+	v, err := s.cfg.Publisher.Publish(pubCtx, set)
+	var cur int64
+	var curErr error
+	if err != nil {
+		// Another writer may have advanced the server; learn its version
+		// so the retry stamps past it.
+		cur, curErr = s.cfg.Publisher.CurrentVersion(pubCtx)
+	}
+	cancel()
+
+	s.mu.Lock()
+	s.publishing = false
+	if err != nil {
+		s.publishErrors.Add(1)
+		// Cache the set so retries survive cluster pruning and quiet
+		// traffic; the next tick republishes it as-is.
+		s.pendingSet, s.pendingFP = set, fp
+		if curErr == nil && cur > s.lastVersion {
+			s.lastVersion = cur
+			return nil, errStalePublish
+		}
+		return nil, err
+	}
+	s.lastVersion = v
+	set.Version = v
+	s.lastFingerprint = fp
+	s.pendingSet, s.pendingFP = nil, ""
+	s.publishes.Add(1)
+	if s.cfg.OnPublish != nil {
+		s.cfg.OnPublish(set)
+	}
+	return set, nil
+}
+
+// Stats is a point-in-time view of the learner.
+type Stats struct {
+	Observed        uint64 `json:"observed"`         // misses admitted past the filter into the intake queue
+	SinkDropped     uint64 `json:"sink_dropped"`     // misses dropped at the sink (queue full)
+	Admitted        uint64 `json:"admitted"`         // intake samples routed to a reservoir so far
+	Sampled         uint64 `json:"sampled"`          // packets stored by a reservoir
+	OverflowTenants uint64 `json:"overflow_tenants"` // admissions routed to the shared overflow reservoir
+	PendingSamples  int    `json:"pending_samples"`  // packets currently held in reservoirs
+	Tenants         int    `json:"tenants"`          // tenants with a private reservoir
+
+	Clusters        int     `json:"clusters"`
+	ClusterMembers  int     `json:"cluster_members"`
+	ClusterRejected uint64  `json:"cluster_rejected"` // arrivals dropped: table full, nothing close
+	Silhouette      float64 `json:"silhouette"`       // last compaction's medoid silhouette
+
+	Epochs        uint64 `json:"epochs"`
+	Candidates    int    `json:"candidates"`     // last distillation
+	RejectedBayes int    `json:"rejected_bayes"` // last distillation
+	RejectedFP    int    `json:"rejected_fp"`    // last distillation
+	Accepted      int    `json:"accepted"`       // last distillation
+
+	Publishes     uint64 `json:"publishes"`
+	PublishErrors uint64 `json:"publish_errors"`
+	LastVersion   int64  `json:"last_version"`
+}
+
+// Stats assembles a snapshot. Safe to call while streaming.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Observed:        s.observed.Load(),
+		SinkDropped:     s.sinkDropped.Load(),
+		Admitted:        s.admitted.Load(),
+		Sampled:         s.sampled.Load(),
+		OverflowTenants: s.overflowTenants.Load(),
+		Epochs:          s.epochs.Load(),
+		Publishes:       s.publishes.Load(),
+		PublishErrors:   s.publishErrors.Load(),
+	}
+	s.mu.Lock()
+	st.Tenants = len(s.reservoirs)
+	for _, r := range s.reservoirs {
+		st.PendingSamples += r.size()
+	}
+	st.PendingSamples += s.overflow.size()
+	st.Clusters = s.clusterer.Len()
+	st.ClusterMembers = s.clusterer.Members()
+	st.ClusterRejected = s.clusterer.Rejected()
+	st.Silhouette = s.lastCompact.Silhouette
+	st.Candidates = s.lastDistill.Candidates
+	st.RejectedBayes = s.lastDistill.RejectedBayes
+	st.RejectedFP = s.lastDistill.RejectedFP
+	st.Accepted = s.lastDistill.Accepted
+	st.LastVersion = s.lastVersion
+	s.mu.Unlock()
+	return st
+}
+
+// Close stops the intake and epoch loops. It does not run a final epoch;
+// callers that want one (pipe-mode daemons) call RunEpoch first. Close
+// is idempotent.
+func (s *Service) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.stop)
+		<-s.loopDone
+	}
+}

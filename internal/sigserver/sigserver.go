@@ -15,12 +15,15 @@ package sigserver
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"leaksig/internal/signature"
@@ -30,6 +33,12 @@ import (
 // server answers with the unchanged version and the client re-arms.
 const waitTimeoutMax = 30 * time.Second
 
+// ErrStaleVersion is returned by PublishVersioned (and surfaced over
+// HTTP as 409 Conflict) when a publish carries a version at or below the
+// server's current one — the guard that stops stale or looping
+// auto-publishers from rolling the fleet backwards.
+var ErrStaleVersion = errors.New("sigserver: publish version not greater than current")
+
 // Server holds the currently published signature set. It is safe for
 // concurrent use; the zero value is not usable, construct with New.
 type Server struct {
@@ -38,6 +47,9 @@ type Server struct {
 	version   int64
 	changed   chan struct{} // closed and replaced on every Publish
 	onPublish []func(int64)
+
+	publishes         atomic.Uint64
+	publishesRejected atomic.Uint64
 }
 
 // New returns a server with an empty signature set at version 0.
@@ -51,20 +63,73 @@ func New() *Server {
 // Changed broadcast fires.
 func (s *Server) Publish(set *signature.Set) int64 {
 	s.mu.Lock()
-	s.version++
-	set.Version = s.version
+	version := s.version + 1
+	v, _ := s.publishLocked(set, version)
+	return v
+}
+
+// PublishVersioned installs the set under its own Version field, which
+// must be strictly greater than the server's current version; stale
+// versions are rejected with ErrStaleVersion (and counted). This is the
+// auto-publish path: writers stamp last-seen + 1, so two loops feeding
+// one server cannot ping-pong the fleet between their generations.
+func (s *Server) PublishVersioned(set *signature.Set) (int64, error) {
+	s.mu.Lock()
+	if set.Version <= s.version {
+		cur := s.version
+		s.mu.Unlock()
+		s.publishesRejected.Add(1)
+		return cur, fmt.Errorf("%w: got %d, current %d", ErrStaleVersion, set.Version, cur)
+	}
+	return s.publishLocked(set, set.Version)
+}
+
+// publishLocked installs the set at version, releasing s.mu before the
+// broadcast and callbacks. Callers hold s.mu.
+func (s *Server) publishLocked(set *signature.Set, version int64) (int64, error) {
+	s.version = version
+	set.Version = version
 	s.set = set
-	version := s.version
 	notify := s.changed
 	s.changed = make(chan struct{})
 	callbacks := make([]func(int64), len(s.onPublish))
 	copy(callbacks, s.onPublish)
 	s.mu.Unlock()
+	s.publishes.Add(1)
 	close(notify)
 	for _, fn := range callbacks {
 		fn(version)
 	}
-	return version
+	return version, nil
+}
+
+// PublishSet routes a publish by its version stamp: 0 means "assign me
+// the next version" (Publish), anything else is checked against the
+// strict-increase guard (PublishVersioned). It is the behavior of the
+// HTTP publish endpoint.
+func (s *Server) PublishSet(set *signature.Set) (int64, error) {
+	if set.Version == 0 {
+		return s.Publish(set), nil
+	}
+	return s.PublishVersioned(set)
+}
+
+// ServerStats are the server's lifetime publish counters and live state.
+type ServerStats struct {
+	Version           int64  `json:"version"`
+	Signatures        int    `json:"signatures"`
+	Publishes         uint64 `json:"publishes"`
+	PublishesRejected uint64 `json:"publishes_rejected"`
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	st := ServerStats{Version: s.version, Signatures: s.set.Len()}
+	s.mu.RUnlock()
+	st.Publishes = s.publishes.Load()
+	st.PublishesRejected = s.publishesRejected.Load()
+	return st
 }
 
 // OnPublish registers a callback invoked with the new version after every
@@ -99,9 +164,17 @@ func (s *Server) Current() (*signature.Set, int64) {
 //	GET /version    — the current version as text
 //	GET /wait       — long-poll: ?v=N blocks until version > N (or a
 //	                  timeout), then answers the current version as text
+//	GET /stats      — publish counters as JSON (publishes_rejected et al.)
 //	GET /healthz    — liveness
+//
+// Handler is strictly read-only; mount PublishHandler (or use
+// HandlerWithPublish) to accept publishes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Stats())
+	})
 	mux.HandleFunc("GET /signatures", func(w http.ResponseWriter, r *http.Request) {
 		set, version := s.Current()
 		etag := fmt.Sprintf("%q", strconv.FormatInt(version, 10))
@@ -171,10 +244,58 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// PublishHandler returns the write endpoint:
+//
+//	POST /publish — replace the set: a body with Version 0 auto-bumps,
+//	                a non-zero Version must exceed the current one or
+//	                the publish is rejected with 409 Conflict; answers
+//	                the accepted version as text
+//
+// A non-empty token requires `Authorization: Bearer <token>` (compared
+// in constant time); an empty token leaves the endpoint open, which is
+// only safe behind loopback or an authenticating front. The endpoint is
+// deliberately not part of Handler, so mounting the read-only API never
+// exposes a write path by accident.
+func (s *Server) PublishHandler(token string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if token != "" {
+			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+token)) != 1 {
+				http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+				return
+			}
+		}
+		set, err := signature.ReadJSON(r.Body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
+			return
+		}
+		v, err := s.PublishSet(set)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintf(w, "%d", v)
+	})
+}
+
+// HandlerWithPublish mounts the read-only API plus the publish endpoint
+// guarded by token ("" leaves it open; see PublishHandler).
+func (s *Server) HandlerWithPublish(token string) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	mux.Handle("POST /publish", s.PublishHandler(token))
+	return mux
+}
+
 // Client fetches signature sets from a Server's HTTP API.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
 
 	mu     sync.Mutex
 	etag   string
@@ -188,6 +309,48 @@ func NewClient(base string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: base, hc: httpClient}
+}
+
+// SetToken installs the bearer token sent on Publish ("" sends none).
+// Call before the first Publish; it is not synchronized with in-flight
+// requests.
+func (c *Client) SetToken(token string) { c.token = token }
+
+// Publish POSTs the set to the server's publish endpoint and returns the
+// version the server accepted it as. A non-zero set.Version engages the
+// server's strict-increase guard; a 409 response surfaces as an error
+// wrapping ErrStaleVersion.
+func (c *Client) Publish(ctx context.Context, set *signature.Set) (int64, error) {
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		return 0, fmt.Errorf("sigserver: encoding set: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/publish", &buf)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("sigserver: publishing: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return 0, fmt.Errorf("%w: %s", ErrStaleVersion, bytes.TrimSpace(body))
+	default:
+		return 0, fmt.Errorf("sigserver: publish status %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	v, err := strconv.ParseInt(string(bytes.TrimSpace(body)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sigserver: parsing publish version %q: %w", body, err)
+	}
+	return v, nil
 }
 
 // Fetch retrieves the current signature set, reusing the cached copy when

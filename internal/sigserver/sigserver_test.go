@@ -2,6 +2,7 @@ package sigserver
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -276,4 +277,132 @@ func TestWatchDeliversUpdates(t *testing.T) {
 	if err := <-done; !errors.Is(err, context.Canceled) {
 		t.Fatalf("Watch returned %v", err)
 	}
+}
+
+func TestPublishVersionedRejectsStale(t *testing.T) {
+	s := New()
+	set := testSet("tok-one")
+	set.Version = 5
+	if v, err := s.PublishVersioned(set); err != nil || v != 5 {
+		t.Fatalf("versioned publish: v=%d err=%v", v, err)
+	}
+	// Same version again: rejected, server unchanged.
+	stale := testSet("tok-two")
+	stale.Version = 5
+	if _, err := s.PublishVersioned(stale); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("stale publish err = %v, want ErrStaleVersion", err)
+	}
+	// Lower version: rejected too.
+	lower := testSet("tok-three")
+	lower.Version = 2
+	if _, err := s.PublishVersioned(lower); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("lower publish err = %v, want ErrStaleVersion", err)
+	}
+	cur, v := s.Current()
+	if v != 5 || cur.Signatures[0].Tokens[0] != "tok-one" {
+		t.Fatalf("rejected publishes mutated the server: v=%d", v)
+	}
+	st := s.Stats()
+	if st.Publishes != 1 || st.PublishesRejected != 2 {
+		t.Fatalf("stats = %+v, want 1 publish and 2 rejections", st)
+	}
+	// Auto-bump continues from the explicit version.
+	if v := s.Publish(testSet("tok-four")); v != 6 {
+		t.Fatalf("auto publish after versioned = %d, want 6", v)
+	}
+}
+
+func TestPublishSetRoutesByVersion(t *testing.T) {
+	s := New()
+	if v, err := s.PublishSet(testSet("a")); err != nil || v != 1 {
+		t.Fatalf("zero-version publish: v=%d err=%v", v, err)
+	}
+	explicit := testSet("b")
+	explicit.Version = 10
+	if v, err := s.PublishSet(explicit); err != nil || v != 10 {
+		t.Fatalf("explicit publish: v=%d err=%v", v, err)
+	}
+	stale := testSet("c")
+	stale.Version = 3
+	if _, err := s.PublishSet(stale); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("stale routed publish err = %v", err)
+	}
+}
+
+func TestHTTPPublishAndStats(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.HandlerWithPublish("sekret"))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	set := testSet("udid=f3a9c1d2")
+	set.Version = 3
+	// Without the token the guarded endpoint refuses.
+	if _, err := c.Publish(ctx, set); err == nil {
+		t.Fatal("tokenless publish accepted")
+	}
+	c.SetToken("sekret")
+	v, err := c.Publish(ctx, set)
+	if err != nil || v != 3 {
+		t.Fatalf("client publish: v=%d err=%v", v, err)
+	}
+	// A watcher fetches what was published.
+	got, changed, err := c.Fetch(ctx)
+	if err != nil || !changed || got.Version != 3 {
+		t.Fatalf("fetch after publish: %+v changed=%v err=%v", got, changed, err)
+	}
+	// Stale over HTTP: 409 surfaced as ErrStaleVersion.
+	stale := testSet("tok-two")
+	stale.Version = 2
+	if _, err := c.Publish(ctx, stale); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("stale HTTP publish err = %v", err)
+	}
+	// Stats endpoint carries the rejection counter.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st ServerStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decoding stats %q: %v", body, err)
+	}
+	if st.Version != 3 || st.Publishes != 1 || st.PublishesRejected != 1 || st.Signatures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVersionedPublishWakesWatchers(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan int64, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Watch(ctx, 50*time.Millisecond, func(set *signature.Set) { got <- set.Version })
+	}()
+	if v := <-got; v != 0 {
+		t.Fatalf("initial watch version = %d", v)
+	}
+	set := testSet("x")
+	set.Version = 9
+	if _, err := s.PublishVersioned(set); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 9 {
+			t.Fatalf("watcher saw version %d, want 9", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never woke on versioned publish")
+	}
+	cancel()
+	<-done
 }

@@ -14,6 +14,7 @@
 //	internal/engine     — the sharded streaming engine with hot reload
 //	internal/trafficgen — the calibrated synthetic dataset (§III, §V-A)
 //	internal/eval       — every table and figure of the evaluation
+//	internal/siggen     — online incremental signature generation
 //	internal/sigserver  — signature distribution (Figure 3a)
 //	internal/flowcontrol— the on-device vetting proxy (Figure 3b)
 //
@@ -37,6 +38,7 @@ import (
 	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/sensitive"
+	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 	"leaksig/internal/trafficgen"
 )
@@ -144,6 +146,43 @@ func NewCountSink() *CountSink { return engine.NewCountSink() }
 
 // CallbackSink adapts a per-verdict function to the Sink interface.
 func CallbackSink(fn func(StreamVerdict)) Sink { return engine.CallbackSink(fn) }
+
+// TeeSink fans engine results out to several sinks — e.g. a CountSink
+// for totals plus a Learner's MissSink feeding online generation.
+func TeeSink(sinks ...Sink) Sink { return engine.TeeSink(sinks...) }
+
+// Learner is the online signature-generation service (see
+// internal/siggen): it samples unmatched flows from running engines
+// through MissSink, maintains rolling clusters over them, distills
+// gated conjunction signatures each epoch, and auto-publishes accepted
+// sets to a signature server every watching engine hot-reloads — the
+// closed detect → cluster → generate → publish loop. cmd/siggend is its
+// daemon form; leakstream -learn embeds it next to a streaming engine.
+type Learner = siggen.Service
+
+// LearnerConfig parameterizes NewLearner; the zero value selects
+// sensible defaults (no publisher means epochs only return sets).
+type LearnerConfig = siggen.Config
+
+// LearnerStats is a point-in-time view of a Learner's intake, cluster,
+// and publish counters.
+type LearnerStats = siggen.Stats
+
+// LearnerClusterConfig tunes the Learner's incremental clusterer.
+type LearnerClusterConfig = siggen.ClusterConfig
+
+// SetPublisher is where a Learner sends accepted signature sets; see
+// siggen.ServerPublisher and NewHTTPPublisher.
+type SetPublisher = siggen.Publisher
+
+// NewLearner starts an online signature-generation service. Wire its
+// MissSink into a StreamConfig.Sink (or a TeeSink), or feed it directly
+// with Observe; drive epochs with RunEpoch or LearnerConfig.GenerateInterval.
+func NewLearner(cfg LearnerConfig) *Learner { return siggen.NewService(cfg) }
+
+// NewHTTPPublisher returns a SetPublisher that POSTs accepted sets to
+// the sigserver at base, authenticating with token when non-empty.
+func NewHTTPPublisher(base, token string) SetPublisher { return siggen.NewHTTPPublisher(base, token) }
 
 // Dataset is a synthetic capture with its device and ground truth.
 type Dataset struct {

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Closed-loop smoke: stream a synthetic trace through `leakstream -learn`
+# against a local sigserver that starts EMPTY, and assert that online
+# generation auto-published at least one signature-set version — the
+# detect → cluster → generate → publish loop with no manual leakgen step.
+# The leakstream stats line (packets/s) is echoed into the job log.
+set -euo pipefail
+
+PORT="${LOOP_SMOKE_PORT:-8701}"
+dir="$(mktemp -d)"
+cleanup() {
+  [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$dir/bin/" ./cmd/leakgen ./cmd/sigserver ./cmd/leakstream
+
+echo "== generating the example trace"
+"$dir/bin/leakgen" -seed 7 -apps 40 -packets 3000 \
+  -out "$dir/trace.jsonl" -device "$dir/device.json"
+
+echo "== starting an empty sigserver on :$PORT"
+"$dir/bin/sigserver" -addr "127.0.0.1:$PORT" >"$dir/sigserver.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 50); do
+  curl -fs "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "http://127.0.0.1:$PORT/healthz" >/dev/null
+
+v0="$(curl -fs "http://127.0.0.1:$PORT/version")"
+echo "== sigserver starts at version $v0"
+
+echo "== streaming the trace through leakstream -learn"
+"$dir/bin/leakstream" -server "http://127.0.0.1:$PORT" -learn -learn-min-cluster 2 \
+  <"$dir/trace.jsonl" >"$dir/verdicts.jsonl" 2>"$dir/stream.log"
+
+echo "== leakstream log (packets/s in the engine stats line):"
+cat "$dir/stream.log"
+
+v1="$(curl -fs "http://127.0.0.1:$PORT/version")"
+echo "== sigserver version: $v0 -> $v1"
+echo "== server stats: $(curl -fs "http://127.0.0.1:$PORT/stats")"
+
+if [ "$v1" -le "$v0" ]; then
+  echo "FAIL: no signature set was auto-published" >&2
+  exit 1
+fi
+echo "PASS: closed loop published version $v1"
