@@ -24,12 +24,24 @@
 // watcher) hot-reloads what it just learned. In pipe mode a final learn
 // epoch runs at stdin EOF before exit.
 //
+// With -learn-tenants the learner additionally distills one named set
+// per tenant (keyed by -tenant-by, or by the pool tenant key with
+// -pool) and publishes each to -server under /sets/{tenant}/ with its
+// own version sequence. In pool mode the daemon watches the server's
+// whole set catalog: the default set reloads unpinned tenants, and each
+// named set pins its tenant via ReloadTenant — so tenant A's learned
+// signatures fire only on tenant A's traffic, the per-population
+// isolation of the paper's per-module signatures. Signatures whose
+// source clusters go stale are dropped from the next published versions
+// (drift retirement), and the watchers converge off them automatically.
+//
 // Usage:
 //
 //	leakstream -server http://127.0.0.1:8700 < capture.jsonl > verdicts.jsonl
 //	leakstream -sigs signatures.json -listen :8900
 //	leakstream -sigs signatures.json -listen :8900 -pool -tenant-by app -idle 5m
 //	leakstream -server http://127.0.0.1:8700 -learn < capture.jsonl > verdicts.jsonl
+//	leakstream -server http://127.0.0.1:8700 -pool -learn -learn-tenants < capture.jsonl
 //
 // HTTP endpoints (with -listen):
 //
@@ -91,6 +103,7 @@ func main() {
 		learnBenign     = flag.String("learn-benign", "", "benign capture (JSONL) for the -learn Bayes and FP gates")
 		learnMinCluster = flag.Int("learn-min-cluster", 3, "cluster size a -learn signature needs")
 		learnToken      = flag.String("learn-token", "", "bearer token for the -learn publish endpoint")
+		learnTenants    = flag.Bool("learn-tenants", false, "with -learn: publish one named set per tenant (keyed by -tenant-by) alongside the global set")
 	)
 	flag.Parse()
 
@@ -145,15 +158,24 @@ func main() {
 			}
 			benign = bset.Packets
 		}
-		svc = siggen.NewService(siggen.Config{
+		lcfg := siggen.Config{
 			Publisher:        siggen.NewHTTPPublisher(*server, *learnToken),
 			Benign:           benign,
 			MinClusterSize:   *learnMinCluster,
 			GenerateInterval: *learnInterval,
+			TenantSets:       *learnTenants,
 			OnPublish: func(set *signature.Set) {
 				log.Printf("learn: published version %d (%d signatures)", set.Version, set.Len())
 			},
-		})
+		}
+		if *learnTenants {
+			lcfg.OnPublishNamed = func(name string, set *signature.Set) {
+				if name != "" {
+					log.Printf("learn: published set %q version %d (%d signatures)", name, set.Version, set.Len())
+				}
+			}
+		}
+		svc = siggen.NewService(lcfg)
 		defer svc.Close()
 	}
 
@@ -177,7 +199,13 @@ func main() {
 	} else {
 		cfg.OnVerdict = out.emit
 		if svc != nil {
-			cfg.Sink = svc.MissSink()
+			if *learnTenants {
+				// Single-engine learning with tenant labels: tenancy rides
+				// on packet fields, so named sets still form per tenant.
+				cfg.Sink = svc.MissSinkBy(tenantKeyFn(*tenantBy))
+			} else {
+				cfg.Sink = svc.MissSink()
+			}
 		}
 		be = &engineBackend{eng: engine.New(set, cfg)}
 	}
@@ -186,15 +214,35 @@ func main() {
 	defer cancel()
 	if *server != "" {
 		client := sigserver.NewClient(*server, nil)
-		go func() {
-			err := client.Watch(ctx, *poll, func(set *signature.Set) {
-				be.reload(set)
-				log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
-			})
-			if err != nil && ctx.Err() == nil {
-				log.Printf("signature watch ended: %v", err)
-			}
-		}()
+		if *pool {
+			// Pool mode follows the server's whole set catalog: the
+			// default set rolls unpinned tenants, each named set pins its
+			// tenant — the HTTP route for per-tenant learned signatures.
+			go func() {
+				err := client.WatchSets(ctx, *poll, func(name string, set *signature.Set) {
+					if name == "" {
+						be.reload(set)
+						log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
+						return
+					}
+					be.reloadTenant(name, set)
+					log.Printf("tenant %q signatures pinned: version %d, %d entries", name, set.Version, set.Len())
+				})
+				if err != nil && ctx.Err() == nil {
+					log.Printf("signature watch ended: %v", err)
+				}
+			}()
+		} else {
+			go func() {
+				err := client.Watch(ctx, *poll, func(set *signature.Set) {
+					be.reload(set)
+					log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
+				})
+				if err != nil && ctx.Err() == nil {
+					log.Printf("signature watch ended: %v", err)
+				}
+			}()
+		}
 	}
 
 	if *statsInt > 0 {
@@ -252,6 +300,9 @@ type backend interface {
 	// with the deciding version.
 	match(tenant string, p *httpmodel.Packet) ([]int, int64)
 	reload(set *signature.Set)
+	// reloadTenant pins one tenant's named set; a single-engine backend
+	// has no tenants and ignores it.
+	reloadTenant(name string, set *signature.Set)
 	statsLine() string
 	// stats writes the JSON snapshot; tenant selects one tenant's view
 	// in pool mode ("" means everything). It reports whether the tenant
@@ -271,9 +322,10 @@ func (b *engineBackend) match(_ string, p *httpmodel.Packet) ([]int, int64) {
 	return b.eng.MatchPacket(p), b.eng.Version()
 }
 
-func (b *engineBackend) reload(set *signature.Set) { b.eng.Reload(set) }
-func (b *engineBackend) statsLine() string         { return b.eng.Metrics().String() }
-func (b *engineBackend) close()                    { b.eng.Close() }
+func (b *engineBackend) reload(set *signature.Set)           { b.eng.Reload(set) }
+func (b *engineBackend) reloadTenant(string, *signature.Set) {}
+func (b *engineBackend) statsLine() string                   { return b.eng.Metrics().String() }
+func (b *engineBackend) close()                              { b.eng.Close() }
 
 func (b *engineBackend) stats(w io.Writer, tenant string) bool {
 	if tenant != "" {
@@ -289,8 +341,11 @@ type poolBackend struct {
 	keyFn func(*httpmodel.Packet) string
 }
 
-func newPoolBackend(set *signature.Set, cfg engine.PoolConfig, tenantBy string) *poolBackend {
-	keyFn := func(p *httpmodel.Packet) string {
+// tenantKeyFn maps packets to tenant keys per the -tenant-by flag — the
+// same keying for pool routing and for learner tenancy, so learned named
+// sets always land on the tenants that produced the misses.
+func tenantKeyFn(tenantBy string) func(*httpmodel.Packet) string {
+	return func(p *httpmodel.Packet) string {
 		key := p.App
 		if tenantBy == "host" || key == "" {
 			key = p.Host
@@ -300,7 +355,10 @@ func newPoolBackend(set *signature.Set, cfg engine.PoolConfig, tenantBy string) 
 		}
 		return key
 	}
-	return &poolBackend{pool: engine.NewPool(set, cfg), keyFn: keyFn}
+}
+
+func newPoolBackend(set *signature.Set, cfg engine.PoolConfig, tenantBy string) *poolBackend {
+	return &poolBackend{pool: engine.NewPool(set, cfg), keyFn: tenantKeyFn(tenantBy)}
 }
 
 func (b *poolBackend) submitter(tenant string) func(*httpmodel.Packet) error {
@@ -323,7 +381,10 @@ func (b *poolBackend) match(tenant string, p *httpmodel.Packet) ([]int, int64) {
 }
 
 func (b *poolBackend) reload(set *signature.Set) { b.pool.Reload(set) }
-func (b *poolBackend) close()                    { b.pool.Close() }
+func (b *poolBackend) reloadTenant(name string, set *signature.Set) {
+	b.pool.ReloadTenant(name, set)
+}
+func (b *poolBackend) close() { b.pool.Close() }
 
 func (b *poolBackend) statsLine() string {
 	s := b.pool.Metrics()

@@ -12,6 +12,14 @@
 //
 //	siggend -server http://127.0.0.1:8700 -listen :8810 -interval 30s
 //	siggend -server http://127.0.0.1:8700 -benign benign.jsonl < misses.jsonl
+//	siggend -server http://127.0.0.1:8700 -tenant-by app -tenant-sets < misses.jsonl
+//
+// With -tenant-sets the learner distills one named set per tenant (the
+// -tenant-by key) alongside the global set and publishes each under
+// /sets/{tenant}/ with its own version sequence, so pools can pin
+// per-population signatures via ReloadTenant instead of sharing one
+// flattened set. Signatures whose source clusters go stale are dropped
+// from the next published versions (drift retirement).
 //
 // Packets enter as NDJSON on stdin (pipe mode: a final epoch runs at
 // EOF, then the daemon exits unless -listen is set) and/or over HTTP:
@@ -58,6 +66,7 @@ func main() {
 		interval = flag.Duration("interval", 30*time.Second, "generation epoch cadence (0: only the final stdin epoch)")
 		benignIn = flag.String("benign", "", "benign capture (JSONL) for the Bayes and held-out FP gates")
 		tenantBy = flag.String("tenant-by", "app", "reservoir tenant key: app | host | none")
+		tenants  = flag.Bool("tenant-sets", false, "publish one named set per tenant alongside the global set")
 
 		reservoir   = flag.Int("reservoir", 256, "per-tenant reservoir size")
 		maxTenants  = flag.Int("max-tenants", 64, "tenants with private reservoirs; the rest share one")
@@ -107,10 +116,21 @@ func main() {
 		MaxHoldoutFP:        *maxFP,
 		GenerateInterval:    *interval,
 		MinNewSamples:       *minSamples,
+		TenantSets:          *tenants,
 		Seed:                *seed,
 		OnPublish: func(set *signature.Set) {
 			log.Printf("published version %d: %d signatures", set.Version, set.Len())
 		},
+	}
+	if *tenants {
+		if *tenantBy == "none" {
+			log.Fatal("-tenant-sets needs a tenant key; use -tenant-by app or host")
+		}
+		cfg.OnPublishNamed = func(name string, set *signature.Set) {
+			if name != "" {
+				log.Printf("published set %q version %d: %d signatures", name, set.Version, set.Len())
+			}
+		}
 	}
 	if *server != "" {
 		cfg.Publisher = siggen.NewHTTPPublisher(*server, *token)

@@ -393,3 +393,182 @@ func TestClosedLoopOnlineGeneration(t *testing.T) {
 	cancel()
 	<-watchDone
 }
+
+// TestPerTenantClosedLoopIsolationAndRetirement is the acceptance test
+// for the per-tenant signature lifecycle (learn → publish → pin →
+// retire): a multi-tenant pool starts on an EMPTY set, tenant A streams
+// leaking traffic while tenant B stays clean, and the learner —
+// distilling one named set per tenant, publishing over the sigserver
+// /sets/{name} HTTP API, with the pool pinning named sets via a
+// WatchSets → ReloadTenant wire — must close the loop so that tenant A's
+// replayed trace is flagged while the SAME trace under tenant B's key is
+// not. Then the population goes quiet: staleness pruning retires the
+// source clusters, the learner publishes shrunken (empty) versions, and
+// the pool converges off the retired signatures without a restart.
+func TestPerTenantClosedLoopIsolationAndRetirement(t *testing.T) {
+	leakPkt := func(i int) *httpmodel.Packet {
+		return httpmodel.Get("ads.tracker-net.example", "/ad/fetch").
+			App("com.a").
+			ID(int64(i)).
+			Query("zone", "7").
+			Query("device_id", "IMEI-358240051111110").
+			Query("aid", "9774d56d682e549c").
+			UserAgent("Dalvik/1.6.0").
+			Build()
+	}
+	benignPkt := func(i int) *httpmodel.Packet {
+		return httpmodel.Get("cdn.example.org", "/static/app.css").
+			App("com.b").
+			ID(int64(5000+i)).
+			Query("rev", "42").
+			UserAgent("Dalvik/1.6.0").
+			Build()
+	}
+
+	// Distribution server over real HTTP, named publish endpoints mounted.
+	srv := sigserver.New()
+	ts := httptest.NewServer(srv.HandlerWithPublish(""))
+	defer ts.Close()
+
+	// The learner distills per-tenant sets, its gates calibrated on a
+	// benign corpus (so tenant B's clean browsing never becomes a
+	// signature); aggressive staleness so the retirement phase needs only
+	// one idle epoch.
+	benignCorpus := make([]*httpmodel.Packet, 100)
+	for i := range benignCorpus {
+		benignCorpus[i] = benignPkt(9000 + i)
+	}
+	learner := siggen.NewService(siggen.Config{
+		Publisher:      siggen.NewHTTPPublisher(ts.URL, ""),
+		TenantSets:     true,
+		MinClusterSize: 2,
+		Benign:         benignCorpus,
+		Cluster:        siggen.ClusterConfig{StaleEpochs: 1},
+	})
+	defer learner.Close()
+
+	// The pool: empty default set, per-tenant miss sinks into the learner.
+	pool := engine.NewPool(nil, engine.PoolConfig{
+		Engine: engine.Config{Shards: 1, BatchSize: 4},
+		ConfigureTenant: func(key string, cfg engine.Config) engine.Config {
+			cfg.Sink = learner.MissSinkFor(key)
+			return cfg
+		},
+	})
+	defer pool.Close()
+
+	// Strict-isolation watch: each named set pins its tenant. The global
+	// set (the union across tenants) is deliberately not installed as the
+	// pool default — that would let tenant A's signatures fire on every
+	// unpinned tenant, the exact leakage this lifecycle exists to prevent.
+	client := sigserver.NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		client.WatchSets(ctx, 50*time.Millisecond, func(name string, set *signature.Set) {
+			if name == "" {
+				return
+			}
+			pool.ReloadTenant(name, set)
+		})
+	}()
+
+	// Pass 1: tenant A leaks, tenant B browses. Everything is a miss
+	// against the empty sets; only tenant A's reservoir fills with leak
+	// shapes.
+	for i := 0; i < 40; i++ {
+		if err := pool.Submit("tenant-a", leakPkt(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Submit("tenant-b", benignPkt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Flush()
+
+	// One learner epoch: cluster per tenant, distill, publish named sets.
+	published, err := learner.RunEpoch(ctx)
+	if err != nil {
+		t.Fatalf("learn epoch: %v", err)
+	}
+	if published == nil || published.Len() == 0 {
+		t.Fatalf("learner published no global set; stats %+v", learner.Stats())
+	}
+	setA, vA, _ := srv.CurrentNamed("tenant-a")
+	if vA == 0 || setA.Len() == 0 {
+		t.Fatalf("tenant-a named set missing: v=%d len=%d; stats %+v", vA, setA.Len(), learner.Stats())
+	}
+
+	// The pool must pin tenant A through the named-set watch.
+	waitTenantVersion := func(key string, v int64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if eng := pool.Tenant(key); eng != nil && eng.Version() == v {
+				return
+			}
+			if time.Now().After(deadline) {
+				eng := pool.Tenant(key)
+				t.Fatalf("tenant %s never reloaded to version %d (at %d)", key, v, eng.Version())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitTenantVersion("tenant-a", vA)
+
+	// Pass 2: replay. Tenant A's trace is flagged under tenant A's key —
+	// and the SAME trace under tenant B's key is not: B never exhibited
+	// that traffic, so A's learned signatures must not fire on it.
+	aHits := 0
+	for i := 0; i < 40; i++ {
+		if len(pool.MatchPacket("tenant-a", leakPkt(1000+i))) > 0 {
+			aHits++
+		}
+		if got := pool.MatchPacket("tenant-b", leakPkt(1000+i)); len(got) != 0 {
+			t.Fatalf("tenant-a's learned signatures fired on tenant-b (matched %v)", got)
+		}
+		if got := pool.MatchPacket("tenant-b", benignPkt(1000+i)); len(got) != 0 {
+			t.Fatalf("tenant-b's own traffic flagged (matched %v)", got)
+		}
+	}
+	if aHits == 0 {
+		t.Fatalf("tenant-a replay was not flagged; published %d signatures", setA.Len())
+	}
+	t.Logf("per-tenant loop: tenant-a set v%d (%d signatures) flagged %d/40 replayed packets; tenant-b clean",
+		vA, setA.Len(), aHits)
+
+	// Phase 3: drift retirement. The population goes quiet; idle epochs
+	// age its clusters out, and the learner must publish shrunken
+	// versions — empty sets — that the watch delivers to the pool.
+	var retired *signature.Set
+	for i := 0; i < 4 && retired == nil; i++ {
+		set, err := learner.RunEpoch(ctx)
+		if err != nil {
+			t.Fatalf("idle epoch %d: %v", i, err)
+		}
+		if set != nil && set.Len() == 0 {
+			retired = set
+		}
+	}
+	if retired == nil {
+		t.Fatalf("drift retirement never published; stats %+v", learner.Stats())
+	}
+	setA2, vA2, _ := srv.CurrentNamed("tenant-a")
+	if setA2.Len() != 0 || vA2 <= vA {
+		t.Fatalf("tenant-a named set not retired: %d sigs at v%d (was v%d)", setA2.Len(), vA2, vA)
+	}
+	waitTenantVersion("tenant-a", vA2)
+	for i := 0; i < 40; i++ {
+		if got := pool.MatchPacket("tenant-a", leakPkt(2000+i)); len(got) != 0 {
+			t.Fatalf("retired signatures still fire on tenant-a (matched %v)", got)
+		}
+	}
+	if st := learner.Stats(); st.RetiredSig == 0 {
+		t.Fatalf("no retirement counted: %+v", st)
+	}
+	t.Logf("drift retirement: tenant-a converged to empty v%d; global empty v%d", vA2, retired.Version)
+	cancel()
+	<-watchDone
+}

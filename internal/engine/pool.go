@@ -24,7 +24,11 @@ type PoolConfig struct {
 	// tenants; 0 means runtime.GOMAXPROCS(0). Tenants created after the
 	// budget is exhausted still run, degraded to one shard each, so
 	// admission never fails — the budget shapes parallelism, not
-	// availability. Evicting a tenant returns its shards to the budget.
+	// availability. Degraded grants are not charged against the budget
+	// (ShardsInUse never exceeds ShardBudget); they are counted in
+	// PoolSnapshot.DegradedTenants instead, so budget pressure stays
+	// visible. Evicting a tenant returns its charged shards to the
+	// budget.
 	ShardBudget int
 
 	// MaxTenants caps concurrently live tenants; 0 means unlimited.
@@ -71,7 +75,8 @@ func (c PoolConfig) withDefaults() PoolConfig {
 type tenant struct {
 	key        string
 	eng        *Engine
-	shards     int          // shards charged against the pool budget
+	shards     int          // shards granted to the engine
+	charged    int          // shards charged against the pool budget (0 for degraded grants)
 	lastActive atomic.Int64 // unix nanos of the most recent use
 
 	// reloadMu orders signature swaps on this tenant: pinning and
@@ -98,7 +103,9 @@ type Pool struct {
 	mu          sync.RWMutex
 	tenants     map[string]*tenant
 	set         *signature.Set // default set for new and unpinned tenants
+	pins        map[string]*signature.Set
 	shardsInUse int
+	degraded    int // live tenants running on an uncharged 1-shard grant
 	closed      bool
 
 	created   atomic.Uint64
@@ -123,6 +130,7 @@ func NewPool(set *signature.Set, cfg PoolConfig) *Pool {
 		cfg:         cfg,
 		tenants:     make(map[string]*tenant),
 		set:         set,
+		pins:        make(map[string]*signature.Set),
 		stopJanitor: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 		start:       time.Now(),
@@ -151,7 +159,7 @@ func (p *Pool) Tenant(key string) *Engine {
 		t.touch()
 		return t.eng
 	}
-	t = p.create(key, nil)
+	t = p.create(key)
 	if t == nil {
 		return nil
 	}
@@ -160,9 +168,12 @@ func (p *Pool) Tenant(key string) *Engine {
 
 // create makes (or returns the raced-in) tenant for key, charging the
 // shard budget and evicting the least-recently-active tenant when
-// MaxTenants overflows. pin, when non-nil, becomes the tenant's private
-// signature set. It returns nil only when the pool is closed.
-func (p *Pool) create(key string, pin *signature.Set) *tenant {
+// MaxTenants overflows. A set pinned earlier via ReloadTenant (the pin
+// table survives eviction) becomes the new engine's signature set, so
+// recreation after idle/LRU eviction never silently falls back to the
+// pool default — per-tenant isolation holds across pool churn. It
+// returns nil only when the pool is closed.
+func (p *Pool) create(key string) *tenant {
 	for {
 		p.mu.Lock()
 		if p.closed {
@@ -171,9 +182,6 @@ func (p *Pool) create(key string, pin *signature.Set) *tenant {
 		}
 		if t := p.tenants[key]; t != nil {
 			p.mu.Unlock()
-			if pin != nil {
-				t.pin(pin)
-			}
 			t.touch()
 			return t
 		}
@@ -200,14 +208,26 @@ func (p *Pool) create(key string, pin *signature.Set) *tenant {
 		if grant <= 0 {
 			grant = runtime.GOMAXPROCS(0)
 		}
+		degraded := false
 		if free := p.cfg.ShardBudget - p.shardsInUse; grant > free {
-			grant = free
+			if free >= 1 {
+				grant = free
+			} else {
+				// Budget exhausted: degrade to one shard, never refuse —
+				// but charge nothing, or ShardsInUse would exceed the
+				// budget and the books could never reconcile.
+				grant = 1
+				degraded = true
+			}
 		}
-		if grant < 1 {
-			grant = 1 // budget exhausted: degrade, never refuse
+		if !degraded {
+			p.shardsInUse += grant
 		}
-		p.shardsInUse += grant
 		set := p.set
+		pin, pinned := p.pins[key]
+		if pinned {
+			set = pin
+		}
 		p.mu.Unlock()
 
 		cfg := p.cfg.Engine
@@ -218,20 +238,21 @@ func (p *Pool) create(key string, pin *signature.Set) *tenant {
 				cfg.Shards = grant
 			}
 		}
-		if pin != nil {
-			set = pin
+		charged := cfg.Shards
+		if degraded {
+			charged = 0
 		}
-		t := &tenant{key: key, eng: New(set, cfg), shards: cfg.Shards, pinned: pin != nil}
+		t := &tenant{key: key, eng: New(set, cfg), shards: cfg.Shards, charged: charged, pinned: pinned}
 		t.touch()
 
 		p.mu.Lock()
-		if refund := grant - t.shards; refund > 0 {
+		if refund := grant - t.shards; refund > 0 && !degraded {
 			p.shardsInUse -= refund // ConfigureTenant took fewer shards
 		}
 		if p.closed || p.tenants[key] != nil {
 			// Lost the race (or the pool closed): roll back and defer to
-			// the winner, re-entering the loop so a pin still lands.
-			p.shardsInUse -= t.shards
+			// the winner.
+			p.shardsInUse -= t.charged
 			p.mu.Unlock()
 			t.eng.Close()
 			if p.isClosed() {
@@ -240,7 +261,17 @@ func (p *Pool) create(key string, pin *signature.Set) *tenant {
 			continue
 		}
 		p.tenants[key] = t
+		if degraded {
+			p.degraded++
+		}
+		// A ReloadTenant racing the build may have pinned a newer set
+		// while the lock was dropped; it only saw the pin table (the
+		// tenant was not in the map yet), so land its set now.
+		latest, stillPinned := p.pins[key]
 		p.mu.Unlock()
+		if stillPinned && latest != set {
+			p.applyPin(t)
+		}
 		p.created.Add(1)
 		return t
 	}
@@ -253,13 +284,22 @@ func (p *Pool) isClosed() bool {
 	return p.closed
 }
 
-// pin installs a tenant-private signature set, ordered against pool-wide
-// reloads by reloadMu.
-func (t *tenant) pin(set *signature.Set) {
+// applyPin lands the pin table's current set on a live tenant, ordered
+// against pool-wide reloads by reloadMu. Re-reading the table under the
+// reload lock makes pin application convergent: however ReloadTenant
+// races tenant creation, the LAST application always installs the
+// latest pinned set.
+func (p *Pool) applyPin(t *tenant) {
 	t.reloadMu.Lock()
+	defer t.reloadMu.Unlock()
+	p.mu.RLock()
+	set, ok := p.pins[t.key]
+	p.mu.RUnlock()
+	if !ok {
+		return
+	}
 	t.pinned = true
 	t.eng.Reload(set)
-	t.reloadMu.Unlock()
 }
 
 // Submit queues one packet for the tenant, creating the tenant on first
@@ -292,7 +332,7 @@ func (p *Pool) TrySubmit(key string, pkt *httpmodel.Packet) bool {
 			return false
 		}
 		if t == nil {
-			if t = p.create(key, nil); t == nil {
+			if t = p.create(key); t == nil {
 				return false
 			}
 		}
@@ -340,12 +380,28 @@ func (p *Pool) Reload(set *signature.Set) {
 	}
 }
 
-// ReloadTenant pins a tenant-private signature set, creating the tenant
-// if needed — this is how one pool serves differently-signed populations
-// (per-app sets, per-cohort canary rollouts). Pool-wide Reload no longer
-// touches the tenant; Evict unpins it.
+// ReloadTenant pins a tenant-private signature set — this is how one
+// pool serves differently-signed populations (per-app sets, per-cohort
+// canary rollouts, the learner's per-tenant published sets). Pool-wide
+// Reload no longer touches the tenant. The pin is durable: it is
+// recorded even when the tenant is not live (no engine is eagerly
+// created — a fleet-wide set catalog can be pinned without
+// instantiating every tenant), and it survives idle/LRU eviction, so a
+// recreated tenant starts on its pinned set rather than silently
+// falling back to the pool default.
 func (p *Pool) ReloadTenant(key string, set *signature.Set) {
-	p.create(key, set)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.pins[key] = set
+	t := p.tenants[key]
+	p.mu.Unlock()
+	if t != nil {
+		p.applyPin(t)
+		t.touch()
+	}
 }
 
 // Evict drains and retires the tenant, folding its final counters into
@@ -360,7 +416,10 @@ func (p *Pool) Evict(key string) bool {
 		return false
 	}
 	delete(p.tenants, key)
-	p.shardsInUse -= t.shards
+	p.shardsInUse -= t.charged
+	if t.charged == 0 {
+		p.degraded--
+	}
 	p.mu.Unlock()
 
 	t.eng.Close() // drains every accepted packet
@@ -458,6 +517,7 @@ func (p *Pool) Close() {
 	}
 	p.tenants = make(map[string]*tenant)
 	p.shardsInUse = 0
+	p.degraded = 0
 	p.mu.Unlock()
 
 	close(p.stopJanitor)
@@ -484,7 +544,12 @@ type PoolSnapshot struct {
 	Created     uint64 // tenants ever created
 	Evicted     uint64 // tenants evicted (idle, LRU, or explicit)
 	ShardBudget int    // configured global shard budget
-	ShardsInUse int    // shards charged by live tenants
+	ShardsInUse int    // shards charged by live tenants (never exceeds ShardBudget)
+
+	// DegradedTenants counts live tenants created after the budget was
+	// exhausted: they run on a single uncharged shard until evicted, so a
+	// non-zero value is the operator's signal of budget pressure.
+	DegradedTenants int
 
 	// Aggregate sums counters across live and evicted tenants. Its
 	// latency quantiles are zero — per-tenant quantiles cannot be merged
@@ -502,12 +567,13 @@ func (p *Pool) Metrics() PoolSnapshot {
 		tenants[k] = t
 	}
 	snap := PoolSnapshot{
-		Tenants:     len(tenants),
-		Created:     p.created.Load(),
-		Evicted:     p.evictions.Load(),
-		ShardBudget: p.cfg.ShardBudget,
-		ShardsInUse: p.shardsInUse,
-		PerTenant:   make(map[string]Snapshot, len(tenants)),
+		Tenants:         len(tenants),
+		Created:         p.created.Load(),
+		Evicted:         p.evictions.Load(),
+		ShardBudget:     p.cfg.ShardBudget,
+		ShardsInUse:     p.shardsInUse,
+		DegradedTenants: p.degraded,
+		PerTenant:       make(map[string]Snapshot, len(tenants)),
 		Aggregate: Snapshot{
 			Ingested:    p.retIngested,
 			Processed:   p.retProcessed,

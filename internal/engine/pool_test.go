@@ -362,3 +362,88 @@ func TestPoolEvictRacesSinkFlush(t *testing.T) {
 		t.Fatalf("sink saw %d packets, want %d (lost across eviction)", got, workers*perWorker)
 	}
 }
+
+// TestPoolBudgetNeverOverCommits is the regression for the shard-budget
+// over-commit: create() granted a degraded single shard when the budget
+// was exhausted but still charged it, so ShardsInUse could exceed
+// ShardBudget and the books never reconciled. Degraded grants must be
+// uncharged and visible through DegradedTenants.
+func TestPoolBudgetNeverOverCommits(t *testing.T) {
+	p := NewPool(nil, PoolConfig{
+		Engine:      Config{Shards: 2, BatchSize: 4},
+		ShardBudget: 4,
+	})
+	defer p.Close()
+
+	// Exhaust the budget, then keep creating: t1+t2 spend the 4 shards,
+	// t3..t5 run degraded on uncharged single shards.
+	for _, key := range []string{"t1", "t2", "t3", "t4", "t5"} {
+		p.Tenant(key)
+	}
+	snap := p.Metrics()
+	if snap.ShardsInUse > snap.ShardBudget {
+		t.Fatalf("books over-committed: %d shards in use, budget %d", snap.ShardsInUse, snap.ShardBudget)
+	}
+	if snap.ShardsInUse != 4 || snap.DegradedTenants != 3 {
+		t.Fatalf("at exhaustion: in-use=%d degraded=%d, want 4 and 3", snap.ShardsInUse, snap.DegradedTenants)
+	}
+	for _, key := range []string{"t3", "t4", "t5"} {
+		if snap.PerTenant[key].Shards != 1 {
+			t.Fatalf("degraded tenant %s got %d shards, want 1", key, snap.PerTenant[key].Shards)
+		}
+	}
+
+	// Evicting a charged tenant frees real shards; evicting a degraded
+	// one frees none but clears the pressure signal.
+	p.Evict("t1")
+	p.Evict("t3")
+	snap = p.Metrics()
+	if snap.ShardsInUse != 2 || snap.DegradedTenants != 2 {
+		t.Fatalf("after evictions: in-use=%d degraded=%d, want 2 and 2", snap.ShardsInUse, snap.DegradedTenants)
+	}
+
+	// A tenant created into the freed budget is charged normally again.
+	p.Tenant("t6")
+	snap = p.Metrics()
+	if snap.PerTenant["t6"].Shards != 2 || snap.ShardsInUse != 4 || snap.DegradedTenants != 2 {
+		t.Fatalf("post-eviction creation: shards=%d in-use=%d degraded=%d, want 2, 4, 2",
+			snap.PerTenant["t6"].Shards, snap.ShardsInUse, snap.DegradedTenants)
+	}
+	if snap.ShardsInUse > snap.ShardBudget {
+		t.Fatalf("books over-committed after recycle: %d > %d", snap.ShardsInUse, snap.ShardBudget)
+	}
+}
+
+// TestPoolPinSurvivesEviction pins the durability contract ReloadTenant
+// gained: a pin is recorded without eagerly creating an engine, and a
+// tenant recreated after eviction starts on its pinned set — never
+// silently back on the pool default (which may hold other populations'
+// signatures).
+func TestPoolPinSurvivesEviction(t *testing.T) {
+	p := NewPool(tokenSet(1, "default-token"), PoolConfig{Engine: Config{Shards: 1}})
+	defer p.Close()
+
+	p.ReloadTenant("pinned", tokenSet(5, "pinned-token"))
+	if got := len(p.Tenants()); got != 0 {
+		t.Fatalf("ReloadTenant eagerly created %d engines", got)
+	}
+	if m := p.MatchPacket("pinned", pkt(0, "h.example.com", "pinned-token")); len(m) == 0 {
+		t.Fatal("lazily created tenant did not start on its pinned set")
+	}
+
+	if !p.Evict("pinned") {
+		t.Fatal("tenant missing")
+	}
+	if m := p.MatchPacket("pinned", pkt(0, "h.example.com", "pinned-token")); len(m) == 0 {
+		t.Fatal("eviction lost the pin: recreated tenant misses its pinned set")
+	}
+	if m := p.MatchPacket("pinned", pkt(0, "h.example.com", "default-token")); len(m) != 0 {
+		t.Fatal("recreated tenant fell back to the pool default set")
+	}
+
+	// Pool-wide reloads still skip the recreated pinned tenant.
+	p.Reload(tokenSet(9, "default-token"))
+	if m := p.MatchPacket("pinned", pkt(0, "h.example.com", "pinned-token")); len(m) == 0 {
+		t.Fatal("pool-wide reload overwrote a recreated tenant's pin")
+	}
+}

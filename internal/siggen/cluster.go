@@ -61,24 +61,42 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	return c
 }
 
+// member is one clustered packet with the tenant it was sampled from, so
+// a cluster's tenant mix is always derivable from its current window —
+// a population that drifts from tenant A to tenant B sheds A's tag as
+// A's packets age out of the ring.
+type member struct {
+	p      *httpmodel.Packet
+	tenant string
+}
+
 // rolling is one live cluster: a bounded member window around an elected
-// medoid.
+// medoid, with a stable identity that signature provenance hangs off.
 type rolling struct {
-	members   []*httpmodel.Packet
+	id        uint64 // stable identity; survives compaction, retired on prune
+	members   []member
 	next      int // ring cursor once members is full
 	medoid    *httpmodel.Packet
 	lastEpoch int // compaction epoch of the most recent arrival
 }
 
-// add appends the packet, overwriting the oldest member once the window
-// is full.
-func (r *rolling) add(p *httpmodel.Packet, maxMembers int) {
+// add appends the member, overwriting the oldest once the window is full.
+func (r *rolling) add(m member, maxMembers int) {
 	if len(r.members) < maxMembers {
-		r.members = append(r.members, p)
+		r.members = append(r.members, m)
 		return
 	}
-	r.members[r.next] = p
+	r.members[r.next] = m
 	r.next = (r.next + 1) % len(r.members)
+}
+
+// tenants counts the current window's members per tenant label.
+func (r *rolling) tenants() map[string]int {
+	out := make(map[string]int, 4)
+	for _, m := range r.members {
+		out[m.tenant]++
+	}
+	return out
 }
 
 // Clusterer maintains rolling clusters over an unbounded packet stream —
@@ -97,6 +115,7 @@ type Clusterer struct {
 
 	clusters []*rolling
 	epoch    int
+	nextID   uint64
 
 	observed uint64
 	rejected uint64 // arrivals dropped: table full and nothing close enough
@@ -118,10 +137,18 @@ func NewClusterer(cfg ClusterConfig, seed int64) *Clusterer {
 // Metric exposes the configured packet metric.
 func (c *Clusterer) Metric() *distance.Metric { return c.metric }
 
-// Observe assigns one packet: join the nearest cluster within the
-// threshold, else seed a new cluster, else (table full) drop. It reports
-// whether the packet was retained.
+// Observe assigns one unattributed packet — ObserveTenant with the empty
+// tenant label.
 func (c *Clusterer) Observe(p *httpmodel.Packet) bool {
+	return c.ObserveTenant(p, "")
+}
+
+// ObserveTenant assigns one packet sampled from tenant: join the nearest
+// cluster within the threshold, else seed a new cluster, else (table
+// full) drop. It reports whether the packet was retained. The tenant
+// label rides on the member so every cluster knows the tenant mix of its
+// current window — the provenance per-tenant signature sets distill from.
+func (c *Clusterer) ObserveTenant(p *httpmodel.Packet, tenant string) bool {
 	c.observed++
 	best, bestD := -1, 0.0
 	for i, cl := range c.clusters {
@@ -132,13 +159,15 @@ func (c *Clusterer) Observe(p *httpmodel.Packet) bool {
 	}
 	if best >= 0 && bestD <= c.joinAt {
 		cl := c.clusters[best]
-		cl.add(p, c.cfg.MaxMembers)
+		cl.add(member{p: p, tenant: tenant}, c.cfg.MaxMembers)
 		cl.lastEpoch = c.epoch
 		return true
 	}
 	if len(c.clusters) < c.cfg.MaxClusters {
+		c.nextID++
 		c.clusters = append(c.clusters, &rolling{
-			members:   []*httpmodel.Packet{p},
+			id:        c.nextID,
+			members:   []member{{p: p, tenant: tenant}},
 			medoid:    p,
 			lastEpoch: c.epoch,
 		})
@@ -153,7 +182,7 @@ func (c *Clusterer) Observe(p *httpmodel.Packet) bool {
 func (c *Clusterer) electMedoid(r *rolling) {
 	n := len(r.members)
 	if n <= 2 {
-		r.medoid = r.members[0]
+		r.medoid = r.members[0].p
 		return
 	}
 	candidates := c.sampleMembers(r, c.cfg.ElectSample)
@@ -173,22 +202,30 @@ func (c *Clusterer) electMedoid(r *rolling) {
 	r.medoid = best
 }
 
-// sampleMembers returns up to k distinct members, all of them when the
-// cluster is small.
+// sampleMembers returns up to k distinct member packets, all of them when
+// the cluster is small.
 func (c *Clusterer) sampleMembers(r *rolling, k int) []*httpmodel.Packet {
 	n := len(r.members)
 	if n <= k {
-		return r.members
+		out := make([]*httpmodel.Packet, n)
+		for i, m := range r.members {
+			out[i] = m.p
+		}
+		return out
 	}
 	idx := c.rng.Perm(n)[:k]
 	out := make([]*httpmodel.Packet, k)
 	for i, j := range idx {
-		out[i] = r.members[j]
+		out[i] = r.members[j].p
 	}
 	return out
 }
 
-// CompactStats reports what one compaction epoch did.
+// CompactStats reports what one compaction epoch did. Retired and
+// MergedInto carry the cluster-identity changes signature provenance
+// needs: a published signature whose source clusters all appear in
+// Retired (after following MergedInto renames) has lost its population
+// and is due for drift retirement.
 type CompactStats struct {
 	Epoch      int     // epoch number just completed
 	Clusters   int     // live clusters after compaction
@@ -196,6 +233,9 @@ type CompactStats struct {
 	Merged     int     // clusters folded into a neighbor
 	Pruned     int     // stale clusters dropped
 	Silhouette float64 // silhouette of the medoid clustering (0 when degenerate)
+
+	Retired    []uint64          // IDs of clusters pruned as stale this epoch
+	MergedInto map[uint64]uint64 // folded cluster ID → surviving cluster ID
 }
 
 // Compact advances the epoch: prune stale clusters, re-elect every
@@ -212,6 +252,7 @@ func (c *Clusterer) Compact() CompactStats {
 	for _, cl := range c.clusters {
 		if c.epoch-cl.lastEpoch > c.cfg.StaleEpochs {
 			st.Pruned++
+			st.Retired = append(st.Retired, cl.id)
 			continue
 		}
 		kept = append(kept, cl)
@@ -238,12 +279,16 @@ func (c *Clusterer) Compact() CompactStats {
 			dst := c.clusters[g[0]]
 			for _, idx := range g[1:] {
 				src := c.clusters[idx]
-				for _, p := range src.members {
-					dst.add(p, c.cfg.MaxMembers)
+				for _, m := range src.members {
+					dst.add(m, c.cfg.MaxMembers)
 				}
 				if src.lastEpoch > dst.lastEpoch {
 					dst.lastEpoch = src.lastEpoch
 				}
+				if st.MergedInto == nil {
+					st.MergedInto = make(map[uint64]uint64)
+				}
+				st.MergedInto[src.id] = dst.id
 				st.Merged++
 			}
 			if len(g) > 1 {
@@ -262,18 +307,44 @@ func (c *Clusterer) Compact() CompactStats {
 	return st
 }
 
-// Groups returns the member lists of every cluster holding at least
-// minSize packets — the input shape signature.Generate consumes. The
-// returned slices alias internal state; callers must not mutate them.
-func (c *Clusterer) Groups(minSize int) [][]*httpmodel.Packet {
+// Group is one live cluster's distillable view: its stable identity, the
+// member packets of its current window, and the tenant mix of those
+// members — the unit per-tenant signature sets are built from.
+type Group struct {
+	ID      uint64
+	Packets []*httpmodel.Packet
+	Tenants map[string]int
+}
+
+// TaggedGroups returns every cluster holding at least minSize packets as
+// a Group with provenance. The packet slices are fresh copies of the
+// member windows; the clusterer keeps no alias into them.
+func (c *Clusterer) TaggedGroups(minSize int) []Group {
 	if minSize < 1 {
 		minSize = 1
 	}
-	var out [][]*httpmodel.Packet
+	var out []Group
 	for _, cl := range c.clusters {
-		if len(cl.members) >= minSize {
-			out = append(out, cl.members)
+		if len(cl.members) < minSize {
+			continue
 		}
+		pkts := make([]*httpmodel.Packet, len(cl.members))
+		for i, m := range cl.members {
+			pkts[i] = m.p
+		}
+		out = append(out, Group{ID: cl.id, Packets: pkts, Tenants: cl.tenants()})
+	}
+	return out
+}
+
+// Groups returns the member packet lists of every cluster holding at
+// least minSize packets — the provenance-free form kept for callers that
+// only need the paper's cluster → signature input shape.
+func (c *Clusterer) Groups(minSize int) [][]*httpmodel.Packet {
+	tagged := c.TaggedGroups(minSize)
+	out := make([][]*httpmodel.Packet, len(tagged))
+	for i, g := range tagged {
+		out[i] = g.Packets
 	}
 	return out
 }

@@ -16,12 +16,23 @@ type DistillStats struct {
 	Candidates    int // signatures emitted by the conjunction generator
 	RejectedBayes int // dropped by the Bayes log-likelihood gate
 	RejectedFP    int // dropped by the held-out false-positive gate
-	Accepted      int // signatures in the returned set
+	Accepted      int // candidates surviving every gate
 }
 
-// distill turns cluster groups into a publishable conjunction set. Three
-// filters run in sequence, mirroring the paper's §VI concerns about
-// careless signatures:
+// candidate is one gate-surviving signature with its provenance: the
+// clusters it was distilled from (ID → member count at distillation)
+// and the tenant mix of their members. Provenance is what the Service's
+// published catalog keys retirement, per-tenant set assembly, and the
+// training-size stat off.
+type candidate struct {
+	sig     *signature.Signature
+	sources map[uint64]int // source cluster ID → member count
+	tenants map[string]int // member count per tenant across those clusters
+}
+
+// distill turns tagged cluster groups into publishable conjunction
+// candidates. Three filters run in sequence, mirroring the paper's §VI
+// concerns about careless signatures:
 //
 //  1. signature.Generate's own stoplist + benign-frequency token filters
 //     (benignTrain feeds the frequency filter);
@@ -36,60 +47,123 @@ type DistillStats struct {
 //
 // Gates 2 and 3 need benign corpora to calibrate against and pass
 // everything when theirs is empty.
-func distill(groups [][]*httpmodel.Packet, benignTrain, benignHold []*httpmodel.Packet,
-	opts signature.Options, bayesOpts signature.BayesOptions, maxHoldFP float64) (*signature.Set, DistillStats) {
+//
+// Generation runs one group at a time so each candidate knows exactly
+// which cluster produced it; two clusters distilling identical signatures
+// collapse into one candidate whose provenance names both.
+func distill(groups []Group, benignTrain, benignHold []*httpmodel.Packet,
+	opts signature.Options, bayesOpts signature.BayesOptions, maxHoldFP float64) ([]candidate, DistillStats) {
 
 	st := DistillStats{Groups: len(groups)}
-	opts.BenignSample = benignTrain
-	set := signature.Generate(groups, opts)
-	st.Candidates = set.Len()
-	if set.Len() == 0 {
-		return set, st
+	var cands []candidate
+	byKey := make(map[string]int) // signature key → index in cands
+	for _, g := range groups {
+		gopts := opts
+		gopts.BenignSample = benignTrain
+		set := signature.Generate([][]*httpmodel.Packet{g.Packets}, gopts)
+		for _, sig := range set.Signatures {
+			key := sig.Key()
+			if i, ok := byKey[key]; ok {
+				// Another cluster distilled the same signature: merge
+				// provenance, largest cluster wins the size tag.
+				c := &cands[i]
+				c.sources[g.ID] = len(g.Packets)
+				for tenant, n := range g.Tenants {
+					c.tenants[tenant] += n
+				}
+				if sig.ClusterSize > c.sig.ClusterSize {
+					c.sig.ClusterSize = sig.ClusterSize
+				}
+				continue
+			}
+			byKey[key] = len(cands)
+			tenants := make(map[string]int, len(g.Tenants))
+			for tenant, n := range g.Tenants {
+				tenants[tenant] = n
+			}
+			cands = append(cands, candidate{
+				sig:     sig,
+				sources: map[uint64]int{g.ID: len(g.Packets)},
+				tenants: tenants,
+			})
+		}
+	}
+	st.Candidates = len(cands)
+	if len(cands) == 0 {
+		return nil, st
 	}
 
 	if len(benignTrain) > 0 {
-		bayes := signature.GenerateBayes(groups, benignTrain, bayesOpts)
-		kept := set.Signatures[:0]
-		for _, sig := range set.Signatures {
+		packetGroups := make([][]*httpmodel.Packet, len(groups))
+		for i, g := range groups {
+			packetGroups[i] = g.Packets
+		}
+		bayes := signature.GenerateBayes(packetGroups, benignTrain, bayesOpts)
+		kept := cands[:0]
+		for _, c := range cands {
 			// A packet matching the conjunction contains every token, so
 			// the score of the joined tokens lower-bounds any matching
 			// packet's Bayes score; below threshold means the signature
 			// can only fire on Bayes-benign content.
-			content := []byte(strings.Join(sig.Tokens, "\n"))
+			content := []byte(strings.Join(c.sig.Tokens, "\n"))
 			if bayes.ScoreContent(content) <= bayes.Threshold {
 				st.RejectedBayes++
 				continue
 			}
-			kept = append(kept, sig)
+			kept = append(kept, c)
 		}
-		set.Signatures = kept
+		cands = kept
 	}
 
-	if len(benignHold) > 0 && len(set.Signatures) > 0 {
-		eng := detect.NewEngine(set)
-		hits := make(map[int]int, set.Len())
+	if len(benignHold) > 0 && len(cands) > 0 {
+		probe := &signature.Set{Signatures: make([]*signature.Signature, len(cands))}
+		for i, c := range cands {
+			cp := *c.sig
+			cp.ID = i
+			probe.Signatures[i] = &cp
+		}
+		eng := detect.NewEngine(probe)
+		hits := make(map[int]int, len(cands))
 		for _, p := range benignHold {
 			for _, id := range eng.MatchPacket(p) {
 				hits[id]++
 			}
 		}
 		limit := maxHoldFP * float64(len(benignHold))
-		kept := set.Signatures[:0]
-		for _, sig := range set.Signatures {
-			if float64(hits[sig.ID]) > limit {
+		kept := cands[:0]
+		for i, c := range cands {
+			if float64(hits[i]) > limit {
 				st.RejectedFP++
 				continue
 			}
-			kept = append(kept, sig)
+			kept = append(kept, c)
 		}
-		set.Signatures = kept
+		cands = kept
 	}
 
-	for i, sig := range set.Signatures {
-		sig.ID = i
+	st.Accepted = len(cands)
+	return cands, st
+}
+
+// assemble builds a publishable set from signatures, in canonical
+// (sorted key) order with fresh IDs. trainingSize is the packet count
+// across the UNIQUE source clusters behind the signatures — callers
+// compute it from provenance, because summing per-signature ClusterSize
+// would double-count clusters that distilled several signatures. The
+// signatures are copied, never shared: the same catalog entry may
+// appear in the global set and several tenant sets, each with its own
+// ID.
+func assemble(sigs []*signature.Signature, trainingSize int) *signature.Set {
+	sorted := make([]*signature.Signature, len(sigs))
+	copy(sorted, sigs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key() < sorted[j].Key() })
+	set := &signature.Set{Signatures: make([]*signature.Signature, len(sorted)), TrainingSize: trainingSize}
+	for i, sig := range sorted {
+		cp := *sig
+		cp.ID = i
+		set.Signatures[i] = &cp
 	}
-	st.Accepted = set.Len()
-	return set, st
+	return set
 }
 
 // setFingerprint canonically identifies a signature set's content (not

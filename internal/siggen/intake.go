@@ -21,6 +21,7 @@ type sample struct {
 type missSink struct {
 	svc    *Service
 	tenant string
+	keyFn  func(*httpmodel.Packet) string // overrides tenant when set
 }
 
 // MissSink returns an engine Sink that feeds the service's intake with
@@ -36,6 +37,14 @@ func (s *Service) MissSinkFor(tenant string) engine.Sink {
 	return missSink{svc: s, tenant: tenant}
 }
 
+// MissSinkBy is MissSink with a per-packet tenant key function — the
+// single-engine form of per-tenant learning (one engine serving mixed
+// traffic, tenancy riding on packet fields like App or Host). keyFn runs
+// on engine shard goroutines and must be cheap and concurrency-safe.
+func (s *Service) MissSinkBy(keyFn func(*httpmodel.Packet) string) engine.Sink {
+	return missSink{svc: s, keyFn: keyFn}
+}
+
 func (m missSink) Bind(shard, shards int) engine.ShardSink { return m }
 func (m missSink) CountOnly() bool                         { return false }
 func (m missSink) Count(bool)                              {}
@@ -44,7 +53,11 @@ func (m missSink) Verdict(v engine.Verdict) {
 	if v.Leak() {
 		return // already explained by a signature; nothing to learn
 	}
-	m.svc.Observe(m.tenant, v.Packet)
+	tenant := m.tenant
+	if m.keyFn != nil {
+		tenant = m.keyFn(v.Packet)
+	}
+	m.svc.Observe(tenant, v.Packet)
 }
 
 // Observe offers one unmatched/suspect flow to the learner directly —
@@ -82,7 +95,7 @@ func (s *Service) admit(smp sample) {
 			s.reservoirs[smp.tenant] = r
 		}
 	}
-	if r.offer(smp.p, s.rng) {
+	if r.offer(smp, s.rng) {
 		s.sampled.Add(1)
 	}
 	s.admitted.Add(1)

@@ -3,6 +3,7 @@ package siggen
 import (
 	"context"
 
+	"leaksig/internal/engine"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
@@ -21,8 +22,24 @@ type Publisher interface {
 	Publish(ctx context.Context, set *signature.Set) (int64, error)
 }
 
+// NamedPublisher is the per-tenant extension of Publisher: a publisher
+// that can route sets by name (sigserver's /sets/{name} endpoints).
+// When Config.TenantSets is on and the configured Publisher implements
+// NamedPublisher, each tenant's distilled set publishes under the tenant
+// key with its own version sequence; a plain Publisher receives only the
+// global set, and tenant sets reach OnPublishNamed alone.
+type NamedPublisher interface {
+	Publisher
+	// CurrentNamedVersion returns the named set's live version.
+	CurrentNamedVersion(ctx context.Context, name string) (int64, error)
+	// PublishNamed submits the set under name and returns the accepted
+	// version.
+	PublishNamed(ctx context.Context, name string, set *signature.Set) (int64, error)
+}
+
 // ServerPublisher publishes into an in-process sigserver.Server — the
 // embedded deployment (leakstream -learn against its own server, tests).
+// It implements NamedPublisher, so per-tenant sets land as named sets.
 type ServerPublisher struct{ Server *sigserver.Server }
 
 // CurrentVersion implements Publisher.
@@ -36,13 +53,25 @@ func (p ServerPublisher) Publish(_ context.Context, set *signature.Set) (int64, 
 	return p.Server.PublishVersioned(set)
 }
 
+// CurrentNamedVersion implements NamedPublisher.
+func (p ServerPublisher) CurrentNamedVersion(_ context.Context, name string) (int64, error) {
+	_, v, _ := p.Server.CurrentNamed(name)
+	return v, nil
+}
+
+// PublishNamed implements NamedPublisher.
+func (p ServerPublisher) PublishNamed(_ context.Context, name string, set *signature.Set) (int64, error) {
+	return p.Server.PublishNamedVersioned(name, set)
+}
+
 // httpPublisher publishes over sigserver's HTTP API — the cmd/siggend
 // deployment against a remote distribution server.
 type httpPublisher struct{ client *sigserver.Client }
 
 // NewHTTPPublisher returns a publisher POSTing to the sigserver at base
 // (e.g. "http://127.0.0.1:8700"); token, when non-empty, is sent as the
-// publish bearer token.
+// publish bearer token. The returned publisher implements NamedPublisher:
+// per-tenant sets POST to /sets/{tenant}/publish.
 func NewHTTPPublisher(base, token string) Publisher {
 	c := sigserver.NewClient(base, nil)
 	c.SetToken(token)
@@ -57,4 +86,33 @@ func (p httpPublisher) CurrentVersion(ctx context.Context) (int64, error) {
 // Publish implements Publisher.
 func (p httpPublisher) Publish(ctx context.Context, set *signature.Set) (int64, error) {
 	return p.client.Publish(ctx, set)
+}
+
+// CurrentNamedVersion implements NamedPublisher.
+func (p httpPublisher) CurrentNamedVersion(ctx context.Context, name string) (int64, error) {
+	return p.client.VersionNamed(ctx, name)
+}
+
+// PublishNamed implements NamedPublisher.
+func (p httpPublisher) PublishNamed(ctx context.Context, name string, set *signature.Set) (int64, error) {
+	return p.client.PublishNamed(ctx, name, set)
+}
+
+// PoolReloader returns a Config.OnPublishNamed hook that lands published
+// per-tenant sets in an engine.Pool without a server round trip — the
+// in-process closed loop. Each tenant set pins its tenant via
+// Pool.ReloadTenant, so tenant A's learned signatures fire only on
+// tenant A's traffic. The global set ("") is deliberately NOT installed
+// as the pool default: it is the union across tenants, and making it the
+// default would let one tenant's learned signatures fire on every
+// unpinned tenant — the exact cross-tenant leakage per-tenant sets
+// exist to prevent. Wire Config.OnPublish to Pool.Reload yourself if
+// unpinned tenants should follow the union.
+func PoolReloader(p *engine.Pool) func(name string, set *signature.Set) {
+	return func(name string, set *signature.Set) {
+		if name == "" {
+			return
+		}
+		p.ReloadTenant(name, set)
+	}
 }

@@ -2,8 +2,6 @@ package siggen
 
 import (
 	"math/rand"
-
-	"leaksig/internal/httpmodel"
 )
 
 // reservoir is a bounded uniform sample of a packet stream (Vitter's
@@ -11,27 +9,29 @@ import (
 // the i-th offer replaces a random stored packet with probability
 // capacity/i. Storage is therefore hard-bounded at capacity packets no
 // matter how fast a tenant bursts, while remaining a uniform sample of
-// everything offered since the last take.
+// everything offered since the last take. Samples keep their tenant label
+// so provenance survives the shared overflow reservoir, where flows from
+// many tenants mix.
 type reservoir struct {
-	buf  []*httpmodel.Packet
+	buf  []sample
 	seen uint64 // offers since the last take
 	cap  int
 }
 
 func newReservoir(capacity int) *reservoir {
-	return &reservoir{buf: make([]*httpmodel.Packet, 0, capacity), cap: capacity}
+	return &reservoir{buf: make([]sample, 0, capacity), cap: capacity}
 }
 
-// offer admits the packet into the sample with the reservoir probability
-// and reports whether it was stored.
-func (r *reservoir) offer(p *httpmodel.Packet, rng *rand.Rand) bool {
+// offer admits the sample with the reservoir probability and reports
+// whether it was stored.
+func (r *reservoir) offer(smp sample, rng *rand.Rand) bool {
 	r.seen++
 	if len(r.buf) < r.cap {
-		r.buf = append(r.buf, p)
+		r.buf = append(r.buf, smp)
 		return true
 	}
 	if j := rng.Int63n(int64(r.seen)); j < int64(r.cap) {
-		r.buf[j] = p
+		r.buf[j] = smp
 		return true
 	}
 	return false
@@ -40,9 +40,9 @@ func (r *reservoir) offer(p *httpmodel.Packet, rng *rand.Rand) bool {
 // take returns the sampled packets and resets the reservoir for the next
 // epoch, so each epoch clusters a fresh uniform sample of that epoch's
 // stream.
-func (r *reservoir) take() []*httpmodel.Packet {
+func (r *reservoir) take() []sample {
 	out := r.buf
-	r.buf = make([]*httpmodel.Packet, 0, r.cap)
+	r.buf = make([]sample, 0, r.cap)
 	r.seen = 0
 	return out
 }

@@ -13,38 +13,52 @@
 //	          so burst load can never grow learner memory and the sampled
 //	          corpus stays uniform over each epoch's traffic;
 //	cluster:  a rolling medoid clusterer assigns each sampled flow on
-//	          arrival (no from-scratch re-clustering), with epoch
+//	          arrival (no from-scratch re-clustering), tagging every
+//	          cluster with the tenant mix of its members, with epoch
 //	          compaction that re-elects medoids, agglomerates them with
 //	          internal/cluster, merges below-threshold neighbors, and
 //	          forgets stale clusters;
 //	publish:  each epoch distills candidate conjunction signatures from
 //	          the mature clusters, gates them through a Bayes model and a
-//	          held-out false-positive corpus, and — when the accepted set
-//	          actually changed — publishes it to a sigserver with a
-//	          strictly increasing version, which every watching engine
-//	          hot-reloads.
+//	          held-out false-positive corpus, folds survivors into a
+//	          published catalog that remembers which clusters sourced
+//	          each signature, and — when content actually changed —
+//	          publishes the global set plus (with TenantSets) one named
+//	          set per tenant, each under its own strictly increasing
+//	          version, which every watching engine hot-reloads.
+//
+// The catalog is also where drift retirement lives: when staleness
+// pruning retires every cluster that sourced a published signature, the
+// signature leaves the catalog and the next epoch publishes sets without
+// it — signatures age out as app/library traffic evolves instead of
+// accumulating forever. A tenant whose signatures all retire gets one
+// final empty publish so watchers converge, then drops out of the
+// learner's books entirely.
 //
 // Detection and generation thereby form the closed loop of the paper's
 // Figure 3: traffic the current signatures cannot explain is exactly the
-// corpus the next signature generation learns from.
+// corpus the next signature generation learns from — per population, the
+// way the paper's per-module signatures isolate ad libraries.
 package siggen
 
 import (
 	"context"
 	"errors"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
 )
 
 // Config parameterizes the service. The zero value selects the defaults
 // noted on each field; only Publisher is required for auto-publishing
 // (without it epochs still cluster and distill, returning sets to the
-// RunEpoch caller).
+// RunEpoch caller and feeding OnPublishNamed).
 type Config struct {
 	// Cluster tunes the incremental clusterer (distance metric, join
 	// threshold, table bounds, staleness).
@@ -55,7 +69,9 @@ type Config struct {
 
 	// MaxTenantReservoirs bounds how many tenants get private
 	// reservoirs; tenants past the cap share one overflow reservoir
-	// (tenant keys can be attacker-influenced). Default 64.
+	// (tenant keys can be attacker-influenced). Reservoir slots are
+	// released every epoch, so the cap bounds tenants per epoch, not
+	// tenants ever seen. Default 64.
 	MaxTenantReservoirs int
 
 	// IntakeDepth is the sink-to-learner queue bound in packets; a full
@@ -88,11 +104,20 @@ type Config struct {
 	// may match before it is dropped; default 0.01.
 	MaxHoldoutFP float64
 
-	// MinSilhouette, when positive, skips publishing for epochs whose
-	// medoid-clustering silhouette falls below it — a low score means
-	// the clusters are not separable enough to trust their signatures.
-	// 0 disables the gate.
+	// MinSilhouette, when positive, skips publishing fresh content for
+	// epochs whose medoid-clustering silhouette falls below it — a low
+	// score means the clusters are not separable enough to trust their
+	// signatures. Cached sets from failed publishes still retry. 0
+	// disables the gate.
 	MinSilhouette float64
+
+	// TenantSets, when true, distills one named signature set per tenant
+	// alongside the global set: a signature lands in tenant T's set when
+	// T's traffic is part of its source clusters' member mix. Named sets
+	// publish through the Publisher's NamedPublisher side (when
+	// implemented) and through OnPublishNamed, each tenant under its own
+	// strictly increasing version.
+	TenantSets bool
 
 	// GenerateInterval is the epoch cadence of the background loop; 0
 	// disables the timer, leaving epochs to explicit RunEpoch calls
@@ -103,13 +128,23 @@ type Config struct {
 	// arrived since the last one; default 1. RunEpoch ignores it.
 	MinNewSamples int
 
-	// Publisher receives accepted sets; nil disables auto-publish.
+	// Publisher receives accepted sets; nil disables remote publishing
+	// (sets still reach OnPublish/OnPublishNamed with locally stamped
+	// versions). A Publisher that also implements NamedPublisher
+	// receives per-tenant sets under their names.
 	Publisher Publisher
 
-	// OnPublish, when non-nil, observes every successful publish with
-	// the accepted set (Version already assigned). It runs on the epoch
-	// goroutine.
+	// OnPublish, when non-nil, observes every successful global-set
+	// publish with the accepted set (Version already assigned). It runs
+	// on the epoch goroutine with the service lock held; it must not
+	// call back into the service.
 	OnPublish func(set *signature.Set)
+
+	// OnPublishNamed, when non-nil, observes every successful publish —
+	// the global set as "", each tenant set under its tenant key. This
+	// is the in-process route for landing per-tenant sets in an
+	// engine.Pool (see PoolReloader). Same execution rules as OnPublish.
+	OnPublishNamed func(name string, set *signature.Set)
 
 	// Seed fixes the reservoir and medoid-election randomness; default 1.
 	Seed int64
@@ -140,30 +175,55 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// publishedSig is one catalog entry: a published (or to-be-published)
+// signature with the provenance drift retirement and per-tenant set
+// assembly need.
+type publishedSig struct {
+	sig     *signature.Signature
+	sources map[uint64]int // live source cluster ID → member count when distilled
+	tenants map[string]int // member count per tenant across those clusters
+}
+
+// pubState tracks one published name's delivery state: the version
+// sequence, the content fingerprint of the last successful publish, and
+// a cached set awaiting retry after a failed publish.
+type pubState struct {
+	lastVersion     int64
+	lastFingerprint string
+	pending         *signature.Set
+	pendingFP       string
+}
+
+// namedPublish is one (name, set) pair an epoch decided to ship.
+type namedPublish struct {
+	name string
+	set  *signature.Set
+	fp   string
+}
+
 // Service is the online signature generator. Construct with NewService;
 // all methods are safe for concurrent use. Feed it through MissSink /
-// MissSinkFor (engine sinks) or Observe (direct), and either let the
-// GenerateInterval loop publish or drive epochs yourself with RunEpoch.
+// MissSinkFor / MissSinkBy (engine sinks) or Observe (direct), and either
+// let the GenerateInterval loop publish or drive epochs yourself with
+// RunEpoch.
 type Service struct {
 	cfg Config
 
 	intake chan sample
 
-	// mu guards the learner state: reservoirs, clusterer, distillation
-	// bookkeeping, and the epoch path itself.
-	mu              sync.Mutex
-	reservoirs      map[string]*reservoir
-	overflow        *reservoir
-	clusterer       *Clusterer
-	rng             *rand.Rand
-	newSamples      int            // samples admitted since the last epoch
-	pendingSet      *signature.Set // generated but not yet published (publish failed)
-	pendingFP       string         // fingerprint of pendingSet
-	publishing      bool           // a publisher round trip is in flight (s.mu released)
-	lastVersion     int64          // latest version we know the publisher holds
-	lastFingerprint string         // content identity of the last published set
-	lastCompact     CompactStats
-	lastDistill     DistillStats
+	// mu guards the learner state: reservoirs, clusterer, catalog,
+	// publish states, and the epoch path itself.
+	mu          sync.Mutex
+	reservoirs  map[string]*reservoir
+	overflow    *reservoir
+	clusterer   *Clusterer
+	rng         *rand.Rand
+	newSamples  int                      // samples admitted since the last epoch
+	catalog     map[string]*publishedSig // published signatures by key
+	pubs        map[string]*pubState     // per published-name delivery state; "" = global
+	publishing  bool                     // a publisher round trip is in flight (s.mu released)
+	lastCompact CompactStats
+	lastDistill DistillStats
 
 	observed        atomic.Uint64
 	sinkDropped     atomic.Uint64
@@ -172,7 +232,9 @@ type Service struct {
 	overflowTenants atomic.Uint64
 	epochs          atomic.Uint64
 	publishes       atomic.Uint64
+	namedPublishes  atomic.Uint64
 	publishErrors   atomic.Uint64
+	retiredSigs     atomic.Uint64
 
 	benignTrain []*httpmodel.Packet
 	benignHold  []*httpmodel.Packet
@@ -194,6 +256,8 @@ func NewService(cfg Config) *Service {
 		overflow:   newReservoir(cfg.ReservoirSize),
 		clusterer:  NewClusterer(cfg.Cluster, cfg.Seed),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		catalog:    make(map[string]*publishedSig),
+		pubs:       make(map[string]*pubState),
 		stop:       make(chan struct{}),
 		loopDone:   make(chan struct{}),
 	}
@@ -223,13 +287,13 @@ func (s *Service) run() {
 			switch {
 			case s.newSamples >= s.cfg.MinNewSamples:
 				s.epochLocked(context.Background())
-			case s.pendingSet != nil:
-				// Retry a generated-but-unpublished set without running
+			case s.hasPendingLocked():
+				// Retry generated-but-unpublished sets without running
 				// the cluster pipeline: a pure retry must not advance
 				// the clusterer epoch (staleness pruning would discard
-				// the clusters while the server is down), and the set
-				// itself is already cached.
-				s.publishLocked(context.Background(), s.pendingSet, s.pendingFP)
+				// the clusters while the server is down), and the sets
+				// themselves are already cached.
+				s.publishLocked(context.Background(), s.pendingBatchLocked())
 			}
 			s.mu.Unlock()
 		case <-s.stop:
@@ -239,10 +303,11 @@ func (s *Service) run() {
 }
 
 // RunEpoch drains any queued intake, runs one full epoch — cluster the
-// reservoir samples, compact, distill, publish if changed — and returns
-// the set it published (nil when nothing was generated or nothing
-// changed). The error reports publish failures; generation itself cannot
-// fail.
+// reservoir samples, compact, retire, distill, publish what changed —
+// and returns the global set it published (nil when nothing was
+// generated or nothing changed; per-tenant publishes surface through
+// OnPublishNamed). The error reports the first publish failure;
+// generation itself cannot fail.
 func (s *Service) RunEpoch(ctx context.Context) (*signature.Set, error) {
 	// Every sample observed before this call must make the epoch. One
 	// may sit in the run() goroutine's hands — dequeued from the channel
@@ -282,9 +347,8 @@ func (s *Service) drainLocked() {
 // re-syncs its version and the next epoch retries.
 var errStalePublish = errors.New("siggen: publish raced a newer version")
 
-// publishTimeout bounds one epoch's publisher round trips so a hung
-// server costs one failed (and retried) publish, never a wedged epoch
-// goroutine.
+// publishTimeout bounds one publisher round trip so a hung server costs
+// one failed (and retried) publish, never a wedged epoch goroutine.
 const publishTimeout = 30 * time.Second
 
 // epochLocked is one generation epoch. Callers hold s.mu.
@@ -292,106 +356,355 @@ func (s *Service) epochLocked(ctx context.Context) (*signature.Set, error) {
 	s.epochs.Add(1)
 	s.newSamples = 0
 
-	// Stage 2: feed this epoch's samples into the rolling clusters,
-	// then compact.
-	for _, r := range s.reservoirs {
-		for _, p := range r.take() {
-			s.clusterer.Observe(p)
+	// Stage 2: feed this epoch's samples into the rolling clusters, then
+	// compact. Taking a reservoir empties it, and the slot itself is
+	// released: the tenant table only ever holds tenants seen since the
+	// last epoch, so transient tenant keys can never exhaust the
+	// MaxTenantReservoirs slots for everyone who comes later.
+	for key, r := range s.reservoirs {
+		for _, smp := range r.take() {
+			s.clusterer.ObserveTenant(smp.p, smp.tenant)
 		}
+		delete(s.reservoirs, key)
 	}
-	for _, p := range s.overflow.take() {
-		s.clusterer.Observe(p)
+	for _, smp := range s.overflow.take() {
+		s.clusterer.ObserveTenant(smp.p, smp.tenant)
 	}
 	s.lastCompact = s.clusterer.Compact()
 
-	// Stage 3: distill and gate.
-	groups := s.clusterer.Groups(s.cfg.MinClusterSize)
+	// Drift retirement: follow this compaction's merge renames, drop its
+	// retired clusters, and retire every catalog signature that lost its
+	// last source cluster — the next assembly simply no longer has it.
+	s.retireLocked(s.lastCompact)
+
+	// Stage 3: distill, gate, and fold survivors into the catalog.
+	groups := s.clusterer.TaggedGroups(s.cfg.MinClusterSize)
 	opts := s.cfg.Signature
 	opts.MinClusterSize = s.cfg.MinClusterSize
-	set, dst := distill(groups, s.benignTrain, s.benignHold, opts, s.cfg.Bayes, s.cfg.MaxHoldoutFP)
+	cands, dst := distill(groups, s.benignTrain, s.benignHold, opts, s.cfg.Bayes, s.cfg.MaxHoldoutFP)
 	s.lastDistill = dst
-	if set.Len() == 0 {
-		if s.pendingSet != nil {
-			// Nothing fresh, but an earlier generation still awaits
-			// publishing (its clusters may have been pruned since).
-			return s.publishLocked(ctx, s.pendingSet, s.pendingFP)
+	for _, c := range cands {
+		s.catalog[c.sig.Key()] = &publishedSig{sig: c.sig, sources: c.sources, tenants: c.tenants}
+	}
+
+	// Publish whatever changed. A silhouette below the quality gate
+	// holds back fresh content but still lets cached failed publishes
+	// retry — their content already cleared the gate once.
+	skipFresh := s.cfg.MinSilhouette > 0 && s.lastCompact.Silhouette < s.cfg.MinSilhouette
+	return s.publishLocked(ctx, s.buildBatchLocked(skipFresh))
+}
+
+// retireLocked applies one compaction's cluster-identity changes to the
+// catalog. Callers hold s.mu.
+func (s *Service) retireLocked(cs CompactStats) {
+	if len(s.catalog) == 0 || (len(cs.Retired) == 0 && len(cs.MergedInto) == 0) {
+		return
+	}
+	retired := make(map[uint64]struct{}, len(cs.Retired))
+	for _, id := range cs.Retired {
+		retired[id] = struct{}{}
+	}
+	for key, ps := range s.catalog {
+		next := make(map[uint64]int, len(ps.sources))
+		for src, size := range ps.sources {
+			if dst, ok := cs.MergedInto[src]; ok {
+				src = dst // the population lives on under the surviving ID
+			}
+			if _, gone := retired[src]; gone {
+				continue
+			}
+			if size > next[src] {
+				next[src] = size
+			}
+		}
+		if len(next) == 0 {
+			delete(s.catalog, key)
+			s.retiredSigs.Add(1)
+			continue
+		}
+		ps.sources = next
+	}
+}
+
+// buildBatchLocked assembles the global set (and, with TenantSets, one
+// set per tenant) from the catalog and returns the publishes this epoch
+// owes: every name whose content fingerprint moved, plus cached sets
+// still awaiting their first successful delivery. Callers hold s.mu.
+func (s *Service) buildBatchLocked(skipFresh bool) []namedPublish {
+	assembled := map[string]*signature.Set{"": s.assembleLocked(func(*publishedSig) bool { return true })}
+	if s.cfg.TenantSets {
+		for _, tenant := range s.catalogTenantsLocked() {
+			assembled[tenant] = s.assembleLocked(func(ps *publishedSig) bool { return ps.tenants[tenant] > 0 })
+		}
+		// A tenant whose signatures all retired still owes watchers one
+		// final empty publish so they converge off the stale set.
+		for name, pub := range s.pubs {
+			if name == "" {
+				continue
+			}
+			if _, ok := assembled[name]; !ok && (pub.lastFingerprint != "" || pub.pending != nil) {
+				assembled[name] = &signature.Set{}
+			}
+		}
+	}
+
+	var batch []namedPublish
+	for name, set := range assembled {
+		fp := setFingerprint(set)
+		pub := s.pubs[name]
+		lastFP := ""
+		if pub != nil {
+			lastFP = pub.lastFingerprint
+		}
+		if fp == lastFP {
+			if pub != nil && pub.pending != nil && fp == "" {
+				// Nothing was ever published under this name, but an
+				// earlier generation still awaits delivery (its clusters
+				// may have been pruned since): retry the cached set as-is.
+				batch = append(batch, namedPublish{name: name, set: pub.pending, fp: pub.pendingFP})
+			} else if pub != nil {
+				// Current content equals the published content; any older
+				// failed generation is obsolete.
+				pub.pending, pub.pendingFP = nil, ""
+			}
+			continue
+		}
+		if skipFresh {
+			// The silhouette gate holds back this epoch's fresh content,
+			// but a cached failed publish already cleared the gate once —
+			// keep retrying it rather than dropping the name entirely.
+			if pub != nil && pub.pending != nil {
+				batch = append(batch, namedPublish{name: name, set: pub.pending, fp: pub.pendingFP})
+			}
+			continue
+		}
+		batch = append(batch, namedPublish{name: name, set: set, fp: fp})
+	}
+	sortBatch(batch)
+	return batch
+}
+
+// sortBatch orders publishes deterministically: the global set first,
+// then tenants in name order.
+func sortBatch(batch []namedPublish) {
+	sort.Slice(batch, func(i, j int) bool { return batch[i].name < batch[j].name })
+}
+
+// assembleLocked builds a set from the catalog entries keep admits. The
+// set's TrainingSize counts packets across the unique source clusters
+// behind the kept signatures (one cluster distilling three signatures
+// counts once). Callers hold s.mu.
+func (s *Service) assembleLocked(keep func(*publishedSig) bool) *signature.Set {
+	var sigs []*signature.Signature
+	clusters := make(map[uint64]int)
+	for _, ps := range s.catalog {
+		if !keep(ps) {
+			continue
+		}
+		sigs = append(sigs, ps.sig)
+		for id, size := range ps.sources {
+			if size > clusters[id] {
+				clusters[id] = size
+			}
+		}
+	}
+	training := 0
+	for _, size := range clusters {
+		training += size
+	}
+	return assemble(sigs, training)
+}
+
+// catalogTenantsLocked lists every tenant named in the catalog's
+// provenance. Excluded: the unattributed "" label (its flows back only
+// the global set) and tenant keys that cannot name a distributable set
+// (sigserver.ValidSetName — tenant keys ride on traffic fields, and a
+// crafted key like ".." must not wedge the publisher in a permanent
+// retry loop). Callers hold s.mu.
+func (s *Service) catalogTenantsLocked() []string {
+	seen := make(map[string]struct{})
+	for _, ps := range s.catalog {
+		for tenant, n := range ps.tenants {
+			if tenant != "" && n > 0 && sigserver.ValidSetName(tenant) {
+				seen[tenant] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for tenant := range seen {
+		out = append(out, tenant)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hasPendingLocked reports whether any name holds a cached set awaiting
+// a publish retry. Callers hold s.mu.
+func (s *Service) hasPendingLocked() bool {
+	for _, pub := range s.pubs {
+		if pub.pending != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// pendingBatchLocked lists every cached set awaiting retry. Callers hold
+// s.mu.
+func (s *Service) pendingBatchLocked() []namedPublish {
+	var batch []namedPublish
+	for name, pub := range s.pubs {
+		if pub.pending != nil {
+			batch = append(batch, namedPublish{name: name, set: pub.pending, fp: pub.pendingFP})
+		}
+	}
+	sortBatch(batch)
+	return batch
+}
+
+// pub returns (creating if needed) the delivery state for name. Callers
+// hold s.mu.
+func (s *Service) pub(name string) *pubState {
+	p := s.pubs[name]
+	if p == nil {
+		p = &pubState{}
+		s.pubs[name] = p
+	}
+	return p
+}
+
+// publishLocked ships one epoch's batch, each set with a strictly
+// increasing version stamp under its own name. Callers hold s.mu; the
+// publisher round trips run with the mutex RELEASED (re-acquired for
+// bookkeeping) under a hard deadline, so a slow or hung server neither
+// wedges Stats/Close nor stalls intake admissions driven by RunEpoch. A
+// `publishing` guard keeps concurrent epochs from racing the version
+// stamps: the loser parks its sets as pending and the next tick retries.
+// It returns the published global set (nil when the batch had none) and
+// the first error.
+func (s *Service) publishLocked(ctx context.Context, batch []namedPublish) (*signature.Set, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	if s.publishing {
+		for _, item := range batch {
+			pub := s.pub(item.name)
+			pub.pending, pub.pendingFP = item.set, item.fp
 		}
 		return nil, nil
 	}
-	if s.cfg.MinSilhouette > 0 && s.lastCompact.Silhouette < s.cfg.MinSilhouette {
-		return nil, nil
+	s.publishing = true
+	var globalSet *signature.Set
+	var firstErr error
+	for _, item := range batch {
+		set, err := s.publishOneLocked(ctx, item)
+		if item.name == "" && set != nil {
+			globalSet = set
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	fp := setFingerprint(set)
-	if fp == s.lastFingerprint {
-		s.pendingSet, s.pendingFP = nil, ""
-		return nil, nil // same content as last publish; don't spam watchers
-	}
-
-	if s.cfg.Publisher == nil {
-		s.lastFingerprint = fp
-		return set, nil
-	}
-	return s.publishLocked(ctx, set, fp)
+	s.publishing = false
+	return globalSet, firstErr
 }
 
-// publishLocked ships one generated set with a strictly increasing
-// version stamp. Callers hold s.mu; the publisher round trips run with
-// the mutex RELEASED (re-acquired for bookkeeping) under a hard
-// deadline, so a slow or hung server neither wedges Stats/Close nor
-// stalls intake admissions driven by RunEpoch. A `publishing` guard
-// keeps concurrent epochs from racing the version stamp: the loser
-// parks the set as pending and the next tick retries.
-func (s *Service) publishLocked(ctx context.Context, set *signature.Set, fp string) (*signature.Set, error) {
-	if s.publishing {
-		s.pendingSet, s.pendingFP = set, fp
-		return nil, nil
-	}
-	s.publishing = true
-	version := s.lastVersion + 1
-	needSeed := s.lastVersion == 0
-	s.mu.Unlock()
+// publishOneLocked ships one named set. Callers hold s.mu (released
+// around the round trip) and have set s.publishing.
+func (s *Service) publishOneLocked(ctx context.Context, item namedPublish) (*signature.Set, error) {
+	name, set, fp := item.name, item.set, item.fp
+	pub := s.pub(name)
 
+	// Resolve the remote route: the Publisher for the global set, its
+	// NamedPublisher side for tenant sets. Without one, the set is
+	// stamped locally and delivered to the in-process hooks only.
+	var publish func(ctx context.Context, set *signature.Set) (int64, error)
+	var current func(ctx context.Context) (int64, error)
+	if name == "" {
+		if p := s.cfg.Publisher; p != nil {
+			publish, current = p.Publish, p.CurrentVersion
+		}
+	} else if np, ok := s.cfg.Publisher.(NamedPublisher); ok {
+		publish = func(ctx context.Context, set *signature.Set) (int64, error) {
+			return np.PublishNamed(ctx, name, set)
+		}
+		current = func(ctx context.Context) (int64, error) {
+			return np.CurrentNamedVersion(ctx, name)
+		}
+	}
+
+	version := pub.lastVersion + 1
+	if publish == nil {
+		set.Version = version
+		pub.lastVersion = version
+		pub.lastFingerprint = fp
+		pub.pending, pub.pendingFP = nil, ""
+		s.deliveredLocked(name, set)
+		return set, nil
+	}
+
+	needSeed := pub.lastVersion == 0
+	s.mu.Unlock()
 	pubCtx, cancel := context.WithTimeout(ctx, publishTimeout)
 	if needSeed {
-		// First publish: seed the stamp from the server so we continue
-		// its sequence instead of starting a losing race at 1.
-		if v, err := s.cfg.Publisher.CurrentVersion(pubCtx); err == nil && v >= version {
+		// First publish under this name: seed the stamp from the server
+		// so we continue its sequence instead of starting a losing race
+		// at 1.
+		if v, err := current(pubCtx); err == nil && v >= version {
 			version = v + 1
 		}
 	}
 	set.Version = version
-	v, err := s.cfg.Publisher.Publish(pubCtx, set)
+	v, err := publish(pubCtx, set)
 	var cur int64
 	var curErr error
 	if err != nil {
 		// Another writer may have advanced the server; learn its version
 		// so the retry stamps past it.
-		cur, curErr = s.cfg.Publisher.CurrentVersion(pubCtx)
+		cur, curErr = current(pubCtx)
 	}
 	cancel()
 
 	s.mu.Lock()
-	s.publishing = false
 	if err != nil {
 		s.publishErrors.Add(1)
 		// Cache the set so retries survive cluster pruning and quiet
 		// traffic; the next tick republishes it as-is.
-		s.pendingSet, s.pendingFP = set, fp
-		if curErr == nil && cur > s.lastVersion {
-			s.lastVersion = cur
+		pub.pending, pub.pendingFP = set, fp
+		if curErr == nil && cur > pub.lastVersion {
+			pub.lastVersion = cur
 			return nil, errStalePublish
 		}
 		return nil, err
 	}
-	s.lastVersion = v
+	pub.lastVersion = v
 	set.Version = v
-	s.lastFingerprint = fp
-	s.pendingSet, s.pendingFP = nil, ""
-	s.publishes.Add(1)
-	if s.cfg.OnPublish != nil {
-		s.cfg.OnPublish(set)
-	}
+	pub.lastFingerprint = fp
+	pub.pending, pub.pendingFP = nil, ""
+	s.deliveredLocked(name, set)
 	return set, nil
+}
+
+// deliveredLocked counts one successful publish and runs the observer
+// hooks. A tenant set that published empty (its signatures all retired)
+// drops its delivery state: the server re-seeds the version sequence if
+// the tenant ever returns, so the learner's books stay bounded by live
+// tenants rather than tenants ever seen. Callers hold s.mu.
+func (s *Service) deliveredLocked(name string, set *signature.Set) {
+	if name == "" {
+		s.publishes.Add(1)
+		if s.cfg.OnPublish != nil {
+			s.cfg.OnPublish(set)
+		}
+	} else {
+		s.namedPublishes.Add(1)
+		if set.Len() == 0 {
+			delete(s.pubs, name)
+		}
+	}
+	if s.cfg.OnPublishNamed != nil {
+		s.cfg.OnPublishNamed(name, set)
+	}
 }
 
 // Stats is a point-in-time view of the learner.
@@ -402,7 +715,7 @@ type Stats struct {
 	Sampled         uint64 `json:"sampled"`          // packets stored by a reservoir
 	OverflowTenants uint64 `json:"overflow_tenants"` // admissions routed to the shared overflow reservoir
 	PendingSamples  int    `json:"pending_samples"`  // packets currently held in reservoirs
-	Tenants         int    `json:"tenants"`          // tenants with a private reservoir
+	Tenants         int    `json:"tenants"`          // tenants with a private reservoir this epoch
 
 	Clusters        int     `json:"clusters"`
 	ClusterMembers  int     `json:"cluster_members"`
@@ -415,9 +728,16 @@ type Stats struct {
 	RejectedFP    int    `json:"rejected_fp"`    // last distillation
 	Accepted      int    `json:"accepted"`       // last distillation
 
-	Publishes     uint64 `json:"publishes"`
-	PublishErrors uint64 `json:"publish_errors"`
-	LastVersion   int64  `json:"last_version"`
+	Catalog    int    `json:"catalog"`            // signatures currently published (or publishable)
+	RetiredSig uint64 `json:"retired_signatures"` // signatures retired because every source cluster went stale
+
+	Publishes      uint64 `json:"publishes"`       // global-set publishes
+	NamedPublishes uint64 `json:"named_publishes"` // per-tenant set publishes
+	PublishErrors  uint64 `json:"publish_errors"`
+	LastVersion    int64  `json:"last_version"` // global set
+
+	// NamedVersions is the last published version per tenant set.
+	NamedVersions map[string]int64 `json:"named_versions,omitempty"`
 }
 
 // Stats assembles a snapshot. Safe to call while streaming.
@@ -430,7 +750,9 @@ func (s *Service) Stats() Stats {
 		OverflowTenants: s.overflowTenants.Load(),
 		Epochs:          s.epochs.Load(),
 		Publishes:       s.publishes.Load(),
+		NamedPublishes:  s.namedPublishes.Load(),
 		PublishErrors:   s.publishErrors.Load(),
+		RetiredSig:      s.retiredSigs.Load(),
 	}
 	s.mu.Lock()
 	st.Tenants = len(s.reservoirs)
@@ -446,7 +768,17 @@ func (s *Service) Stats() Stats {
 	st.RejectedBayes = s.lastDistill.RejectedBayes
 	st.RejectedFP = s.lastDistill.RejectedFP
 	st.Accepted = s.lastDistill.Accepted
-	st.LastVersion = s.lastVersion
+	st.Catalog = len(s.catalog)
+	for name, pub := range s.pubs {
+		if name == "" {
+			st.LastVersion = pub.lastVersion
+			continue
+		}
+		if st.NamedVersions == nil {
+			st.NamedVersions = make(map[string]int64, len(s.pubs))
+		}
+		st.NamedVersions[name] = pub.lastVersion
+	}
 	s.mu.Unlock()
 	return st
 }

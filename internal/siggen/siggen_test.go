@@ -47,7 +47,7 @@ func TestReservoirBoundsUnderBurst(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	// A 100k-packet burst must never grow storage past capacity.
 	for i := 0; i < 100_000; i++ {
-		r.offer(leakPacket("app", i), rng)
+		r.offer(sample{tenant: "app", p: leakPacket("app", i)}, rng)
 		if r.size() > capacity {
 			t.Fatalf("reservoir grew to %d (cap %d) at offer %d", r.size(), capacity, i)
 		}
@@ -59,8 +59,8 @@ func TestReservoirBoundsUnderBurst(t *testing.T) {
 	// replacing, so at least one stored ID should come from the later
 	// 99% of the stream.
 	late := 0
-	for _, p := range r.buf {
-		if p.ID >= capacity {
+	for _, smp := range r.buf {
+		if smp.p.ID >= capacity {
 			late++
 		}
 	}
@@ -233,7 +233,10 @@ func TestDistillBayesAndFPGates(t *testing.T) {
 		corpus = append(corpus, benignPacket(i))
 	}
 	train, hold := splitBenign(corpus)
-	groups := [][]*httpmodel.Packet{leaks, benignLike}
+	groups := []Group{
+		{ID: 1, Packets: leaks, Tenants: map[string]int{"com.app": len(leaks)}},
+		{ID: 2, Packets: benignLike, Tenants: map[string]int{"com.other": len(benignLike)}},
+	}
 	// Raising MaxBenignFraction to 1 disables the generator's own
 	// token-frequency filter, so the benign-shaped candidate survives to
 	// the later gates and each gate can be exercised in isolation.
@@ -241,7 +244,7 @@ func TestDistillBayesAndFPGates(t *testing.T) {
 
 	// Bayes gate alone (no held-out corpus): token material as common in
 	// benign as in suspect traffic scores below the threshold.
-	set, st := distill(groups, train, nil, opts, signature.BayesOptions{}, 0.01)
+	_, st := distill(groups, train, nil, opts, signature.BayesOptions{}, 0.01)
 	if st.Candidates < 2 {
 		t.Fatalf("expected candidates from both clusters, got %d", st.Candidates)
 	}
@@ -251,17 +254,31 @@ func TestDistillBayesAndFPGates(t *testing.T) {
 
 	// FP gate alone (no training corpus, so no Bayes model): the
 	// benign-shaped signature matches the held-out corpus and dies.
-	set, st = distill(groups, nil, hold, opts, signature.BayesOptions{}, 0.01)
+	_, st = distill(groups, nil, hold, opts, signature.BayesOptions{}, 0.01)
 	if st.RejectedFP == 0 {
 		t.Fatalf("the benign-shaped signature slipped past the held-out FP gate: %+v", st)
 	}
 
 	// Both gates plus the default token-frequency filter: the leak
-	// signature survives and still detects the leaking packets.
-	set, st = distill(groups, train, hold, signature.Options{MinClusterSize: 2}, signature.BayesOptions{}, 0.01)
-	if set.Len() == 0 {
+	// signature survives, carries its provenance, and still detects the
+	// leaking packets.
+	cands, st := distill(groups, train, hold, signature.Options{MinClusterSize: 2}, signature.BayesOptions{}, 0.01)
+	if len(cands) == 0 {
 		t.Fatalf("the leak signature was over-filtered: %+v", st)
 	}
+	for _, c := range cands {
+		if _, ok := c.sources[1]; !ok {
+			t.Fatalf("candidate lost its source-cluster provenance: %+v", c.sources)
+		}
+		if c.tenants["com.app"] != len(leaks) {
+			t.Fatalf("candidate lost its tenant provenance: %+v", c.tenants)
+		}
+	}
+	sigs := make([]*signature.Signature, len(cands))
+	for i, c := range cands {
+		sigs[i] = c.sig
+	}
+	set := assemble(sigs, len(leaks))
 	eng := detect.NewEngine(set)
 	hits := 0
 	for _, p := range leaks {
@@ -466,5 +483,225 @@ func TestFailedPublishRetriesWithoutNewSamples(t *testing.T) {
 	}
 	if _, v := srv.Current(); v != set.Version || v == 0 {
 		t.Fatalf("server at %d, want %d", v, set.Version)
+	}
+}
+
+// leakPacketAt is leakPacket with a distinct destination shape, so two
+// tenant populations form separable clusters.
+func leakPacketAt(host, app string, i int) *httpmodel.Packet {
+	return httpmodel.Get(host, "/beacon/track").
+		App(app).
+		ID(int64(i)).
+		Dest(ipaddr.FromOctets(172, 16, 9, 21), 8080).
+		Query("slot", fmt.Sprintf("%d", i%5)).
+		Query("android_id", "a3f5c4d56d682e54").
+		Query("serial", "R58M30WZNBX").
+		UserAgent("Dalvik/2.1.0").
+		Build()
+}
+
+// TestReservoirSlotsRecycleAcrossEpochs is the regression for the
+// slot-exhaustion bug: admit() created a private reservoir per tenant key
+// and nothing ever removed it, so after MaxTenantReservoirs distinct keys
+// had EVER appeared, every later tenant was permanently routed to the
+// shared overflow reservoir and Stats.Tenants counted dead tenants
+// forever. Slots must recycle at epoch take().
+func TestReservoirSlotsRecycleAcrossEpochs(t *testing.T) {
+	const cap = 64
+	svc := NewService(Config{ReservoirSize: 4, MaxTenantReservoirs: cap})
+	defer svc.Close()
+
+	observe := func(prefix string, tenants int) {
+		for i := 0; i < tenants; i++ {
+			key := fmt.Sprintf("%s-t%d", prefix, i)
+			svc.Observe(key, leakPacket(key, i))
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for svc.Stats().Admitted != svc.Stats().Observed && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Epoch 1: 100 transient tenants — 64 private slots plus overflow.
+	observe("epoch1", 100)
+	st := svc.Stats()
+	if st.Tenants != cap || st.OverflowTenants == 0 {
+		t.Fatalf("epoch-1 intake: tenants=%d overflow=%d, want %d and >0", st.Tenants, st.OverflowTenants, cap)
+	}
+	overflowAfterEpoch1 := st.OverflowTenants
+	if _, err := svc.RunEpoch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Tenants != 0 {
+		t.Fatalf("epoch take() released %d of %d reservoir slots", cap-st.Tenants, cap)
+	}
+
+	// Epoch 2: 50 brand-new tenants. With recycled slots every one gets
+	// a private reservoir; with the bug all 50 would land in overflow.
+	observe("epoch2", 50)
+	st = svc.Stats()
+	if st.Tenants != 50 {
+		t.Fatalf("epoch-2 tenants = %d, want 50 private reservoirs from recycled slots", st.Tenants)
+	}
+	if st.OverflowTenants != overflowAfterEpoch1 {
+		t.Fatalf("epoch-2 admissions overflowed (%d -> %d) despite free slots",
+			overflowAfterEpoch1, st.OverflowTenants)
+	}
+}
+
+func TestTenantSetsPublishAndIsolate(t *testing.T) {
+	srv := sigserver.New()
+	published := map[string]int64{}
+	svc := NewService(Config{
+		Publisher:      ServerPublisher{Server: srv},
+		TenantSets:     true,
+		MinClusterSize: 2,
+		OnPublishNamed: func(name string, set *signature.Set) { published[name] = set.Version },
+	})
+	defer svc.Close()
+
+	// Two tenants with separable leak populations.
+	for i := 0; i < 12; i++ {
+		svc.Observe("tenant-a", leakPacket("com.a", i))
+		svc.Observe("tenant-b", leakPacketAt("beacon.other-ads.example", "com.b", i))
+	}
+	global, err := svc.RunEpoch(context.Background())
+	if err != nil {
+		t.Fatalf("epoch: %v", err)
+	}
+	if global == nil || global.Len() < 2 {
+		t.Fatalf("global set should carry both populations: %+v", global)
+	}
+	if published[""] == 0 || published["tenant-a"] == 0 || published["tenant-b"] == 0 {
+		t.Fatalf("OnPublishNamed deliveries = %v, want global + both tenants", published)
+	}
+
+	setA, vA, okA := srv.CurrentNamed("tenant-a")
+	setB, vB, okB := srv.CurrentNamed("tenant-b")
+	if !okA || !okB || vA == 0 || vB == 0 {
+		t.Fatalf("named sets not on the server: a=(%v,%d) b=(%v,%d)", okA, vA, okB, vB)
+	}
+	if setA.Len() == 0 || setB.Len() == 0 {
+		t.Fatalf("empty named sets: a=%d b=%d", setA.Len(), setB.Len())
+	}
+
+	// Isolation: each tenant's set fires on its own traffic only.
+	engA := detect.NewEngine(setA)
+	engB := detect.NewEngine(setB)
+	aPkt := leakPacket("com.a", 99)
+	bPkt := leakPacketAt("beacon.other-ads.example", "com.b", 99)
+	if !engA.Matches(aPkt) {
+		t.Fatal("tenant-a set misses tenant-a traffic")
+	}
+	if engA.Matches(bPkt) {
+		t.Fatal("tenant-a set fires on tenant-b traffic")
+	}
+	if !engB.Matches(bPkt) {
+		t.Fatal("tenant-b set misses tenant-b traffic")
+	}
+	if engB.Matches(aPkt) {
+		t.Fatal("tenant-b set fires on tenant-a traffic")
+	}
+
+	// Stats track the per-tenant lifecycle.
+	st := svc.Stats()
+	if st.NamedPublishes < 2 || st.NamedVersions["tenant-a"] != vA || st.Catalog < 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDriftRetirementDropsStaleSignatures pins the aging-out half of the
+// lifecycle: when staleness pruning retires every cluster that sourced a
+// published signature, the next epoch publishes sets without it — the
+// fleet converges off signatures whose populations vanished, instead of
+// matching ghosts forever.
+func TestDriftRetirementDropsStaleSignatures(t *testing.T) {
+	srv := sigserver.New()
+	svc := NewService(Config{
+		Publisher:      ServerPublisher{Server: srv},
+		TenantSets:     true,
+		MinClusterSize: 2,
+		Cluster:        ClusterConfig{StaleEpochs: 1},
+	})
+	defer svc.Close()
+
+	for i := 0; i < 12; i++ {
+		svc.Observe("tenant-a", leakPacket("com.a", i))
+	}
+	first, err := svc.RunEpoch(context.Background())
+	if err != nil || first == nil || first.Len() == 0 {
+		t.Fatalf("first epoch: set=%+v err=%v", first, err)
+	}
+	if _, vA, _ := srv.CurrentNamed("tenant-a"); vA == 0 {
+		t.Fatal("tenant-a named set never published")
+	}
+
+	// Idle epochs age the population out; the publish that follows must
+	// drop the retired signature from both the global and the tenant set.
+	var retiredSet *signature.Set
+	for i := 0; i < 4 && retiredSet == nil; i++ {
+		set, err := svc.RunEpoch(context.Background())
+		if err != nil {
+			t.Fatalf("idle epoch %d: %v", i, err)
+		}
+		if set != nil && set.Len() == 0 {
+			retiredSet = set
+		}
+	}
+	if retiredSet == nil {
+		t.Fatalf("drift retirement never published the shrunken set; stats %+v", svc.Stats())
+	}
+	if retiredSet.Version <= first.Version {
+		t.Fatalf("retirement version %d did not advance past %d", retiredSet.Version, first.Version)
+	}
+	cur, v := srv.Current()
+	if v != retiredSet.Version || cur.Len() != 0 {
+		t.Fatalf("server still carries retired signatures: %d sigs at v%d", cur.Len(), v)
+	}
+	setA, vA, _ := srv.CurrentNamed("tenant-a")
+	if setA.Len() != 0 || vA < 2 {
+		t.Fatalf("tenant-a named set not retired: %d sigs at v%d", setA.Len(), vA)
+	}
+	st := svc.Stats()
+	if st.RetiredSig == 0 {
+		t.Fatalf("no retirement counted: %+v", st)
+	}
+	if _, tracked := st.NamedVersions["tenant-a"]; tracked {
+		t.Fatalf("retired tenant still tracked in %v", st.NamedVersions)
+	}
+
+	// A quiet learner after retirement publishes nothing further.
+	again, err := svc.RunEpoch(context.Background())
+	if err != nil || again != nil {
+		t.Fatalf("post-retirement epoch republished: set=%+v err=%v", again, err)
+	}
+}
+
+// TestPoolReloaderLandsTenantSets closes the in-process loop: learner →
+// OnPublishNamed → Pool.ReloadTenant, with the pool default left alone so
+// one tenant's learned signatures can never fire on another tenant.
+func TestPoolReloaderLandsTenantSets(t *testing.T) {
+	pool := engine.NewPool(nil, engine.PoolConfig{Engine: engine.Config{Shards: 1}})
+	defer pool.Close()
+	svc := NewService(Config{
+		TenantSets:     true,
+		MinClusterSize: 2,
+		OnPublishNamed: PoolReloader(pool),
+	})
+	defer svc.Close()
+
+	for i := 0; i < 12; i++ {
+		svc.Observe("tenant-a", leakPacket("com.a", i))
+	}
+	if _, err := svc.RunEpoch(context.Background()); err != nil {
+		t.Fatalf("epoch: %v", err)
+	}
+	if m := pool.MatchPacket("tenant-a", leakPacket("com.a", 99)); len(m) == 0 {
+		t.Fatal("tenant-a never received its learned set")
+	}
+	// The same traffic through another tenant stays clean: the global
+	// union was not installed as the pool default.
+	if m := pool.MatchPacket("tenant-b", leakPacket("com.a", 99)); len(m) != 0 {
+		t.Fatal("tenant-a's learned signatures fire on tenant-b")
 	}
 }

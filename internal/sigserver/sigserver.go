@@ -10,6 +10,14 @@
 // or the Changed broadcast channel, and over HTTP via the long-polling
 // /wait endpoint, which Client.Watch uses so a streaming consumer learns
 // of a new version within one round trip instead of a poll interval.
+//
+// Beyond the default set, a server distributes any number of named sets —
+// one per traffic population, the way the paper's per-module signatures
+// isolate ad libraries — under /sets/{name}/..., each with its own version
+// sequence, strict-increase publish guard, and long-poll wait. A global
+// catalog sequence (bumped by every publish to any set) backs GET /sets and
+// GET /sets/wait, which Client.WatchSets uses to follow every population
+// with one long poll instead of one per set.
 package sigserver
 
 import (
@@ -21,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -33,39 +43,199 @@ import (
 // server answers with the unchanged version and the client re-arms.
 const waitTimeoutMax = 30 * time.Second
 
+// maxNamedSets bounds how many named sets one server will hold — set
+// names arrive from publishers (tenant keys, ultimately traffic fields),
+// so the table must not grow without limit.
+const maxNamedSets = 4096
+
 // ErrStaleVersion is returned by PublishVersioned (and surfaced over
 // HTTP as 409 Conflict) when a publish carries a version at or below the
 // server's current one — the guard that stops stale or looping
 // auto-publishers from rolling the fleet backwards.
 var ErrStaleVersion = errors.New("sigserver: publish version not greater than current")
 
-// Server holds the currently published signature set. It is safe for
-// concurrent use; the zero value is not usable, construct with New.
-type Server struct {
-	mu        sync.RWMutex
-	set       *signature.Set
-	version   int64
-	changed   chan struct{} // closed and replaced on every Publish
-	onPublish []func(int64)
+// ErrBadSetName rejects set names that cannot round-trip a URL path
+// segment (empty, over 200 bytes, containing '/' or control bytes, or
+// the path-cleaning hazards "." and "..").
+var ErrBadSetName = errors.New("sigserver: invalid set name")
+
+// ErrTooManySets rejects publishes that would create a named set past
+// the server's table bound.
+var ErrTooManySets = errors.New("sigserver: named set limit reached")
+
+// ValidSetName reports whether name can be a named set: it must
+// round-trip a URL path segment. "." and ".." are rejected because
+// ServeMux path cleaning folds them away before routing (a POST to
+// /sets/../publish redirects to /publish and the redirected request
+// loses its body) — and set names ultimately come from traffic fields,
+// so a crafted Host of ".." must not wedge a publisher in a permanent
+// retry loop. Publishers with attacker-influenced tenant keys should
+// screen names with this before queueing a publish.
+func ValidSetName(name string) bool {
+	if name == "" || len(name) > 200 || name == "." || name == ".." {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] == 0x7f || name[i] == '/' {
+			return false
+		}
+	}
+	return true
+}
+
+// setState is one distributable signature set: the default set or one
+// named (per-population) set, each with its own version sequence and
+// change broadcast.
+type setState struct {
+	name string
+
+	mu      sync.RWMutex
+	set     *signature.Set
+	version int64
+	changed chan struct{} // closed and replaced on every publish
 
 	publishes         atomic.Uint64
 	publishesRejected atomic.Uint64
 }
 
-// New returns a server with an empty signature set at version 0.
-func New() *Server {
-	return &Server{set: &signature.Set{}, changed: make(chan struct{})}
+func newSetState(name string) *setState {
+	return &setState{name: name, set: &signature.Set{}, changed: make(chan struct{})}
 }
 
-// Publish replaces the current signature set and bumps the version. The
-// set's Version field is overwritten with the server's new version. Every
-// OnPublish callback runs synchronously before Publish returns, and the
-// Changed broadcast fires.
-func (s *Server) Publish(set *signature.Set) int64 {
+// current returns the state's set and version.
+func (st *setState) current() (*signature.Set, int64) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.set, st.version
+}
+
+// read returns the version plus the change channel armed for the next
+// publish — the long-poll primitives in one consistent snapshot.
+func (st *setState) read() (int64, <-chan struct{}) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.version, st.changed
+}
+
+// Server holds the currently published signature sets: the default set
+// plus any number of named per-population sets. It is safe for concurrent
+// use; the zero value is not usable, construct with New.
+type Server struct {
+	def *setState
+
+	// mu guards the named-set table and the callback lists.
+	mu             sync.RWMutex
+	named          map[string]*setState
+	onPublish      []func(int64)
+	onPublishNamed []func(name string, version int64)
+
+	// seq counts publishes to any set; /sets/wait long-polls it so one
+	// watcher can follow every population with a single connection.
+	seqMu      sync.Mutex
+	seq        int64
+	seqChanged chan struct{}
+}
+
+// New returns a server with an empty default signature set at version 0
+// and no named sets.
+func New() *Server {
+	return &Server{
+		def:        newSetState(""),
+		named:      make(map[string]*setState),
+		seqChanged: make(chan struct{}),
+	}
+}
+
+// state resolves a set name to its state. "" is the default set. With
+// create, a missing named set is added (subject to the name and table
+// bounds); without it, a missing name returns (nil, nil).
+func (s *Server) state(name string, create bool) (*setState, error) {
+	if name == "" {
+		return s.def, nil
+	}
+	if !ValidSetName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadSetName, name)
+	}
+	s.mu.RLock()
+	st := s.named[name]
+	s.mu.RUnlock()
+	if st != nil || !create {
+		return st, nil
+	}
 	s.mu.Lock()
-	version := s.version + 1
-	v, _ := s.publishLocked(set, version)
+	defer s.mu.Unlock()
+	if st := s.named[name]; st != nil {
+		return st, nil
+	}
+	if len(s.named) >= maxNamedSets {
+		return nil, ErrTooManySets
+	}
+	st = newSetState(name)
+	s.named[name] = st
+	return st, nil
+}
+
+// installLocked installs set at version on st. It is entered holding
+// st.mu and releases it before the broadcasts and callbacks run.
+func (s *Server) installLocked(st *setState, set *signature.Set, version int64) (int64, error) {
+	st.version = version
+	set.Version = version
+	st.set = set
+	notify := st.changed
+	st.changed = make(chan struct{})
+	st.mu.Unlock()
+	st.publishes.Add(1)
+	close(notify)
+
+	s.seqMu.Lock()
+	s.seq++
+	seqNotify := s.seqChanged
+	s.seqChanged = make(chan struct{})
+	s.seqMu.Unlock()
+	close(seqNotify)
+
+	s.mu.RLock()
+	var cbs []func(int64)
+	if st == s.def {
+		cbs = append(cbs, s.onPublish...)
+	}
+	named := append([]func(name string, version int64){}, s.onPublishNamed...)
+	s.mu.RUnlock()
+	for _, fn := range cbs {
+		fn(version)
+	}
+	for _, fn := range named {
+		fn(st.name, version)
+	}
+	return version, nil
+}
+
+// publishTo replaces st's set, auto-bumping the version.
+func (s *Server) publishTo(st *setState, set *signature.Set) int64 {
+	st.mu.Lock()
+	v, _ := s.installLocked(st, set, st.version+1)
 	return v
+}
+
+// publishVersionedTo installs the set under its own Version field, which
+// must strictly exceed st's current version.
+func (s *Server) publishVersionedTo(st *setState, set *signature.Set) (int64, error) {
+	st.mu.Lock()
+	if set.Version <= st.version {
+		cur := st.version
+		st.mu.Unlock()
+		st.publishesRejected.Add(1)
+		return cur, fmt.Errorf("%w: got %d, current %d", ErrStaleVersion, set.Version, cur)
+	}
+	return s.installLocked(st, set, set.Version)
+}
+
+// Publish replaces the current default signature set and bumps the
+// version. The set's Version field is overwritten with the server's new
+// version. Every OnPublish callback runs synchronously before Publish
+// returns, and the Changed broadcast fires.
+func (s *Server) Publish(set *signature.Set) int64 {
+	return s.publishTo(s.def, set)
 }
 
 // PublishVersioned installs the set under its own Version field, which
@@ -74,33 +244,7 @@ func (s *Server) Publish(set *signature.Set) int64 {
 // auto-publish path: writers stamp last-seen + 1, so two loops feeding
 // one server cannot ping-pong the fleet between their generations.
 func (s *Server) PublishVersioned(set *signature.Set) (int64, error) {
-	s.mu.Lock()
-	if set.Version <= s.version {
-		cur := s.version
-		s.mu.Unlock()
-		s.publishesRejected.Add(1)
-		return cur, fmt.Errorf("%w: got %d, current %d", ErrStaleVersion, set.Version, cur)
-	}
-	return s.publishLocked(set, set.Version)
-}
-
-// publishLocked installs the set at version, releasing s.mu before the
-// broadcast and callbacks. Callers hold s.mu.
-func (s *Server) publishLocked(set *signature.Set, version int64) (int64, error) {
-	s.version = version
-	set.Version = version
-	s.set = set
-	notify := s.changed
-	s.changed = make(chan struct{})
-	callbacks := make([]func(int64), len(s.onPublish))
-	copy(callbacks, s.onPublish)
-	s.mu.Unlock()
-	s.publishes.Add(1)
-	close(notify)
-	for _, fn := range callbacks {
-		fn(version)
-	}
-	return version, nil
+	return s.publishVersionedTo(s.def, set)
 }
 
 // PublishSet routes a publish by its version stamp: 0 means "assign me
@@ -114,58 +258,189 @@ func (s *Server) PublishSet(set *signature.Set) (int64, error) {
 	return s.PublishVersioned(set)
 }
 
-// ServerStats are the server's lifetime publish counters and live state.
-type ServerStats struct {
-	Version           int64  `json:"version"`
-	Signatures        int    `json:"signatures"`
-	Publishes         uint64 `json:"publishes"`
-	PublishesRejected uint64 `json:"publishes_rejected"`
+// PublishNamed replaces the named set, auto-bumping its version and
+// creating the set on first publish. "" routes to the default set.
+func (s *Server) PublishNamed(name string, set *signature.Set) (int64, error) {
+	st, err := s.state(name, true)
+	if err != nil {
+		return 0, err
+	}
+	return s.publishTo(st, set), nil
 }
 
-// Stats returns a snapshot of the server's counters.
-func (s *Server) Stats() ServerStats {
+// PublishNamedVersioned installs the named set under its own Version
+// field with the same strict-increase guard as PublishVersioned — each
+// name carries its own independent version sequence.
+func (s *Server) PublishNamedVersioned(name string, set *signature.Set) (int64, error) {
+	st, err := s.state(name, true)
+	if err != nil {
+		return 0, err
+	}
+	return s.publishVersionedTo(st, set)
+}
+
+// PublishNamedSet routes a named publish by its version stamp, the
+// behavior of POST /sets/{name}/publish.
+func (s *Server) PublishNamedSet(name string, set *signature.Set) (int64, error) {
+	if set.Version == 0 {
+		return s.PublishNamed(name, set)
+	}
+	return s.PublishNamedVersioned(name, set)
+}
+
+// Current returns the published default set and version.
+func (s *Server) Current() (*signature.Set, int64) {
+	return s.def.current()
+}
+
+// CurrentNamed returns the named set, its version, and whether the name
+// has ever been published. An unpublished name reads as an empty set at
+// version 0 — the same zero state the default set starts in.
+func (s *Server) CurrentNamed(name string) (*signature.Set, int64, bool) {
+	if name == "" {
+		set, v := s.def.current()
+		return set, v, true
+	}
 	s.mu.RLock()
-	st := ServerStats{Version: s.version, Signatures: s.set.Len()}
+	st := s.named[name]
 	s.mu.RUnlock()
-	st.Publishes = s.publishes.Load()
-	st.PublishesRejected = s.publishesRejected.Load()
-	return st
+	if st == nil {
+		return &signature.Set{}, 0, false
+	}
+	set, v := st.current()
+	return set, v, true
+}
+
+// SetNames returns the published named-set names, sorted.
+func (s *Server) SetNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.named))
+	for name := range s.named {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Seq returns the catalog sequence: the count of publishes to any set.
+func (s *Server) Seq() int64 {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	return s.seq
+}
+
+// setsSnapshot returns the catalog sequence plus every set's version
+// (the default set included as ""). The sequence is read FIRST: a publish
+// racing the snapshot then shows up in the versions (harmless early
+// delivery) rather than only in the sequence (a watcher sleeping past it).
+func (s *Server) setsSnapshot() (int64, map[string]int64) {
+	seq := s.Seq()
+	s.mu.RLock()
+	versions := make(map[string]int64, len(s.named)+1)
+	for name, st := range s.named {
+		_, versions[name] = st.current()
+	}
+	s.mu.RUnlock()
+	_, versions[""] = s.def.current()
+	return seq, versions
 }
 
 // OnPublish registers a callback invoked with the new version after every
-// Publish. Callbacks run synchronously on the publishing goroutine and
-// must not call Publish themselves.
+// default-set Publish. Callbacks run synchronously on the publishing
+// goroutine and must not call Publish themselves.
 func (s *Server) OnPublish(fn func(version int64)) {
 	s.mu.Lock()
 	s.onPublish = append(s.onPublish, fn)
 	s.mu.Unlock()
 }
 
-// Changed returns a channel that is closed at the next Publish. Receive
-// from it to block until the set changes, then call Current (and Changed
-// again to re-arm).
-func (s *Server) Changed() <-chan struct{} {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.changed
+// OnPublishNamed registers a callback invoked with the set name and new
+// version after every publish to any set (the default set reports as "").
+// Callbacks run synchronously on the publishing goroutine.
+func (s *Server) OnPublishNamed(fn func(name string, version int64)) {
+	s.mu.Lock()
+	s.onPublishNamed = append(s.onPublishNamed, fn)
+	s.mu.Unlock()
 }
 
-// Current returns the published set and version.
-func (s *Server) Current() (*signature.Set, int64) {
+// Changed returns a channel that is closed at the next default-set
+// Publish. Receive from it to block until the set changes, then call
+// Current (and Changed again to re-arm).
+func (s *Server) Changed() <-chan struct{} {
+	_, ch := s.def.read()
+	return ch
+}
+
+// NamedSetStats are one named set's version and publish counters.
+type NamedSetStats struct {
+	Version           int64  `json:"version"`
+	Signatures        int    `json:"signatures"`
+	Publishes         uint64 `json:"publishes"`
+	PublishesRejected uint64 `json:"publishes_rejected"`
+}
+
+// ServerStats are the server's lifetime publish counters and live state.
+// The top-level fields describe the default set; Sets breaks out every
+// named set, and Seq is the catalog sequence across all of them.
+type ServerStats struct {
+	Version           int64                    `json:"version"`
+	Signatures        int                      `json:"signatures"`
+	Publishes         uint64                   `json:"publishes"`
+	PublishesRejected uint64                   `json:"publishes_rejected"`
+	Seq               int64                    `json:"seq"`
+	Sets              map[string]NamedSetStats `json:"sets,omitempty"`
+}
+
+func statsOf(st *setState) NamedSetStats {
+	set, v := st.current()
+	return NamedSetStats{
+		Version:           v,
+		Signatures:        set.Len(),
+		Publishes:         st.publishes.Load(),
+		PublishesRejected: st.publishesRejected.Load(),
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	def := statsOf(s.def)
+	out := ServerStats{
+		Version:           def.Version,
+		Signatures:        def.Signatures,
+		Publishes:         def.Publishes,
+		PublishesRejected: def.PublishesRejected,
+		Seq:               s.Seq(),
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.set, s.version
+	if len(s.named) > 0 {
+		out.Sets = make(map[string]NamedSetStats, len(s.named))
+		for name, st := range s.named {
+			out.Sets[name] = statsOf(st)
+		}
+	}
+	s.mu.RUnlock()
+	return out
 }
 
 // Handler returns the HTTP API:
 //
-//	GET /signatures — the signature set as JSON, ETag = version;
-//	                  supports If-None-Match → 304
-//	GET /version    — the current version as text
-//	GET /wait       — long-poll: ?v=N blocks until version > N (or a
-//	                  timeout), then answers the current version as text
-//	GET /stats      — publish counters as JSON (publishes_rejected et al.)
-//	GET /healthz    — liveness
+//	GET /signatures            — the default set as JSON, ETag = version;
+//	                             supports If-None-Match → 304
+//	GET /version               — the default set's version as text
+//	GET /wait                  — long-poll: ?v=N blocks until version > N
+//	                             (or a timeout), then answers the current
+//	                             version as text
+//	GET /sets                  — catalog: {"seq":N,"sets":{name:version}}
+//	                             with the default set listed as ""
+//	GET /sets/wait             — long-poll: ?s=N blocks until the catalog
+//	                             sequence exceeds N (any set published)
+//	GET /sets/{name}/signatures, /version, /wait
+//	                           — the named-set forms; an unpublished name
+//	                             reads as an empty set at version 0
+//	GET /stats                 — publish counters as JSON, named sets
+//	                             broken out under "sets"
+//	GET /healthz               — liveness
 //
 // Handler is strictly read-only; mount PublishHandler (or use
 // HandlerWithPublish) to accept publishes.
@@ -177,66 +452,54 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /signatures", func(w http.ResponseWriter, r *http.Request) {
 		set, version := s.Current()
-		etag := fmt.Sprintf("%q", strconv.FormatInt(version, 10))
-		if r.Header.Get("If-None-Match") == etag {
-			w.WriteHeader(http.StatusNotModified)
-			return
-		}
-		var buf bytes.Buffer
-		if err := set.WriteJSON(&buf); err != nil {
-			http.Error(w, "encoding failure", http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("ETag", etag)
-		w.Write(buf.Bytes())
+		writeSetJSON(w, r, set, version)
 	})
 	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
 		_, version := s.Current()
 		fmt.Fprintf(w, "%d", version)
 	})
 	mux.HandleFunc("GET /wait", func(w http.ResponseWriter, r *http.Request) {
-		after := int64(0)
-		if v := r.URL.Query().Get("v"); v != "" {
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				http.Error(w, "bad v parameter", http.StatusBadRequest)
-				return
-			}
-			after = n
-		}
-		timeout := waitTimeoutMax
-		if t := r.URL.Query().Get("timeout"); t != "" {
-			d, err := time.ParseDuration(t)
-			if err != nil || d <= 0 {
-				http.Error(w, "bad timeout parameter", http.StatusBadRequest)
-				return
-			}
-			if d < timeout {
-				timeout = d
-			}
-		}
-		deadline := time.NewTimer(timeout)
-		defer deadline.Stop()
-		for {
+		s.serveWait(w, r, "v", s.def.read)
+	})
+	mux.HandleFunc("GET /sets", func(w http.ResponseWriter, r *http.Request) {
+		seq, versions := s.setsSnapshot()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Seq  int64            `json:"seq"`
+			Sets map[string]int64 `json:"sets"`
+		}{Seq: seq, Sets: versions})
+	})
+	mux.HandleFunc("GET /sets/wait", func(w http.ResponseWriter, r *http.Request) {
+		s.serveWait(w, r, "s", func() (int64, <-chan struct{}) {
+			s.seqMu.Lock()
+			defer s.seqMu.Unlock()
+			return s.seq, s.seqChanged
+		})
+	})
+	mux.HandleFunc("GET /sets/{name}/signatures", func(w http.ResponseWriter, r *http.Request) {
+		set, version, _ := s.CurrentNamed(r.PathValue("name"))
+		writeSetJSON(w, r, set, version)
+	})
+	mux.HandleFunc("GET /sets/{name}/version", func(w http.ResponseWriter, r *http.Request) {
+		_, version, _ := s.CurrentNamed(r.PathValue("name"))
+		fmt.Fprintf(w, "%d", version)
+	})
+	mux.HandleFunc("GET /sets/{name}/wait", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		// An unpublished name waits on the catalog broadcast: its first
+		// publish bumps the sequence, re-arming the check — so watching a
+		// set that does not exist yet neither errors nor allocates state.
+		s.serveWait(w, r, "v", func() (int64, <-chan struct{}) {
 			s.mu.RLock()
-			version := s.version
-			notify := s.changed
+			st := s.named[name]
 			s.mu.RUnlock()
-			if version > after {
-				fmt.Fprintf(w, "%d", version)
-				return
+			if st == nil {
+				s.seqMu.Lock()
+				defer s.seqMu.Unlock()
+				return 0, s.seqChanged
 			}
-			select {
-			case <-notify:
-				// Re-read: coalesced publishes may have advanced further.
-			case <-deadline.C:
-				fmt.Fprintf(w, "%d", version)
-				return
-			case <-r.Context().Done():
-				return
-			}
-		}
+			return st.read()
+		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
@@ -244,62 +507,143 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// PublishHandler returns the write endpoint:
+// writeSetJSON serves one signature set with the ETag/If-None-Match
+// conditional-request contract shared by the default and named endpoints.
+func writeSetJSON(w http.ResponseWriter, r *http.Request, set *signature.Set, version int64) {
+	etag := fmt.Sprintf("%q", strconv.FormatInt(version, 10))
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", etag)
+	w.Write(buf.Bytes())
+}
+
+// serveWait is the long-poll shared by /wait, /sets/wait, and the named
+// waits: block until read() exceeds the ?{param}= value (or a timeout),
+// then answer the current value as text.
+func (s *Server) serveWait(w http.ResponseWriter, r *http.Request, param string, read func() (int64, <-chan struct{})) {
+	after := int64(0)
+	if v := r.URL.Query().Get(param); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad "+param+" parameter", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	timeout := waitTimeoutMax
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad timeout parameter", http.StatusBadRequest)
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		current, notify := read()
+		if current > after {
+			fmt.Fprintf(w, "%d", current)
+			return
+		}
+		select {
+		case <-notify:
+			// Re-read: coalesced publishes may have advanced further.
+		case <-deadline.C:
+			fmt.Fprintf(w, "%d", current)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// PublishHandler returns the write endpoints:
 //
-//	POST /publish — replace the set: a body with Version 0 auto-bumps,
-//	                a non-zero Version must exceed the current one or
-//	                the publish is rejected with 409 Conflict; answers
-//	                the accepted version as text
+//	POST /publish              — replace the default set
+//	POST /sets/{name}/publish  — replace (or create) the named set
+//
+// Both route by the body's Version field: 0 auto-bumps, a non-zero
+// Version must exceed the set's current one or the publish is rejected
+// with 409 Conflict; the accepted version is answered as text.
 //
 // A non-empty token requires `Authorization: Bearer <token>` (compared
-// in constant time); an empty token leaves the endpoint open, which is
-// only safe behind loopback or an authenticating front. The endpoint is
+// in constant time); an empty token leaves the endpoints open, which is
+// only safe behind loopback or an authenticating front. The endpoints are
 // deliberately not part of Handler, so mounting the read-only API never
 // exposes a write path by accident.
 func (s *Server) PublishHandler(token string) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		if token != "" {
-			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+token)) != 1 {
-				http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
-				return
-			}
-		}
-		set, err := signature.ReadJSON(r.Body)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
-			return
-		}
-		v, err := s.PublishSet(set)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
-			return
-		}
-		fmt.Fprintf(w, "%d", v)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /publish", func(w http.ResponseWriter, r *http.Request) {
+		s.servePublish(w, r, "", token)
 	})
+	mux.HandleFunc("POST /sets/{name}/publish", func(w http.ResponseWriter, r *http.Request) {
+		s.servePublish(w, r, r.PathValue("name"), token)
+	})
+	return mux
 }
 
-// HandlerWithPublish mounts the read-only API plus the publish endpoint
-// guarded by token ("" leaves it open; see PublishHandler).
+func (s *Server) servePublish(w http.ResponseWriter, r *http.Request, name, token string) {
+	if token != "" {
+		if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+token)) != 1 {
+			http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+			return
+		}
+	}
+	set, err := signature.ReadJSON(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
+		return
+	}
+	v, err := s.PublishNamedSet(name, set)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrStaleVersion) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	fmt.Fprintf(w, "%d", v)
+}
+
+// HandlerWithPublish mounts the read-only API plus the publish endpoints
+// guarded by token ("" leaves them open; see PublishHandler).
 func (s *Server) HandlerWithPublish(token string) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
 	mux.Handle("POST /publish", s.PublishHandler(token))
+	mux.Handle("POST /sets/{name}/publish", s.PublishHandler(token))
 	return mux
 }
 
-// Client fetches signature sets from a Server's HTTP API.
+// setCache is one set's conditional-fetch state inside a Client.
+type setCache struct {
+	etag   string
+	cached *signature.Set
+}
+
+// Client fetches signature sets from a Server's HTTP API — the default
+// set and any named sets, each cached independently for conditional
+// requests.
 type Client struct {
 	base  string
 	hc    *http.Client
 	token string
 
 	mu     sync.Mutex
-	etag   string
-	cached *signature.Set
+	caches map[string]*setCache // keyed by set name; "" = default
 }
 
 // NewClient builds a client for the server at base (e.g.
@@ -308,7 +652,7 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient}
+	return &Client{base: base, hc: httpClient, caches: make(map[string]*setCache)}
 }
 
 // SetToken installs the bearer token sent on Publish ("" sends none).
@@ -316,16 +660,35 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // requests.
 func (c *Client) SetToken(token string) { c.token = token }
 
-// Publish POSTs the set to the server's publish endpoint and returns the
-// version the server accepted it as. A non-zero set.Version engages the
-// server's strict-increase guard; a 409 response surfaces as an error
-// wrapping ErrStaleVersion.
+// pathPrefix maps a set name to its URL prefix: "" (default set) stays at
+// the root, named sets live under /sets/{name}.
+func pathPrefix(name string) string {
+	if name == "" {
+		return ""
+	}
+	return "/sets/" + url.PathEscape(name)
+}
+
+// Publish POSTs the set to the server's default publish endpoint and
+// returns the version the server accepted it as. A non-zero set.Version
+// engages the server's strict-increase guard; a 409 response surfaces as
+// an error wrapping ErrStaleVersion.
 func (c *Client) Publish(ctx context.Context, set *signature.Set) (int64, error) {
+	return c.publishPath(ctx, "", set)
+}
+
+// PublishNamed is Publish against one named set's independent version
+// sequence.
+func (c *Client) PublishNamed(ctx context.Context, name string, set *signature.Set) (int64, error) {
+	return c.publishPath(ctx, name, set)
+}
+
+func (c *Client) publishPath(ctx context.Context, name string, set *signature.Set) (int64, error) {
 	var buf bytes.Buffer
 	if err := set.WriteJSON(&buf); err != nil {
 		return 0, fmt.Errorf("sigserver: encoding set: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/publish", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+pathPrefix(name)+"/publish", &buf)
 	if err != nil {
 		return 0, err
 	}
@@ -353,17 +716,36 @@ func (c *Client) Publish(ctx context.Context, set *signature.Set) (int64, error)
 	return v, nil
 }
 
-// Fetch retrieves the current signature set, reusing the cached copy when
-// the server reports it unchanged. The second result reports whether the
-// set changed since the previous Fetch.
+// Fetch retrieves the current default signature set, reusing the cached
+// copy when the server reports it unchanged. The second result reports
+// whether the set changed since the previous Fetch.
 func (c *Client) Fetch(ctx context.Context) (*signature.Set, bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/signatures", nil)
+	return c.fetchPath(ctx, "")
+}
+
+// FetchNamed is Fetch against one named set, with its own conditional
+// cache. An unpublished name yields an empty set at version 0.
+func (c *Client) FetchNamed(ctx context.Context, name string) (*signature.Set, bool, error) {
+	return c.fetchPath(ctx, name)
+}
+
+func (c *Client) cache(name string) *setCache {
+	sc := c.caches[name]
+	if sc == nil {
+		sc = &setCache{}
+		c.caches[name] = sc
+	}
+	return sc
+}
+
+func (c *Client) fetchPath(ctx context.Context, name string) (*signature.Set, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+pathPrefix(name)+"/signatures", nil)
 	if err != nil {
 		return nil, false, fmt.Errorf("sigserver: building request: %w", err)
 	}
 	c.mu.Lock()
-	if c.etag != "" {
-		req.Header.Set("If-None-Match", c.etag)
+	if etag := c.cache(name).etag; etag != "" {
+		req.Header.Set("If-None-Match", etag)
 	}
 	c.mu.Unlock()
 	resp, err := c.hc.Do(req)
@@ -374,7 +756,7 @@ func (c *Client) Fetch(ctx context.Context) (*signature.Set, bool, error) {
 	switch resp.StatusCode {
 	case http.StatusNotModified:
 		c.mu.Lock()
-		cached := c.cached
+		cached := c.cache(name).cached
 		c.mu.Unlock()
 		if cached == nil {
 			return nil, false, fmt.Errorf("sigserver: 304 without cached set")
@@ -386,8 +768,9 @@ func (c *Client) Fetch(ctx context.Context) (*signature.Set, bool, error) {
 			return nil, false, err
 		}
 		c.mu.Lock()
-		c.etag = resp.Header.Get("ETag")
-		c.cached = set
+		sc := c.cache(name)
+		sc.etag = resp.Header.Get("ETag")
+		sc.cached = set
 		c.mu.Unlock()
 		return set, true, nil
 	default:
@@ -395,51 +778,31 @@ func (c *Client) Fetch(ctx context.Context) (*signature.Set, bool, error) {
 	}
 }
 
-// Version asks the server for its current version.
+// Version asks the server for the default set's current version.
 func (c *Client) Version(ctx context.Context) (int64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/version", nil)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return 0, fmt.Errorf("sigserver: fetching version: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("sigserver: unexpected status %s", resp.Status)
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64))
-	if err != nil {
-		return 0, err
-	}
-	v, err := strconv.ParseInt(string(bytes.TrimSpace(body)), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("sigserver: parsing version %q: %w", body, err)
-	}
-	return v, nil
+	return c.intGet(ctx, pathPrefix("")+"/version")
 }
 
-// WaitVersion long-polls the server's /wait endpoint until its version
-// exceeds after, returning the version it saw. A server-side timeout
-// returns the unchanged version; callers loop. Servers predating /wait
-// yield an error wrapping ErrNoWait, which Watch treats as a signal to
-// fall back to interval polling.
-func (c *Client) WaitVersion(ctx context.Context, after int64) (int64, error) {
-	url := fmt.Sprintf("%s/wait?v=%d", c.base, after)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+// VersionNamed asks the server for one named set's current version.
+func (c *Client) VersionNamed(ctx context.Context, name string) (int64, error) {
+	return c.intGet(ctx, pathPrefix(name)+"/version")
+}
+
+// intGet fetches one integer-bodied endpoint.
+func (c *Client) intGet(ctx context.Context, path string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("sigserver: waiting for version: %w", err)
+		return 0, fmt.Errorf("sigserver: fetching %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
-		return 0, fmt.Errorf("sigserver: server has no /wait endpoint: %w", ErrNoWait)
+		return 0, fmt.Errorf("sigserver: server has no %s endpoint: %w", path, ErrNoWait)
 	default:
 		return 0, fmt.Errorf("sigserver: unexpected status %s", resp.Status)
 	}
@@ -449,9 +812,62 @@ func (c *Client) WaitVersion(ctx context.Context, after int64) (int64, error) {
 	}
 	v, err := strconv.ParseInt(string(bytes.TrimSpace(body)), 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("sigserver: parsing wait version %q: %w", body, err)
+		return 0, fmt.Errorf("sigserver: parsing %s body %q: %w", path, body, err)
 	}
 	return v, nil
+}
+
+// WaitVersion long-polls the server's /wait endpoint until the default
+// set's version exceeds after, returning the version it saw. A
+// server-side timeout returns the unchanged version; callers loop.
+// Servers predating /wait yield an error wrapping ErrNoWait, which Watch
+// treats as a signal to fall back to interval polling.
+func (c *Client) WaitVersion(ctx context.Context, after int64) (int64, error) {
+	return c.intGet(ctx, fmt.Sprintf("%s/wait?v=%d", pathPrefix(""), after))
+}
+
+// WaitVersionNamed is WaitVersion against one named set. Waiting on a
+// name that has not been published yet blocks until its first publish.
+func (c *Client) WaitVersionNamed(ctx context.Context, name string, after int64) (int64, error) {
+	return c.intGet(ctx, fmt.Sprintf("%s/wait?v=%d", pathPrefix(name), after))
+}
+
+// Sets fetches the server's set catalog: the catalog sequence plus every
+// set's version, the default set included as "".
+func (c *Client) Sets(ctx context.Context) (int64, map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/sets", nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, fmt.Errorf("sigserver: fetching sets: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return 0, nil, fmt.Errorf("sigserver: server has no /sets endpoint: %w", ErrNoWait)
+	default:
+		return 0, nil, fmt.Errorf("sigserver: unexpected status %s", resp.Status)
+	}
+	var out struct {
+		Seq  int64            `json:"seq"`
+		Sets map[string]int64 `json:"sets"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return 0, nil, fmt.Errorf("sigserver: decoding sets: %w", err)
+	}
+	if out.Sets == nil {
+		out.Sets = map[string]int64{}
+	}
+	return out.Seq, out.Sets, nil
+}
+
+// WaitSets long-polls /sets/wait until the catalog sequence exceeds
+// after — i.e. until any set (default or named) is published.
+func (c *Client) WaitSets(ctx context.Context, after int64) (int64, error) {
+	return c.intGet(ctx, fmt.Sprintf("/sets/wait?s=%d", after))
 }
 
 // ErrNoWait marks a server without the /wait long-poll endpoint.
@@ -461,23 +877,31 @@ var ErrNoWait = errors.New("wait endpoint unsupported")
 // stall the refresh loop forever.
 const fetchTimeout = 30 * time.Second
 
-// Watch delivers the current signature set, then every subsequent publish,
-// to fn until ctx is cancelled. Between deliveries it blocks on the
-// server's /wait long-poll, so a new version arrives within one round
+// Watch delivers the current default signature set, then every subsequent
+// publish, to fn until ctx is cancelled. Between deliveries it blocks on
+// the server's /wait long-poll, so a new version arrives within one round
 // trip; against servers without /wait (or across transient errors) it
 // degrades to polling every fallback (which also bounds the retry delay;
 // 0 means 10s). Every round trip carries its own deadline, so a
 // half-open connection costs one retry, never a wedged watch. fn runs on
 // the watching goroutine.
 func (c *Client) Watch(ctx context.Context, fallback time.Duration, fn func(*signature.Set)) error {
+	return c.watchSet(ctx, "", fallback, fn)
+}
+
+// WatchNamed is Watch against one named set.
+func (c *Client) WatchNamed(ctx context.Context, name string, fallback time.Duration, fn func(*signature.Set)) error {
+	return c.watchSet(ctx, name, fallback, fn)
+}
+
+func (c *Client) watchSet(ctx context.Context, name string, fallback time.Duration, fn func(*signature.Set)) error {
 	if fallback <= 0 {
 		fallback = 10 * time.Second
 	}
 	longPoll := true
 	first := true
-	last := int64(0)
 	for {
-		set, changed, err := c.fetchTimed(ctx)
+		set, changed, err := c.fetchTimed(ctx, name)
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -491,10 +915,23 @@ func (c *Client) Watch(ctx context.Context, fallback time.Duration, fn func(*sig
 			fn(set)
 			first = false
 		}
-		last = set.Version
+		last := set.Version
 
-		if longPoll {
-			if _, err := c.waitVersionTimed(ctx, last); err != nil {
+		if !longPoll {
+			if err := sleepCtx(ctx, fallback); err != nil {
+				return err
+			}
+			continue
+		}
+		// Re-arm the long poll until the version actually advances: a
+		// server-side timeout answers with the unchanged version, and
+		// re-fetching /signatures on it would learn nothing — at fleet
+		// fan-out that doubles idle request volume. Only an advanced
+		// version (or an error, which is cheap to resync after) breaks
+		// out to the fetch.
+		for {
+			v, err := c.waitVersionTimed(ctx, name, last)
+			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
@@ -504,29 +941,137 @@ func (c *Client) Watch(ctx context.Context, fallback time.Duration, fn func(*sig
 				if err := sleepCtx(ctx, fallback); err != nil {
 					return err
 				}
+				break
 			}
-			continue
-		}
-		if err := sleepCtx(ctx, fallback); err != nil {
-			return err
+			if v > last {
+				break
+			}
 		}
 	}
 }
 
-// fetchTimed is Fetch with a per-attempt deadline.
-func (c *Client) fetchTimed(ctx context.Context) (*signature.Set, bool, error) {
-	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
-	defer cancel()
-	return c.Fetch(ctx)
+// WatchSets follows every set the server distributes: it delivers the
+// default set immediately, every named set already published, and then
+// each set's subsequent publishes — all through one /sets/wait long poll
+// instead of one connection per set. fn receives the set name ("" for
+// the default) and runs on the watching goroutine. Against servers
+// without /sets it degrades to polling every fallback.
+func (c *Client) WatchSets(ctx context.Context, fallback time.Duration, fn func(name string, set *signature.Set)) error {
+	if fallback <= 0 {
+		fallback = 10 * time.Second
+	}
+	longPoll := true
+	first := true
+	known := make(map[string]int64)
+	for {
+		seq, versions, err := c.setsTimed(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, ErrNoWait) {
+				// Server predates /sets: the named catalog cannot be
+				// followed at all, so degrade to watching the default set —
+				// the only set such a server distributes.
+				return c.watchSet(ctx, "", fallback, func(set *signature.Set) { fn("", set) })
+			}
+			if err := sleepCtx(ctx, fallback); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, ok := versions[""]; !ok {
+			versions[""] = 0 // the default set is always watched
+		}
+		fetchFailed := false
+		for name, v := range versions {
+			if !first && v == known[name] {
+				continue
+			}
+			set, _, err := c.fetchTimed(ctx, name)
+			if err != nil {
+				fetchFailed = true
+				continue
+			}
+			fn(name, set)
+			known[name] = set.Version
+		}
+		first = false
+		if fetchFailed {
+			// A set listed in the catalog was not delivered; retry after
+			// the fallback interval rather than parking on /sets/wait —
+			// the sequence only advances on another publish, which may
+			// never come, and the undelivered set would be lost until it
+			// did.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err := sleepCtx(ctx, fallback); err != nil {
+				return err
+			}
+			continue
+		}
+
+		if !longPoll {
+			if err := sleepCtx(ctx, fallback); err != nil {
+				return err
+			}
+			continue
+		}
+		// Same re-arm rule as watchSet: only an advanced catalog sequence
+		// warrants re-listing the sets.
+		for {
+			v, err := c.waitSetsTimed(ctx, seq)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				if errors.Is(err, ErrNoWait) {
+					longPoll = false
+				}
+				if err := sleepCtx(ctx, fallback); err != nil {
+					return err
+				}
+				break
+			}
+			if v > seq {
+				break
+			}
+		}
+	}
 }
 
-// waitVersionTimed is WaitVersion with a deadline comfortably above the
-// server's own long-poll cap, so only a hung connection — not a patient
-// server — trips it.
-func (c *Client) waitVersionTimed(ctx context.Context, after int64) (int64, error) {
+// fetchTimed is fetchPath with a per-attempt deadline.
+func (c *Client) fetchTimed(ctx context.Context, name string) (*signature.Set, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
+	defer cancel()
+	return c.fetchPath(ctx, name)
+}
+
+// setsTimed is Sets with a per-attempt deadline.
+func (c *Client) setsTimed(ctx context.Context) (int64, map[string]int64, error) {
+	ctx, cancel := context.WithTimeout(ctx, fetchTimeout)
+	defer cancel()
+	return c.Sets(ctx)
+}
+
+// waitVersionTimed is WaitVersion(Named) with a deadline comfortably
+// above the server's own long-poll cap, so only a hung connection — not a
+// patient server — trips it.
+func (c *Client) waitVersionTimed(ctx context.Context, name string, after int64) (int64, error) {
 	ctx, cancel := context.WithTimeout(ctx, waitTimeoutMax+fetchTimeout)
 	defer cancel()
-	return c.WaitVersion(ctx, after)
+	if name == "" {
+		return c.WaitVersion(ctx, after)
+	}
+	return c.WaitVersionNamed(ctx, name, after)
+}
+
+// waitSetsTimed is WaitSets with the same generous deadline.
+func (c *Client) waitSetsTimed(ctx context.Context, after int64) (int64, error) {
+	ctx, cancel := context.WithTimeout(ctx, waitTimeoutMax+fetchTimeout)
+	defer cancel()
+	return c.WaitSets(ctx, after)
 }
 
 // sleepCtx sleeps for d or until the context ends.

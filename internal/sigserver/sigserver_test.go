@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -405,4 +408,258 @@ func TestVersionedPublishWakesWatchers(t *testing.T) {
 	}
 	cancel()
 	<-done
+}
+
+func TestNamedSetsIndependentVersions(t *testing.T) {
+	s := New()
+	if v, err := s.PublishNamed("tenant-a", testSet("a-token")); err != nil || v != 1 {
+		t.Fatalf("first named publish: v=%d err=%v", v, err)
+	}
+	if v, err := s.PublishNamed("tenant-b", testSet("b-token")); err != nil || v != 1 {
+		t.Fatalf("second name starts its own sequence: v=%d err=%v", v, err)
+	}
+	if v := s.Publish(testSet("default-token")); v != 1 {
+		t.Fatalf("default set sequence entangled with named: v=%d", v)
+	}
+	// Strict-increase guard is per name.
+	stale := testSet("a-two")
+	stale.Version = 1
+	if _, err := s.PublishNamedVersioned("tenant-a", stale); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("stale named publish err = %v", err)
+	}
+	fresh := testSet("b-two")
+	fresh.Version = 5
+	if v, err := s.PublishNamedVersioned("tenant-b", fresh); err != nil || v != 5 {
+		t.Fatalf("versioned named publish: v=%d err=%v", v, err)
+	}
+	set, v, ok := s.CurrentNamed("tenant-a")
+	if !ok || v != 1 || set.Signatures[0].Tokens[0] != "a-token" {
+		t.Fatalf("tenant-a = %+v at %d (ok=%v)", set, v, ok)
+	}
+	// Unknown names read as the empty zero state, without being created.
+	if _, v, ok := s.CurrentNamed("ghost"); ok || v != 0 {
+		t.Fatalf("unknown name: v=%d ok=%v", v, ok)
+	}
+	names := s.SetNames()
+	if len(names) != 2 || names[0] != "tenant-a" || names[1] != "tenant-b" {
+		t.Fatalf("SetNames = %v", names)
+	}
+	st := s.Stats()
+	if st.Sets["tenant-a"].PublishesRejected != 1 || st.Sets["tenant-b"].Version != 5 {
+		t.Fatalf("stats sets = %+v", st.Sets)
+	}
+	if st.Seq != 4 {
+		t.Fatalf("catalog seq = %d, want 4 (3 accepted named+default publishes... )", st.Seq)
+	}
+}
+
+func TestNamedSetNameValidation(t *testing.T) {
+	s := New()
+	// "." and ".." are path-cleaning hazards: ServeMux folds them away
+	// before routing, so a publish to them could never be fetched back.
+	for _, bad := range []string{"", "a/b", "x\ny", ".", "..", string(make([]byte, 201))} {
+		if bad == "" {
+			continue // "" routes to the default set, which is valid
+		}
+		if _, err := s.PublishNamed(bad, testSet("t")); !errors.Is(err, ErrBadSetName) {
+			t.Fatalf("name %q accepted (err=%v)", bad, err)
+		}
+	}
+}
+
+func TestNamedSetsHTTPRoundTrip(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.HandlerWithPublish("sekret"))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	c.SetToken("sekret")
+	ctx := context.Background()
+
+	if _, err := c.PublishNamed(ctx, "com.app one", testSet("app-token")); err != nil {
+		t.Fatalf("named HTTP publish: %v", err)
+	}
+	set, changed, err := c.FetchNamed(ctx, "com.app one")
+	if err != nil || !changed || set.Version != 1 || set.Signatures[0].Tokens[0] != "app-token" {
+		t.Fatalf("named fetch: %+v changed=%v err=%v", set, changed, err)
+	}
+	// Conditional refetch is per name.
+	if _, changed, err := c.FetchNamed(ctx, "com.app one"); err != nil || changed {
+		t.Fatalf("named refetch: changed=%v err=%v", changed, err)
+	}
+	if v, err := c.VersionNamed(ctx, "com.app one"); err != nil || v != 1 {
+		t.Fatalf("named version: v=%d err=%v", v, err)
+	}
+	// The default set is untouched by named publishes.
+	if v, err := c.Version(ctx); err != nil || v != 0 {
+		t.Fatalf("default version after named publish: v=%d err=%v", v, err)
+	}
+	// Unpublished names fetch as the empty zero state.
+	ghost, _, err := c.FetchNamed(ctx, "ghost")
+	if err != nil || ghost.Version != 0 || ghost.Len() != 0 {
+		t.Fatalf("ghost fetch: %+v err=%v", ghost, err)
+	}
+	// Catalog listing includes the default set as "".
+	seq, versions, err := c.Sets(ctx)
+	if err != nil || seq != 1 || versions["com.app one"] != 1 || versions[""] != 0 {
+		t.Fatalf("sets: seq=%d versions=%v err=%v", seq, versions, err)
+	}
+	// Stale named publish over HTTP surfaces as ErrStaleVersion.
+	stale := testSet("two")
+	stale.Version = 1
+	if _, err := c.PublishNamed(ctx, "com.app one", stale); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("stale named HTTP publish err = %v", err)
+	}
+}
+
+func TestNamedWaitBeforeFirstPublish(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	// Waiting on a name that does not exist yet blocks until its first
+	// publish (and creates no server state while blocked).
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		if len(s.SetNames()) != 0 {
+			t.Error("waiting on an unpublished name allocated server state")
+		}
+		s.PublishNamed("late", testSet("late-token"))
+	}()
+	v, err := c.WaitVersionNamed(context.Background(), "late", 0)
+	if err != nil || v != 1 {
+		t.Fatalf("named wait: v=%d err=%v", v, err)
+	}
+}
+
+func TestWatchNamedDeliversUpdates(t *testing.T) {
+	s := New()
+	s.PublishNamed("pop", testSet("one"))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sets := make(chan *signature.Set, 8)
+	go c.WatchNamed(ctx, "pop", time.Second, func(set *signature.Set) { sets <- set })
+
+	if first := <-sets; first.Version != 1 {
+		t.Fatalf("initial named delivery = %+v", first)
+	}
+	s.PublishNamed("pop", testSet("two"))
+	select {
+	case next := <-sets:
+		if next.Version != 2 || next.Signatures[0].Tokens[0] != "two" {
+			t.Fatalf("named update = %+v", next)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchNamed never delivered the update")
+	}
+}
+
+func TestWatchSetsFollowsEveryPopulation(t *testing.T) {
+	s := New()
+	s.Publish(testSet("default-one"))
+	s.PublishNamed("tenant-a", testSet("a-one"))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type delivery struct {
+		name string
+		set  *signature.Set
+	}
+	got := make(chan delivery, 16)
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.WatchSets(ctx, time.Second, func(name string, set *signature.Set) {
+		got <- delivery{name, set}
+	})
+
+	// Initial pass: default plus every published named set.
+	initial := map[string]int64{}
+	for i := 0; i < 2; i++ {
+		select {
+		case d := <-got:
+			initial[d.name] = d.set.Version
+		case <-time.After(5 * time.Second):
+			t.Fatalf("initial catalog pass incomplete: %v", initial)
+		}
+	}
+	if initial[""] != 1 || initial["tenant-a"] != 1 {
+		t.Fatalf("initial deliveries = %v", initial)
+	}
+
+	// A publish to a brand-new name wakes the single catalog watch.
+	s.PublishNamed("tenant-b", testSet("b-one"))
+	select {
+	case d := <-got:
+		if d.name != "tenant-b" || d.set.Version != 1 {
+			t.Fatalf("new-set delivery = %q v%d", d.name, d.set.Version)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchSets never delivered the new named set")
+	}
+
+	// An update to an existing name is delivered with that name.
+	s.PublishNamed("tenant-a", testSet("a-two"))
+	select {
+	case d := <-got:
+		if d.name != "tenant-a" || d.set.Version != 2 {
+			t.Fatalf("update delivery = %q v%d", d.name, d.set.Version)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchSets never delivered the named update")
+	}
+}
+
+// TestWatchSkipsRefetchOnUnchangedWait pins the idle-watch cost: a /wait
+// long-poll that times out with an unchanged version must NOT trigger a
+// redundant /signatures fetch — at fleet fan-out that fetch doubled idle
+// request volume for zero information.
+func TestWatchSkipsRefetchOnUnchangedWait(t *testing.T) {
+	var fetches, waits, version atomic.Int64
+	version.Store(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /signatures", func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		v := version.Load()
+		etag := fmt.Sprintf("%q", strconv.FormatInt(v, 10))
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		set := testSet("tok-one")
+		set.Version = v
+		w.Header().Set("ETag", etag)
+		set.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /wait", func(w http.ResponseWriter, r *http.Request) {
+		// Simulate three idle long-poll timeouts (unchanged version),
+		// then one real advance; every later wait is idle again.
+		if waits.Add(1) == 4 {
+			version.Store(2)
+		}
+		fmt.Fprintf(w, "%d", version.Load())
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := make(chan int64, 8)
+	go c.Watch(ctx, time.Second, func(s *signature.Set) { delivered <- s.Version })
+
+	<-delivered // initial delivery
+	// Wait until the advanced wait answer forces the second fetch.
+	deadline := time.Now().Add(5 * time.Second)
+	for fetches.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if w, f := waits.Load(), fetches.Load(); w < 4 || f != 2 {
+		t.Fatalf("waits=%d fetches=%d; want >=4 waits and exactly 2 fetches (no refetch on unchanged version)", w, f)
+	}
 }

@@ -153,11 +153,16 @@ func TeeSink(sinks ...Sink) Sink { return engine.TeeSink(sinks...) }
 
 // Learner is the online signature-generation service (see
 // internal/siggen): it samples unmatched flows from running engines
-// through MissSink, maintains rolling clusters over them, distills
-// gated conjunction signatures each epoch, and auto-publishes accepted
-// sets to a signature server every watching engine hot-reloads — the
-// closed detect → cluster → generate → publish loop. cmd/siggend is its
-// daemon form; leakstream -learn embeds it next to a streaming engine.
+// through MissSink, maintains rolling tenant-tagged clusters over them,
+// distills gated conjunction signatures each epoch, and auto-publishes
+// accepted sets to a signature server every watching engine hot-reloads —
+// the closed detect → cluster → generate → publish loop. With
+// LearnerConfig.TenantSets it additionally publishes one named set per
+// tenant (pin them into a Pool with PoolReloader or sigserver named-set
+// watches), and signatures whose source clusters go stale are dropped
+// from the next published versions (drift retirement). cmd/siggend is
+// its daemon form; leakstream -learn embeds it next to a streaming
+// engine.
 type Learner = siggen.Service
 
 // LearnerConfig parameterizes NewLearner; the zero value selects
@@ -175,14 +180,31 @@ type LearnerClusterConfig = siggen.ClusterConfig
 // siggen.ServerPublisher and NewHTTPPublisher.
 type SetPublisher = siggen.Publisher
 
+// NamedSetPublisher is the per-tenant extension of SetPublisher: a
+// publisher that routes sets by name (sigserver's /sets/{name}
+// endpoints), which a Learner with TenantSets uses to publish each
+// tenant's set under its own version sequence.
+type NamedSetPublisher = siggen.NamedPublisher
+
 // NewLearner starts an online signature-generation service. Wire its
 // MissSink into a StreamConfig.Sink (or a TeeSink), or feed it directly
 // with Observe; drive epochs with RunEpoch or LearnerConfig.GenerateInterval.
 func NewLearner(cfg LearnerConfig) *Learner { return siggen.NewService(cfg) }
 
 // NewHTTPPublisher returns a SetPublisher that POSTs accepted sets to
-// the sigserver at base, authenticating with token when non-empty.
+// the sigserver at base, authenticating with token when non-empty. The
+// returned publisher also implements NamedSetPublisher, so per-tenant
+// sets publish under /sets/{tenant}/.
 func NewHTTPPublisher(base, token string) SetPublisher { return siggen.NewHTTPPublisher(base, token) }
+
+// PoolReloader returns a LearnerConfig.OnPublishNamed hook that pins
+// each published tenant set into the Pool via ReloadTenant — the
+// in-process route for per-tenant learned signatures. The global set is
+// deliberately not installed as the pool default (it is the union across
+// tenants; see siggen.PoolReloader).
+func PoolReloader(p *Pool) func(name string, set *SignatureSet) {
+	return siggen.PoolReloader(p)
+}
 
 // Dataset is a synthetic capture with its device and ground truth.
 type Dataset struct {

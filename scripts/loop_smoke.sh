@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Closed-loop smoke: stream a synthetic trace through `leakstream -learn`
-# against a local sigserver that starts EMPTY, and assert that online
-# generation auto-published at least one signature-set version — the
-# detect → cluster → generate → publish loop with no manual leakgen step.
-# The leakstream stats line (packets/s) is echoed into the job log.
+# Closed-loop smoke: stream a synthetic trace through `leakstream -learn
+# -learn-tenants` against a local sigserver that starts EMPTY, and assert
+# that online generation auto-published (a) at least one global
+# signature-set version and (b) at least one per-tenant NAMED set under
+# /sets/{tenant}/ — the detect → cluster → generate → publish loop, per
+# population, with no manual leakgen step. The leakstream stats line
+# (packets/s) is echoed into the job log.
 set -euo pipefail
 
 PORT="${LOOP_SMOKE_PORT:-8701}"
@@ -33,8 +35,9 @@ curl -fs "http://127.0.0.1:$PORT/healthz" >/dev/null
 v0="$(curl -fs "http://127.0.0.1:$PORT/version")"
 echo "== sigserver starts at version $v0"
 
-echo "== streaming the trace through leakstream -learn"
-"$dir/bin/leakstream" -server "http://127.0.0.1:$PORT" -learn -learn-min-cluster 2 \
+echo "== streaming the trace through leakstream -learn -learn-tenants"
+"$dir/bin/leakstream" -server "http://127.0.0.1:$PORT" -learn -learn-tenants \
+  -tenant-by app -learn-min-cluster 2 \
   <"$dir/trace.jsonl" >"$dir/verdicts.jsonl" 2>"$dir/stream.log"
 
 echo "== leakstream log (packets/s in the engine stats line):"
@@ -48,4 +51,16 @@ if [ "$v1" -le "$v0" ]; then
   echo "FAIL: no signature set was auto-published" >&2
   exit 1
 fi
-echo "PASS: closed loop published version $v1"
+
+sets_json="$(curl -fs "http://127.0.0.1:$PORT/sets")"
+echo "== set catalog: $sets_json"
+named="$(printf '%s' "$sets_json" | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+print(sum(1 for name, v in d["sets"].items() if name and v > 0))
+')"
+if [ "$named" -lt 1 ]; then
+  echo "FAIL: no per-tenant named set was published alongside the global set" >&2
+  exit 1
+fi
+echo "PASS: closed loop published global version $v1 plus $named per-tenant named set(s)"
