@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"leaksig/internal/ahocorasick"
 	"leaksig/internal/cluster"
 	"leaksig/internal/core"
 	"leaksig/internal/detect"
@@ -336,6 +337,72 @@ func BenchmarkDetectionThroughput(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(e.Dataset.Capture.Len()), "packets")
+}
+
+// BenchmarkMatcherDense measures the zero-allocation dense-automaton
+// match path in isolation over the full trace. "match-into" is the exact
+// per-packet scan+resolve a shard worker runs (MatchInto with one
+// persistent Scratch): dense Aho–Corasick over the content fields, then
+// postings-list conjunction resolution. "occurs-segments" is the raw
+// automaton segment scan with a reused bitset, no resolution. 0 allocs/op
+// is part of the contract (ReportAllocs).
+func BenchmarkMatcherDense(b *testing.B) {
+	e := env()
+	set := benchSignatureSet(300)
+	eng := detect.NewEngine(set)
+	ps := e.Dataset.Capture.Packets
+	var contentBytes int64
+	for _, p := range ps {
+		contentBytes += int64(len(p.Content()))
+	}
+	packets := float64(len(ps))
+	b.Run("match-into", func(b *testing.B) {
+		sc := eng.NewScratch()
+		leaks := 0
+		b.SetBytes(contentBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			leaks = 0
+			for _, p := range ps {
+				if len(eng.MatchInto(p, sc)) > 0 {
+					leaks++
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(packets*float64(b.N)/b.Elapsed().Seconds(), "pps")
+		b.ReportMetric(float64(leaks), "leaks")
+	})
+	b.Run("occurs-segments", func(b *testing.B) {
+		var patterns [][]byte
+		seen := map[string]bool{}
+		for _, sig := range set.Signatures {
+			for _, tok := range sig.Tokens {
+				if !seen[tok] {
+					seen[tok] = true
+					patterns = append(patterns, []byte(tok))
+				}
+			}
+		}
+		m := ahocorasick.Compile(patterns)
+		segs := make([][3][]byte, len(ps))
+		for i, p := range ps {
+			segs[i] = p.ContentFields()
+		}
+		occ := make([]uint64, m.BitsetWords())
+		b.SetBytes(contentBytes)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range segs {
+				m.OccursSegments(occ, s[0], s[1], s[2])
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(packets*float64(b.N)/b.Elapsed().Seconds(), "pps")
+		b.ReportMetric(float64(len(patterns)), "tokens")
+	})
 }
 
 // BenchmarkNCDPair measures the content-distance primitive.

@@ -5,6 +5,16 @@
 // packet against the union of all signature tokens. A single Aho–Corasick
 // pass over the packet reports which tokens occur, after which conjunction
 // signatures are checked with per-signature token bitsets.
+//
+// Compilation happens in two stages. A map-based trie (the construction
+// intermediate, see builder) assigns failure links by BFS; Compile then
+// flattens it into a dense delta table — one contiguous []int32 row per
+// state, indexed by byte class — with every failure link resolved into the
+// table at compile time. The scan loop is therefore a single bounds-checked
+// array load per input byte: no map lookups, no failure chasing, no
+// allocation. Byte-class compression keeps the rows small: all bytes that
+// never appear in any pattern share one column, so a token set over a
+// 40-byte alphabet costs 41 columns per state instead of 256.
 package ahocorasick
 
 // Match records one occurrence of a pattern in the scanned text.
@@ -13,83 +23,94 @@ type Match struct {
 	End     int // byte offset just past the end of the occurrence
 }
 
-type node struct {
-	next map[byte]int32
-	fail int32
-	out  []int32 // pattern indices ending at this node
-}
-
-// Matcher is a compiled Aho–Corasick automaton. It is immutable after
-// Compile and safe for concurrent use.
+// Matcher is a compiled Aho–Corasick automaton in dense form. It is
+// immutable after Compile and safe for concurrent use. All scan entry
+// points are allocation-free except where documented.
 type Matcher struct {
-	nodes    []node
 	patterns [][]byte
+
+	// classes maps each input byte to its column in the delta table.
+	// Bytes absent from every pattern share one dead column whose
+	// transitions all resolve through the root.
+	classes [256]uint8
+	stride  int // columns per state row
+
+	// delta is the fully resolved transition function: numStates×stride,
+	// delta[s*stride+classes[c]] is the next state — goto edges and
+	// failure-link fallbacks are indistinguishable at scan time.
+	delta []int32
+
+	// Flat per-state output lists (failure-inherited outputs already
+	// merged): state s emits outList[outStart[s]:outStart[s+1]].
+	outStart []int32
+	outList  []int32
 }
 
 // Compile builds a matcher over the given patterns. Empty patterns are
 // permitted but never match. Duplicate patterns each report their own index.
 func Compile(patterns [][]byte) *Matcher {
-	m := &Matcher{
-		nodes:    make([]node, 1, 16),
-		patterns: patterns,
-	}
-	m.nodes[0].next = make(map[byte]int32)
-	for i, p := range patterns {
-		if len(p) == 0 {
-			continue
-		}
-		cur := int32(0)
-		for _, c := range p {
-			nxt, ok := m.nodes[cur].next[c]
-			if !ok {
-				m.nodes = append(m.nodes, node{next: make(map[byte]int32)})
-				nxt = int32(len(m.nodes) - 1)
-				m.nodes[cur].next[c] = nxt
-			}
-			cur = nxt
-		}
-		m.nodes[cur].out = append(m.nodes[cur].out, int32(i))
-	}
-	// BFS to assign failure links and merge outputs.
-	queue := make([]int32, 0, len(m.nodes))
-	for _, v := range m.nodes[0].next {
-		m.nodes[v].fail = 0
-		queue = append(queue, v)
-	}
-	for qi := 0; qi < len(queue); qi++ {
-		u := queue[qi]
-		for c, v := range m.nodes[u].next {
-			queue = append(queue, v)
-			f := m.nodes[u].fail
-			for {
-				if nxt, ok := m.nodes[f].next[c]; ok && nxt != v {
-					m.nodes[v].fail = nxt
-					break
-				}
-				if f == 0 {
-					m.nodes[v].fail = 0
-					break
-				}
-				f = m.nodes[f].fail
-			}
-			m.nodes[v].out = append(m.nodes[v].out, m.nodes[m.nodes[v].fail].out...)
-		}
-	}
-	return m
+	return newBuilder(patterns).dense()
 }
 
 // NumPatterns returns the number of patterns the matcher was compiled with.
 func (m *Matcher) NumPatterns() int { return len(m.patterns) }
 
-func (m *Matcher) step(state int32, c byte) int32 {
-	for {
-		if nxt, ok := m.nodes[state].next[c]; ok {
-			return nxt
+// BitsetWords returns the length a caller-owned occurrence bitset must
+// have: one bit per pattern, packed into uint64 words.
+func (m *Matcher) BitsetWords() int { return (len(m.patterns) + 63) / 64 }
+
+// States returns the number of automaton states (exposed for sizing
+// diagnostics and tests).
+func (m *Matcher) States() int { return len(m.outStart) - 1 }
+
+// emit sets the occurrence bit of every pattern ending at state s.
+func (m *Matcher) emit(s int, occ []uint64) {
+	for _, p := range m.outList[m.outStart[s]:m.outStart[s+1]] {
+		occ[uint(p)>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+// scan is the one hot-loop body behind ScanBytes and ScanString: the
+// generic instantiations for []byte and string compile to identical
+// code, so string fields scan without a conversion allocation.
+func scan[T interface{ ~string | ~[]byte }](m *Matcher, state int32, chunk T, occ []uint64) int32 {
+	s := int(state)
+	stride := m.stride
+	for i := 0; i < len(chunk); i++ {
+		s = int(m.delta[s*stride+int(m.classes[chunk[i]])])
+		if m.outStart[s] != m.outStart[s+1] {
+			m.emit(s, occ)
 		}
-		if state == 0 {
-			return 0
-		}
-		state = m.nodes[state].fail
+	}
+	return int32(s)
+}
+
+// ScanBytes feeds one chunk of input through the automaton, OR-ing the
+// bit of every pattern that ends inside the chunk into occ (which must
+// have BitsetWords() length). Pass state 0 to start a new segment and the
+// returned state to continue one across chunks: patterns may span chunk
+// boundaries within a segment but never across a state reset. ScanBytes
+// performs no allocation.
+func (m *Matcher) ScanBytes(state int32, chunk []byte, occ []uint64) int32 {
+	return scan(m, state, chunk, occ)
+}
+
+// ScanString is ScanBytes over a string chunk, so callers holding string
+// fields need not convert (and allocate) to scan them.
+func (m *Matcher) ScanString(state int32, chunk string, occ []uint64) int32 {
+	return scan(m, state, chunk, occ)
+}
+
+// OccursSegments clears occ, then scans each segment with the automaton
+// state reset in between, so no pattern can match across a segment
+// boundary. occ must have BitsetWords() length. The scan itself is
+// allocation-free.
+func (m *Matcher) OccursSegments(occ []uint64, segs ...[]byte) {
+	for i := range occ {
+		occ[i] = 0
+	}
+	for _, seg := range segs {
+		m.ScanBytes(0, seg, occ)
 	}
 }
 
@@ -97,10 +118,11 @@ func (m *Matcher) step(state int32, c byte) int32 {
 // end offset. Overlapping occurrences are all reported.
 func (m *Matcher) FindAll(text []byte) []Match {
 	var out []Match
-	state := int32(0)
-	for i, c := range text {
-		state = m.step(state, c)
-		for _, p := range m.nodes[state].out {
+	s := 0
+	stride := m.stride
+	for i := 0; i < len(text); i++ {
+		s = int(m.delta[s*stride+int(m.classes[text[i]])])
+		for _, p := range m.outList[m.outStart[s]:m.outStart[s+1]] {
 			out = append(out, Match{Pattern: int(p), End: i + 1})
 		}
 	}
@@ -108,8 +130,8 @@ func (m *Matcher) FindAll(text []byte) []Match {
 }
 
 // Occurs returns a boolean slice, indexed by pattern, reporting which
-// patterns occur at least once in text. It allocates one slice per call and
-// stops descending into output lists already fully seen.
+// patterns occur at least once in text. It allocates one slice per call;
+// hot paths should use ScanBytes/OccursSegments with a reused bitset.
 func (m *Matcher) Occurs(text []byte) []bool {
 	seen := make([]bool, len(m.patterns))
 	m.OccursInto(text, seen)
@@ -123,10 +145,11 @@ func (m *Matcher) OccursInto(text []byte, seen []bool) {
 	if len(seen) != len(m.patterns) {
 		panic("ahocorasick: OccursInto slice length mismatch")
 	}
-	state := int32(0)
-	for _, c := range text {
-		state = m.step(state, c)
-		for _, p := range m.nodes[state].out {
+	s := 0
+	stride := m.stride
+	for i := 0; i < len(text); i++ {
+		s = int(m.delta[s*stride+int(m.classes[text[i]])])
+		for _, p := range m.outList[m.outStart[s]:m.outStart[s+1]] {
 			seen[p] = true
 		}
 	}
@@ -135,10 +158,11 @@ func (m *Matcher) OccursInto(text []byte, seen []bool) {
 // Count returns the total number of pattern occurrences in text.
 func (m *Matcher) Count(text []byte) int {
 	n := 0
-	state := int32(0)
-	for _, c := range text {
-		state = m.step(state, c)
-		n += len(m.nodes[state].out)
+	s := 0
+	stride := m.stride
+	for i := 0; i < len(text); i++ {
+		s = int(m.delta[s*stride+int(m.classes[text[i]])])
+		n += int(m.outStart[s+1] - m.outStart[s])
 	}
 	return n
 }

@@ -1,0 +1,163 @@
+package ahocorasick
+
+// buildNode is one trie state of the construction intermediate.
+type buildNode struct {
+	next map[byte]int32
+	fail int32
+	out  []int32 // pattern indices ending at this node, fail-chain merged
+}
+
+// builder is the map-based Aho–Corasick trie used only during Compile.
+// It keeps the textbook goto/failure structure; dense() lowers it into
+// the flat table the scan path runs on. The map-based walk (step,
+// occursInto) survives as the differential-test reference.
+type builder struct {
+	nodes    []buildNode
+	patterns [][]byte
+}
+
+func newBuilder(patterns [][]byte) *builder {
+	b := &builder{
+		nodes:    make([]buildNode, 1, 16),
+		patterns: patterns,
+	}
+	b.nodes[0].next = make(map[byte]int32)
+	for i, p := range patterns {
+		if len(p) == 0 {
+			continue
+		}
+		cur := int32(0)
+		for _, c := range p {
+			nxt, ok := b.nodes[cur].next[c]
+			if !ok {
+				b.nodes = append(b.nodes, buildNode{next: make(map[byte]int32)})
+				nxt = int32(len(b.nodes) - 1)
+				b.nodes[cur].next[c] = nxt
+			}
+			cur = nxt
+		}
+		b.nodes[cur].out = append(b.nodes[cur].out, int32(i))
+	}
+	// BFS to assign failure links and merge outputs.
+	queue := make([]int32, 0, len(b.nodes))
+	for _, v := range b.nodes[0].next {
+		b.nodes[v].fail = 0
+		queue = append(queue, v)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for c, v := range b.nodes[u].next {
+			queue = append(queue, v)
+			f := b.nodes[u].fail
+			for {
+				if nxt, ok := b.nodes[f].next[c]; ok && nxt != v {
+					b.nodes[v].fail = nxt
+					break
+				}
+				if f == 0 {
+					b.nodes[v].fail = 0
+					break
+				}
+				f = b.nodes[f].fail
+			}
+			b.nodes[v].out = append(b.nodes[v].out, b.nodes[b.nodes[v].fail].out...)
+		}
+	}
+	return b
+}
+
+// dense lowers the trie into the flat matcher: byte-class table, fully
+// failure-resolved delta rows, and flat output lists.
+func (b *builder) dense() *Matcher {
+	m := &Matcher{patterns: b.patterns}
+
+	// Byte classes: every byte occurring in some pattern gets its own
+	// column; all others share one dead column (unless the alphabet is
+	// already full).
+	var present [256]bool
+	for _, p := range b.patterns {
+		for _, c := range p {
+			present[c] = true
+		}
+	}
+	n := 0
+	for c := 0; c < 256; c++ {
+		if present[c] {
+			m.classes[c] = uint8(n)
+			n++
+		}
+	}
+	stride := n
+	if n < 256 {
+		for c := 0; c < 256; c++ {
+			if !present[c] {
+				m.classes[c] = uint8(n)
+			}
+		}
+		stride = n + 1
+	}
+	if stride == 0 {
+		stride = 1
+	}
+	m.stride = stride
+
+	// Resolve delta rows in BFS order so each state's failure row is
+	// complete before its own: row = copy of fail row, overwritten by the
+	// state's goto edges. The root's missing edges self-loop at 0, which
+	// the zero-initialized row already encodes.
+	ns := len(b.nodes)
+	m.delta = make([]int32, ns*stride)
+	order := make([]int32, 1, ns)
+	for qi := 0; qi < len(order); qi++ {
+		for _, v := range b.nodes[order[qi]].next {
+			order = append(order, v)
+		}
+	}
+	for _, s := range order {
+		row := m.delta[int(s)*stride : (int(s)+1)*stride]
+		if s != 0 {
+			copy(row, m.delta[int(b.nodes[s].fail)*stride:(int(b.nodes[s].fail)+1)*stride])
+		}
+		for c, v := range b.nodes[s].next {
+			row[m.classes[c]] = v
+		}
+	}
+
+	total := 0
+	for i := range b.nodes {
+		total += len(b.nodes[i].out)
+	}
+	m.outStart = make([]int32, ns+1)
+	m.outList = make([]int32, 0, total)
+	for i := range b.nodes {
+		m.outStart[i] = int32(len(m.outList))
+		m.outList = append(m.outList, b.nodes[i].out...)
+	}
+	m.outStart[ns] = int32(len(m.outList))
+	return m
+}
+
+// step is the original map-based walk with scan-time failure chasing,
+// kept as the reference implementation for differential tests.
+func (b *builder) step(state int32, c byte) int32 {
+	for {
+		if nxt, ok := b.nodes[state].next[c]; ok {
+			return nxt
+		}
+		if state == 0 {
+			return 0
+		}
+		state = b.nodes[state].fail
+	}
+}
+
+// occursInto is the reference Occurs over the map-based walk.
+func (b *builder) occursInto(text []byte, seen []bool) {
+	state := int32(0)
+	for _, c := range text {
+		state = b.step(state, c)
+		for _, p := range b.nodes[state].out {
+			seen[p] = true
+		}
+	}
+}

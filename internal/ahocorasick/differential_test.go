@@ -1,0 +1,156 @@
+package ahocorasick
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// naiveOccursSegments is the reference segment matcher: a pattern occurs
+// iff bytes.Contains finds it inside a single segment. Nothing matches
+// across a boundary.
+func naiveOccursSegments(patterns [][]byte, segs [][]byte) []bool {
+	out := make([]bool, len(patterns))
+	for pi, p := range patterns {
+		if len(p) == 0 {
+			continue
+		}
+		for _, seg := range segs {
+			if bytes.Contains(seg, p) {
+				out[pi] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func bitsetToBools(occ []uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		if occ[i>>6]&(1<<(uint(i)&63)) != 0 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// TestDifferentialDenseVsNaiveVsMapWalk fuzzes random token sets and
+// random multi-segment packets and asserts three-way agreement: the dense
+// flat automaton (OccursSegments), the naive bytes.Contains reference,
+// and the original map-based walk with scan-time failure chasing — the
+// construction intermediate the dense form is lowered from.
+func TestDifferentialDenseVsNaiveVsMapWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabets := [][]byte{
+		[]byte("ab"),
+		[]byte("abcde=&?"),
+		{0x00, 0x0a, 0xff, 'a', 'b'}, // binary, includes the old '\n' separator
+	}
+	randStr := func(alpha []byte, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return b
+	}
+	for iter := 0; iter < 400; iter++ {
+		alpha := alphabets[iter%len(alphabets)]
+		np := 1 + rng.Intn(10)
+		patterns := make([][]byte, np)
+		for i := range patterns {
+			patterns[i] = randStr(alpha, rng.Intn(6)) // empty patterns included
+		}
+		nSegs := 1 + rng.Intn(4)
+		segs := make([][]byte, nSegs)
+		for i := range segs {
+			segs[i] = randStr(alpha, rng.Intn(40))
+		}
+
+		m := Compile(patterns)
+		occ := make([]uint64, m.BitsetWords())
+		m.OccursSegments(occ, segs...)
+		dense := bitsetToBools(occ, np)
+
+		naive := naiveOccursSegments(patterns, segs)
+
+		b := newBuilder(patterns)
+		mapWalk := make([]bool, np)
+		for _, seg := range segs {
+			b.occursInto(seg, mapWalk) // state implicitly resets per call
+		}
+
+		for i := range patterns {
+			if dense[i] != naive[i] {
+				t.Fatalf("iter %d: dense[%d]=%v naive=%v patterns=%q segs=%q",
+					iter, i, dense[i], naive[i], patterns, segs)
+			}
+			if dense[i] != mapWalk[i] {
+				t.Fatalf("iter %d: dense[%d]=%v mapwalk=%v patterns=%q segs=%q",
+					iter, i, dense[i], mapWalk[i], patterns, segs)
+			}
+		}
+	}
+}
+
+// TestSegmentBoundaryNeverMatches plants every split of each token across
+// two adjacent segments and asserts the segment scan refuses the match,
+// while the same bytes in one segment do match.
+func TestSegmentBoundaryNeverMatches(t *testing.T) {
+	tokens := [][]byte{
+		[]byte("udid=f3a9"),
+		[]byte("imei4412"),
+		[]byte("ab"),
+	}
+	m := Compile(tokens)
+	occ := make([]uint64, m.BitsetWords())
+	for ti, tok := range tokens {
+		for cut := 1; cut < len(tok); cut++ {
+			left := append([]byte("xx"), tok[:cut]...)
+			right := append(append([]byte{}, tok[cut:]...), "yy"...)
+			m.OccursSegments(occ, left, right)
+			if got := bitsetToBools(occ, len(tokens)); got[ti] {
+				t.Errorf("token %q matched across segment split %d", tok, cut)
+			}
+			m.OccursSegments(occ, append(left, right...))
+			if got := bitsetToBools(occ, len(tokens)); !got[ti] {
+				t.Errorf("token %q missed in joined segment at split %d", tok, cut)
+			}
+		}
+	}
+}
+
+// TestScanChunkContinuation verifies the inverse property: chunks of the
+// SAME segment (state threaded through) do allow matches spanning chunk
+// boundaries, which is what lets the scanner walk a packet field in
+// pieces without concatenating it.
+func TestScanChunkContinuation(t *testing.T) {
+	m := Compile([][]byte{[]byte("hello world")})
+	occ := make([]uint64, m.BitsetWords())
+	st := m.ScanBytes(0, []byte("say hello"), occ)
+	st = m.ScanString(st, " wor", occ)
+	m.ScanBytes(st, []byte("ld!"), occ)
+	if occ[0]&1 == 0 {
+		t.Error("pattern spanning three chunks of one segment not matched")
+	}
+}
+
+// TestScanZeroAlloc pins the allocation contract of the hot scan path.
+func TestScanZeroAlloc(t *testing.T) {
+	m := Compile([][]byte{[]byte("udid="), []byte("imei="), []byte("carrier=docomo")})
+	occ := make([]uint64, m.BitsetWords())
+	text := []byte("GET /track?udid=abc&carrier=docomo HTTP/1.1")
+	allocs := testing.AllocsPerRun(100, func() {
+		m.OccursSegments(occ, text)
+	})
+	if allocs != 0 {
+		t.Errorf("OccursSegments allocated %v per run, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		st := m.ScanString(0, "udid=", occ)
+		m.ScanBytes(st, text, occ)
+	})
+	if allocs != 0 {
+		t.Errorf("ScanString/ScanBytes allocated %v per run, want 0", allocs)
+	}
+}

@@ -1,10 +1,12 @@
 // Package detect applies conjunction signature sets to HTTP packets and
 // computes the paper's evaluation rates (§V-B).
 //
-// Matching runs one Aho–Corasick pass per packet over the union of every
-// signature's tokens, then checks each signature's token bitset and optional
-// destination constraint. Evaluation implements the paper's equations
-// verbatim:
+// Matching runs one dense Aho–Corasick pass per packet over the union of
+// every signature's tokens — field by field, with no concatenated content
+// buffer — then resolves conjunctions through an inverted token→signature
+// index with remaining-token counters and a host-suffix bucket prefilter,
+// so per-packet work scales with the tokens that occur rather than the
+// signature count. Evaluation implements the paper's equations verbatim:
 //
 //	TP = (#detected sensitive packets − N) / (#sensitive packets − N)
 //	FN =  #undetected sensitive packets   / (#sensitive packets − N)
@@ -21,7 +23,9 @@
 package detect
 
 import (
+	"math/bits"
 	"runtime"
+	"strings"
 	"sync"
 
 	"leaksig/internal/ahocorasick"
@@ -32,91 +36,225 @@ import (
 
 // Engine matches packets against a compiled signature set. It is immutable
 // after construction and safe for concurrent use.
+//
+// The compiled form is built for per-packet cost proportional to the
+// tokens that actually occur, not to the signature count: one dense
+// Aho–Corasick pass over the packet's content fields fills a token
+// bitset, then an inverted index (token ID → postings list of signatures)
+// drives remaining-token countdowns so only signatures sharing an
+// occurring token are ever touched. Host constraints are a bucket
+// prefilter: each distinct HostSuffix is one bucket, the packet marks its
+// eligible buckets with O(host labels) map probes, and a signature whose
+// tokens are all present still needs its bucket marked to match.
 type Engine struct {
-	set      *signature.Set
-	matcher  *ahocorasick.Matcher
-	tokenIDs [][]int // per signature: indices into the matcher's pattern list
+	set     *signature.Set
+	matcher *ahocorasick.Matcher
+
+	// needed[si] is the number of DISTINCT tokens signature si requires;
+	// 0 means the signature can never match and appears in no postings
+	// list.
+	needed []int32
+	// postings[tok] lists the signatures requiring token tok, each
+	// exactly once.
+	postings [][]int32
+
+	// Host-suffix buckets: sigBucket[si] is the bucket of signature si's
+	// HostSuffix; buckets maps each distinct non-empty suffix to its
+	// bucket; emptyBucket is the bucket shared by suffix-less signatures
+	// (-1 when absent), which every packet marks eligible.
+	sigBucket   []int32
+	buckets     map[string]int32
+	emptyBucket int32
+	numBuckets  int
+
+	// scratchPool feeds the compatibility entry points (MatchPacket,
+	// Matches); the pool lives on the engine, so a pooled scratch can
+	// never outlive or cross generations.
+	scratchPool sync.Pool
 }
 
 // NewEngine compiles the signature set.
 func NewEngine(set *signature.Set) *Engine {
-	tokenIndex := make(map[string]int)
+	e := &Engine{
+		set:         set,
+		needed:      make([]int32, len(set.Signatures)),
+		sigBucket:   make([]int32, len(set.Signatures)),
+		buckets:     make(map[string]int32),
+		emptyBucket: -1,
+	}
+	tokenIndex := make(map[string]int32)
 	var patterns [][]byte
-	tokenIDs := make([][]int, len(set.Signatures))
+	perSig := make([][]int32, len(set.Signatures))
 	for si, sig := range set.Signatures {
-		ids := make([]int, 0, len(sig.Tokens))
 		for _, tok := range sig.Tokens {
 			id, ok := tokenIndex[tok]
 			if !ok {
-				id = len(patterns)
+				id = int32(len(patterns))
 				tokenIndex[tok] = id
 				patterns = append(patterns, []byte(tok))
 			}
-			ids = append(ids, id)
+			dup := false
+			for _, seen := range perSig[si] {
+				if seen == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				perSig[si] = append(perSig[si], id)
+			}
 		}
-		tokenIDs[si] = ids
+		e.needed[si] = int32(len(perSig[si]))
+
+		bucket := int32(-1)
+		if sig.HostSuffix == "" {
+			if e.emptyBucket < 0 {
+				e.emptyBucket = int32(e.numBuckets)
+				e.numBuckets++
+			}
+			bucket = e.emptyBucket
+		} else if b, ok := e.buckets[sig.HostSuffix]; ok {
+			bucket = b
+		} else {
+			bucket = int32(e.numBuckets)
+			e.buckets[sig.HostSuffix] = bucket
+			e.numBuckets++
+		}
+		e.sigBucket[si] = bucket
 	}
-	return &Engine{
-		set:      set,
-		matcher:  ahocorasick.Compile(patterns),
-		tokenIDs: tokenIDs,
+	e.postings = make([][]int32, len(patterns))
+	for si, ids := range perSig {
+		if e.needed[si] == 0 {
+			continue // token-less signatures never match
+		}
+		for _, id := range ids {
+			e.postings[id] = append(e.postings[id], int32(si))
+		}
 	}
+	e.matcher = ahocorasick.Compile(patterns)
+	e.scratchPool.New = func() any { return &Scratch{} }
+	return e
 }
 
 // Set returns the engine's signature set.
 func (e *Engine) Set() *signature.Set { return e.set }
 
-// MatchPacket returns the IDs of every signature the packet matches.
-func (e *Engine) MatchPacket(p *httpmodel.Packet) []int {
-	occ := e.matcher.Occurs(p.Content())
-	var out []int
-	for si, sig := range e.set.Signatures {
-		if len(e.tokenIDs[si]) == 0 {
-			continue
+// NewScratch returns a scratch pre-sized for this engine. Callers that
+// match many packets (shard workers, batch loops) should hold one per
+// goroutine and pass it to MatchInto; the zero Scratch value works too.
+func (e *Engine) NewScratch() *Scratch {
+	sc := &Scratch{}
+	sc.init(e)
+	return sc
+}
+
+// markBuckets flags the host buckets the packet is eligible for: the
+// empty-suffix bucket plus every label-aligned suffix of the host that
+// some signature constrains to. This mirrors signature.HostMatchesSuffix
+// exactly — host == suffix or host ending in "."+suffix.
+func (e *Engine) markBuckets(host string, sc *Scratch) {
+	if e.emptyBucket >= 0 {
+		sc.bucketGen[e.emptyBucket] = sc.cur
+	}
+	if len(e.buckets) == 0 {
+		return
+	}
+	for i := 0; ; {
+		if b, ok := e.buckets[host[i:]]; ok {
+			sc.bucketGen[b] = sc.cur
 		}
-		if !signature.HostMatchesSuffix(p.Host, sig.HostSuffix) {
-			continue
+		j := strings.IndexByte(host[i:], '.')
+		if j < 0 {
+			return
 		}
-		all := true
-		for _, id := range e.tokenIDs[si] {
-			if !occ[id] {
-				all = false
-				break
+		i += j + 1
+	}
+}
+
+// MatchInto matches one packet using caller-owned scratch state and
+// returns the IDs of every matching signature, in signature-set order.
+// The returned slice is backed by the scratch and valid only until its
+// next use. Steady-state calls perform no allocation; a scratch sized for
+// a different engine (or the zero Scratch) is re-initialized first, so
+// hot reloads can never leave a worker indexing the new automaton with
+// old dimensions.
+func (e *Engine) MatchInto(p *httpmodel.Packet, sc *Scratch) []int {
+	if sc.owner != e {
+		sc.init(e)
+	}
+	sc.begin()
+	p.VisitContent(sc)
+	e.markBuckets(p.Host, sc)
+
+	// Postings-list conjunction resolution: walk only the tokens whose
+	// bits are set, counting down each referencing signature's needed
+	// total. A signature completes exactly once — at its last missing
+	// token — so candidates cannot duplicate.
+	sc.cand = sc.cand[:0]
+	for w, word := range sc.occ {
+		base := w << 6
+		for word != 0 {
+			tok := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			for _, si := range e.postings[tok] {
+				if sc.gen[si] != sc.cur {
+					sc.gen[si] = sc.cur
+					sc.rem[si] = e.needed[si]
+				}
+				sc.rem[si]--
+				if sc.rem[si] == 0 && sc.bucketGen[e.sigBucket[si]] == sc.cur {
+					sc.cand = append(sc.cand, si)
+				}
 			}
 		}
-		if all {
-			out = append(out, sig.ID)
+	}
+	// Candidates surface in token-discovery order; restore signature-set
+	// order (insertion sort: the list is almost always 0–2 entries).
+	for i := 1; i < len(sc.cand); i++ {
+		for j := i; j > 0 && sc.cand[j-1] > sc.cand[j]; j-- {
+			sc.cand[j-1], sc.cand[j] = sc.cand[j], sc.cand[j-1]
 		}
 	}
+	sc.matched = sc.matched[:0]
+	for _, si := range sc.cand {
+		sc.matched = append(sc.matched, e.set.Signatures[si].ID)
+	}
+	return sc.matched
+}
+
+// MatchesWith reports whether any signature matches, using caller-owned
+// scratch. Allocation-free in the steady state.
+func (e *Engine) MatchesWith(p *httpmodel.Packet, sc *Scratch) bool {
+	return len(e.MatchInto(p, sc)) > 0
+}
+
+// MatchPacket returns the IDs of every signature the packet matches. It
+// draws scratch from the engine's pool, so the scan and resolution
+// allocate nothing; only a non-empty result copies out (nil is returned
+// for a clean packet).
+func (e *Engine) MatchPacket(p *httpmodel.Packet) []int {
+	sc := e.scratchPool.Get().(*Scratch)
+	ids := e.MatchInto(p, sc)
+	var out []int
+	if len(ids) > 0 {
+		out = append(out, ids...)
+	}
+	e.scratchPool.Put(sc)
 	return out
 }
 
-// Matches reports whether any signature matches the packet.
+// Matches reports whether any signature matches the packet. It is
+// allocation-free in the steady state.
 func (e *Engine) Matches(p *httpmodel.Packet) bool {
-	occ := e.matcher.Occurs(p.Content())
-	for si, sig := range e.set.Signatures {
-		if len(e.tokenIDs[si]) == 0 {
-			continue
-		}
-		if !signature.HostMatchesSuffix(p.Host, sig.HostSuffix) {
-			continue
-		}
-		all := true
-		for _, id := range e.tokenIDs[si] {
-			if !occ[id] {
-				all = false
-				break
-			}
-		}
-		if all {
-			return true
-		}
-	}
-	return false
+	sc := e.scratchPool.Get().(*Scratch)
+	ok := len(e.MatchInto(p, sc)) > 0
+	e.scratchPool.Put(sc)
+	return ok
 }
 
 // MatchSet evaluates every packet of the set in parallel and returns one
-// boolean per packet in order.
+// boolean per packet in order. Each worker amortizes one scratch across
+// its whole range.
 func (e *Engine) MatchSet(s *capture.Set) []bool {
 	n := len(s.Packets)
 	out := make([]bool, n)
@@ -141,8 +279,9 @@ func (e *Engine) MatchSet(s *capture.Set) []bool {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			sc := e.NewScratch()
 			for i := lo; i < hi; i++ {
-				out[i] = e.Matches(s.Packets[i])
+				out[i] = len(e.MatchInto(s.Packets[i], sc)) > 0
 			}
 		}(lo, hi)
 	}

@@ -1,0 +1,84 @@
+package detect
+
+// Scratch holds every piece of per-packet mutable state one matching call
+// needs: the automaton state, the token-occurrence bitset, the
+// remaining-token counters, the host-bucket marks, and the matched-ID
+// buffer. A zero Scratch is ready to use — MatchInto sizes it for its
+// engine on first use and re-sizes it automatically whenever it is handed
+// to a different (e.g. freshly reloaded) engine, so a stale scratch can
+// never index a new automaton. After the first call with a given engine,
+// matching through a Scratch performs no allocation.
+//
+// A Scratch is not safe for concurrent use; give each goroutine its own.
+type Scratch struct {
+	owner *Engine
+
+	state int32    // automaton state threaded across chunks of one field
+	occ   []uint64 // token-occurrence bitset, matcher.BitsetWords() words
+
+	// Per-signature countdown of tokens still missing, lazily reset via
+	// the generation stamp: a signature whose gen is stale is implicitly
+	// at its full needed count. cur==0 is never a valid generation.
+	rem []int32
+	gen []uint32
+
+	// Host prefilter: bucketGen[b]==cur marks bucket b eligible for the
+	// current packet.
+	bucketGen []uint32
+
+	cur uint32
+
+	cand    []int32 // candidate signature indices, later sorted
+	matched []int   // matched signature IDs, in set order
+}
+
+// init (re)sizes the scratch for e and invalidates all lazy state.
+func (sc *Scratch) init(e *Engine) {
+	sc.owner = e
+	sc.occ = make([]uint64, e.matcher.BitsetWords())
+	sc.rem = make([]int32, len(e.needed))
+	sc.gen = make([]uint32, len(e.needed))
+	sc.bucketGen = make([]uint32, e.numBuckets)
+	sc.cur = 0
+	if cap(sc.cand) < len(e.needed) {
+		sc.cand = make([]int32, 0, len(e.needed))
+	}
+	if cap(sc.matched) < len(e.needed) {
+		sc.matched = make([]int, 0, len(e.needed))
+	}
+}
+
+// begin starts a new packet: fresh generation, cleared bitset.
+func (sc *Scratch) begin() {
+	sc.cur++
+	if sc.cur == 0 { // generation counter wrapped: hard-reset the stamps
+		for i := range sc.gen {
+			sc.gen[i] = 0
+		}
+		for i := range sc.bucketGen {
+			sc.bucketGen[i] = 0
+		}
+		sc.cur = 1
+	}
+	for i := range sc.occ {
+		sc.occ[i] = 0
+	}
+	sc.state = 0
+}
+
+// Field, Text and Bytes implement httpmodel.ContentVisitor: the automaton
+// state resets at each field boundary and threads across the chunks
+// within a field, so tokens may span chunks but never fields.
+
+// Field resets the automaton at a content-field boundary.
+func (sc *Scratch) Field() { sc.state = 0 }
+
+// Text scans one string chunk of the current field.
+func (sc *Scratch) Text(s string) {
+	sc.state = sc.owner.matcher.ScanString(sc.state, s, sc.occ)
+}
+
+// Bytes scans one byte chunk of the current field.
+func (sc *Scratch) Bytes(b []byte) {
+	sc.state = sc.owner.matcher.ScanBytes(sc.state, b, sc.occ)
+}

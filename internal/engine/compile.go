@@ -16,9 +16,11 @@ type compiledSet struct {
 	sigs    int
 }
 
-// compile builds a generation from a signature set. A nil set compiles to
-// an empty generation that matches nothing, so the engine can start before
-// the first sigserver fetch completes.
+// compile builds a generation from a signature set — including the dense
+// Aho–Corasick automaton and the inverted token→signature index, built
+// once per hot reload, off the hot path. A nil set compiles to an empty
+// generation that matches nothing, so the engine can start before the
+// first sigserver fetch completes.
 func compile(set *signature.Set) *compiledSet {
 	if set == nil {
 		set = &signature.Set{}
@@ -31,7 +33,11 @@ func compile(set *signature.Set) *compiledSet {
 }
 
 // match returns the IDs of every signature the packet matches under this
-// generation.
+// generation. It serves the synchronous paths (Engine.MatchPacket);
+// detect.Engine draws scratch from its own per-generation sync.Pool, so
+// the scan and resolution allocate nothing and only a leaking packet
+// copies out its matched IDs. Shard workers bypass this and call
+// MatchInto with their persistent scratch directly.
 func (c *compiledSet) match(p *httpmodel.Packet) []int {
 	return c.eng.MatchPacket(p)
 }

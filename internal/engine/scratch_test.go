@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"leaksig/internal/detect"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+func scratchTestSet(n int) *signature.Set {
+	sigs := make([]*signature.Signature, n)
+	for i := range sigs {
+		sigs[i] = &signature.Signature{
+			ID:     i,
+			Tokens: []string{fmt.Sprintf("tok-%04d=", i), "shared="},
+		}
+	}
+	return &signature.Set{Signatures: sigs, Version: int64(n)}
+}
+
+func scratchTestPacket(i int) *httpmodel.Packet {
+	return &httpmodel.Packet{
+		ID:     int64(i),
+		Host:   "ads.example",
+		Method: "GET",
+		Path:   fmt.Sprintf("/a?shared=&tok-%04d=v", i%64),
+		Proto:  "HTTP/1.1",
+	}
+}
+
+// TestSteadyStateScanResolveZeroAlloc asserts the BenchmarkEngineStreaming
+// steady state: the per-packet scan+resolve path a shard worker runs —
+// MatchInto against the loaded generation with the worker's persistent
+// scratch — performs zero allocations once warm, for clean and leaking
+// packets alike.
+func TestSteadyStateScanResolveZeroAlloc(t *testing.T) {
+	cs := compile(scratchTestSet(64))
+	var sc detect.Scratch
+	leak := scratchTestPacket(3)
+	clean := &httpmodel.Packet{Host: "ads.example", Method: "GET", Path: "/benign", Proto: "HTTP/1.1"}
+	cs.eng.MatchInto(leak, &sc) // warm: first call sizes the scratch
+	for name, p := range map[string]*httpmodel.Packet{"leak": leak, "clean": clean} {
+		p := p
+		allocs := testing.AllocsPerRun(200, func() {
+			cs.eng.MatchInto(p, &sc)
+		})
+		if allocs != 0 {
+			t.Errorf("%s packet: scan+resolve allocated %v per run, want 0", name, allocs)
+		}
+	}
+}
+
+// TestReloadConcurrentScratchSafety hammers Submit and the synchronous
+// MatchPacket path while the engine hot-reloads between signature sets of
+// very different sizes (different automaton state counts, token counts
+// and signature counts). Per-worker scratches and the detect pool must
+// re-adopt each new generation rather than index the new automaton with
+// stale dimensions; run under -race in CI this also proves the swap is
+// publication-safe.
+func TestReloadConcurrentScratchSafety(t *testing.T) {
+	small := scratchTestSet(2)
+	large := scratchTestSet(300)
+	e := New(small, Config{Shards: 2, QueueDepth: 256, BatchSize: 8})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // streaming path: per-shard persistent scratch
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.Submit(scratchTestPacket(i)); err != nil {
+				return
+			}
+		}
+	}()
+	go func() { // sync-vet path: pooled scratch
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ids := e.MatchPacket(scratchTestPacket(i))
+			if len(ids) > 1 {
+				t.Errorf("sync vet matched %d signatures, want at most 1", len(ids))
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			e.Reload(large)
+		} else {
+			e.Reload(small)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	e.Close()
+
+	m := e.Metrics()
+	if m.Processed != m.Ingested {
+		t.Errorf("processed %d != ingested %d after drain", m.Processed, m.Ingested)
+	}
+	if m.Reloads < 200 {
+		t.Errorf("reloads = %d, want >= 200", m.Reloads)
+	}
+}
+
+// TestVerdictMatchedStableAcrossPackets guards the verdict copy-out: the
+// matched-ID slice handed to sinks must not alias the worker scratch,
+// which is overwritten by the next packet in the batch.
+func TestVerdictMatchedStableAcrossPackets(t *testing.T) {
+	set := scratchTestSet(64)
+	var mu sync.Mutex
+	var got []Verdict
+	e := New(set, Config{Shards: 1, OnVerdict: func(v Verdict) {
+		if v.Leak() {
+			mu.Lock()
+			got = append(got, v)
+			mu.Unlock()
+		}
+	}})
+	for i := 0; i < 64; i++ {
+		if err := e.Submit(scratchTestPacket(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	if len(got) != 64 {
+		t.Fatalf("got %d leak verdicts, want 64", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if len(v.Matched) != 1 {
+			t.Fatalf("verdict matched %v, want exactly 1 ID", v.Matched)
+		}
+		seen[v.Matched[0]] = true
+	}
+	if len(seen) != 64 {
+		t.Errorf("distinct matched IDs = %d, want 64 (scratch aliasing would collapse them)", len(seen))
+	}
+}

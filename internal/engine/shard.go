@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"leaksig/internal/detect"
 	"leaksig/internal/httpmodel"
 )
 
@@ -82,13 +83,20 @@ func (s *shard) adapt(queueLen int, drained bool, cfg Config) {
 // the live signature generation once per batch. Count-only sinks take a
 // dedicated loop with no Verdict assembly at all; the full path feeds the
 // OnVerdict callback and/or the sink's Verdict method.
+//
+// The worker owns one detect.Scratch for its whole lifetime, so the
+// scan+resolve path allocates nothing in the steady state. MatchInto
+// re-sizes the scratch whenever the loaded generation differs from the
+// one it was last used with, which makes hot reloads safe: a scratch
+// sized for the old pattern count can never index the new automaton.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
+	var sc detect.Scratch
 	for batch := range s.in {
 		cs := e.set.Load()
 		if s.countOnly {
 			for _, it := range batch {
-				leak := len(cs.match(it.p)) > 0
+				leak := len(cs.eng.MatchInto(it.p, &sc)) > 0
 				s.processed.Add(1)
 				if leak {
 					s.matched.Add(1)
@@ -101,7 +109,13 @@ func (e *Engine) run(s *shard) {
 			continue
 		}
 		for _, it := range batch {
-			matched := cs.match(it.p)
+			ids := cs.eng.MatchInto(it.p, &sc)
+			// The scratch-backed slice is reused next packet; verdicts
+			// escape to sinks, so only a leak pays for a copy.
+			var matched []int
+			if len(ids) > 0 {
+				matched = append(matched, ids...)
+			}
 			s.processed.Add(1)
 			if len(matched) > 0 {
 				s.matched.Add(1)

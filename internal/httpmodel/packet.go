@@ -112,6 +112,51 @@ func (p *Packet) ContentFields() [3][]byte {
 	}
 }
 
+// ContentVisitor receives a packet's scannable content as a stream of
+// chunks, field by field, without any concatenation buffer being built.
+// Implementations that thread matcher state across Text/Bytes chunks and
+// reset it on Field see exactly the semantics of scanning each
+// ContentFields() element in isolation: chunks of one field are
+// contiguous, fields are hard boundaries.
+type ContentVisitor interface {
+	// Field marks the start of the next content field (request line,
+	// cookie, body — in Content() order). It is called even when the
+	// field is empty.
+	Field()
+	// Text delivers the next chunk of the current field.
+	Text(s string)
+	// Bytes delivers the next chunk of the current field.
+	Bytes(b []byte)
+}
+
+// VisitContent streams the same bytes Content() would produce — minus the
+// '\n' field separators, which Field stands in for — to v, chunk by
+// chunk, allocating nothing. This is the zero-allocation scan path: the
+// request line is visited as its five constituent chunks, the cookie
+// field as each Cookie header value joined by "; " chunks, the body as
+// one []byte chunk.
+func (p *Packet) VisitContent(v ContentVisitor) {
+	v.Field()
+	v.Text(p.Method)
+	v.Text(" ")
+	v.Text(p.Path)
+	v.Text(" ")
+	v.Text(p.Proto)
+	v.Field()
+	first := true
+	for i := range p.Headers {
+		if strings.EqualFold(p.Headers[i].Name, "Cookie") {
+			if !first {
+				v.Text("; ")
+			}
+			v.Text(p.Headers[i].Value)
+			first = false
+		}
+	}
+	v.Field()
+	v.Bytes(p.Body)
+}
+
 // Query parses the query portion of the path into key/value pairs in
 // order of appearance. Keys without '=' get an empty value. It performs no
 // percent-decoding: signatures operate on raw bytes.

@@ -204,3 +204,38 @@ func TestBuilderFormOddPanics(t *testing.T) {
 	}()
 	Post("x", "/").Form("only-key")
 }
+
+// fieldRecorder collects VisitContent chunks, reassembling one string per
+// field.
+type fieldRecorder struct {
+	fields []string
+}
+
+func (r *fieldRecorder) Field()         { r.fields = append(r.fields, "") }
+func (r *fieldRecorder) Text(s string)  { r.fields[len(r.fields)-1] += s }
+func (r *fieldRecorder) Bytes(b []byte) { r.fields[len(r.fields)-1] += string(b) }
+
+func TestVisitContentMatchesContentFields(t *testing.T) {
+	packets := []*Packet{
+		samplePacket(),
+		Get("x.example", "/plain").Dest(1, 80).Build(),
+		Post("track.example", "/t").Dest(5, 8080).
+			Form("udid", "abc", "carrier", "docomo").Build(),
+		Get("c.example", "/p").Dest(2, 80).
+			Cookie("a=1").Cookie("b=2").Build(), // multiple Cookie headers join with "; "
+	}
+	for pi, p := range packets {
+		var rec fieldRecorder
+		p.VisitContent(&rec)
+		if len(rec.fields) != 3 {
+			t.Fatalf("packet %d: VisitContent produced %d fields, want 3", pi, len(rec.fields))
+		}
+		want := p.ContentFields()
+		for i := range want {
+			if rec.fields[i] != string(want[i]) {
+				t.Errorf("packet %d field %d: VisitContent %q != ContentFields %q",
+					pi, i, rec.fields[i], want[i])
+			}
+		}
+	}
+}

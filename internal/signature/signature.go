@@ -200,8 +200,42 @@ func ExtractTokens(contents [][]byte, minLen, maxTokens int) []string {
 	if len(contents) == 0 || maxTokens <= 0 {
 		return nil
 	}
-	var out []string
-	extractRec(contents, minLen, maxTokens, &out)
+	var raw []string
+	extractRec(contents, minLen, maxTokens, &raw)
+	// Field hygiene: Content() joins the request line, cookie and body
+	// with '\n', so a longest-common-substring can straddle a field
+	// separator — but the matcher scans fields in isolation and such a
+	// token could never fire. Split on '\n' and keep each part that still
+	// clears minLen, preserving in-order positions. Splitting can emit
+	// more parts than it consumed, so it cannot filter raw in place.
+	needSplit := false
+	for _, tok := range raw {
+		if strings.Contains(tok, "\n") {
+			needSplit = true
+			break
+		}
+	}
+	if !needSplit {
+		return raw
+	}
+	out := make([]string, 0, len(raw))
+	for _, tok := range raw {
+		if !strings.Contains(tok, "\n") {
+			out = append(out, tok)
+			continue
+		}
+		for _, part := range strings.Split(tok, "\n") {
+			if len(part) >= minLen {
+				out = append(out, part)
+			}
+		}
+	}
+	if len(out) > maxTokens {
+		out = out[:maxTokens]
+	}
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 

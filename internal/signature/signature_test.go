@@ -50,6 +50,32 @@ func TestExtractTokensOrderedInOrder(t *testing.T) {
 	}
 }
 
+func TestExtractTokensSplitsFieldSpanningTokens(t *testing.T) {
+	// The LCS "aaaa\nbbbb-" straddles the '\n' field separator and must
+	// split into its parts; the later token "cccc" must survive the
+	// split growing the list (regression: in-place filtering overwrote
+	// not-yet-read tokens).
+	contents := [][]byte{
+		[]byte("aaaa\nbbbb-XXccccXX"),
+		[]byte("aaaa\nbbbb-YYccccYY"),
+	}
+	got := ExtractTokens(contents, 4, 12)
+	want := []string{"aaaa", "bbbb-", "cccc"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %q, want %q", got, want)
+		}
+	}
+	for _, tok := range got {
+		if strings.Contains(tok, "\n") {
+			t.Errorf("token %q still contains the field separator", tok)
+		}
+	}
+}
+
 func TestExtractTokensRespectsBudgetAndMinLen(t *testing.T) {
 	contents := [][]byte{
 		[]byte("aaaaaa-bbbbbb-cccccc-dddddd"),

@@ -75,6 +75,22 @@ func Detect(set *SignatureSet, packets []*Packet) []bool {
 	return eng.MatchSet(capture.New(packets))
 }
 
+// Matcher is the compiled batch matcher (see internal/detect): a dense
+// Aho–Corasick automaton over the token union plus an inverted
+// token→signature index. Immutable and safe for concurrent use; hot
+// per-packet loops should pair it with a MatchScratch per goroutine and
+// call MatchInto, which allocates nothing in the steady state.
+type Matcher = detect.Engine
+
+// MatchScratch carries all per-packet mutable matching state (automaton
+// state, occurrence bitset, remaining-token counters, matched-ID buffer).
+// The zero value is ready to use; one per goroutine.
+type MatchScratch = detect.Scratch
+
+// NewMatcher compiles a signature set into its matcher once, for callers
+// that match many captures or packets against the same set.
+func NewMatcher(set *SignatureSet) *Matcher { return detect.NewEngine(set) }
+
 // Evaluate scores a signature set against ground-truth labels using the
 // paper's TP/FN/FP equations (§V-B). n is the training-sample size.
 func Evaluate(set *SignatureSet, packets []*Packet, sensitiveLabels []bool, n int) Result {

@@ -92,21 +92,24 @@ func TestPropertyCaptureRoundTripsAnyPacket(t *testing.T) {
 }
 
 func TestPropertyConjunctionSemantics(t *testing.T) {
-	// A packet matches a signature iff every token occurs in its content
-	// and the host constraint holds — regardless of engine internals.
+	// A packet matches a signature iff every token occurs inside one of
+	// its content fields (request line, cookie, body — tokens never match
+	// across field boundaries) and the host constraint holds — regardless
+	// of engine internals.
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		p := arbitraryPacket(seed)
-		content := string(p.Content())
-		// Build a signature from random substrings of the content (present)
-		// and random tokens (probably absent).
+		fields := p.ContentFields()
+		// Build a signature from random substrings of single content
+		// fields (present) and random tokens (absent).
 		var tokens []string
 		expect := true
 		for i := 0; i < 1+rng.Intn(3); i++ {
-			if rng.Intn(2) == 0 && len(content) > 4 {
-				start := rng.Intn(len(content) - 2)
-				end := start + 1 + rng.Intn(len(content)-start-1)
-				tokens = append(tokens, content[start:end])
+			field := string(fields[rng.Intn(len(fields))])
+			if rng.Intn(2) == 0 && len(field) > 4 {
+				start := rng.Intn(len(field) - 2)
+				end := start + 1 + rng.Intn(len(field)-start-1)
+				tokens = append(tokens, field[start:end])
 			} else {
 				tok := "\x01absent-" + randToken(rng)
 				tokens = append(tokens, tok)

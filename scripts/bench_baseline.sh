@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench baseline: run the engine hot-path benchmarks and append one entry
+# — packets/s, allocs/op, MB/s per benchmark — to BENCH_engine.json, the
+# perf trajectory the roadmap's scaling work is graded against.
+#
+# Usage: scripts/bench_baseline.sh [label]
+#   label defaults to the current short commit hash.
+#   BENCH_TIME  -benchtime passed to go test (default 2x)
+#   BENCH_OUT   output JSON path (default BENCH_engine.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+OUT="${BENCH_OUT:-BENCH_engine.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run=NONE \
+  -bench='BenchmarkEngineStreaming|BenchmarkDetectionThroughput|BenchmarkMatcherDense' \
+  -benchmem -benchtime="${BENCH_TIME:-2x}" -timeout=30m . | tee "$TMP"
+
+python3 - "$TMP" "$OUT" "$LABEL" <<'PY'
+import datetime
+import json
+import re
+import sys
+
+src, out, label = sys.argv[1], sys.argv[2], sys.argv[3]
+benches = {}
+for line in open(src):
+    if not line.startswith("Benchmark"):
+        continue
+    parts = [p.strip() for p in line.split("\t")]
+    # Strip go test's -GOMAXPROCS suffix so entries from machines with
+    # different core counts keep comparable keys.
+    name = re.sub(r"-\d+$", "", parts[0].split()[0])
+    metrics = {}
+    for part in parts[2:]:
+        toks = part.split()
+        if len(toks) != 2:
+            continue
+        try:
+            metrics[toks[1]] = float(toks[0])
+        except ValueError:
+            continue
+    ns = metrics.get("ns/op")
+    if ns is None:
+        continue
+    rec = {"ns_op": ns}
+    if "allocs/op" in metrics:
+        rec["allocs_op"] = int(metrics["allocs/op"])
+    if "MB/s" in metrics:
+        rec["mb_per_sec"] = metrics["MB/s"]
+    if "pps" in metrics:
+        rec["packets_per_sec"] = round(metrics["pps"], 1)
+    elif "packets" in metrics:
+        rec["packets_per_sec"] = round(metrics["packets"] * 1e9 / ns, 1)
+    benches[name] = rec
+
+try:
+    with open(out) as f:
+        doc = json.load(f)
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {"entries": []}
+doc["entries"].append({
+    "label": label,
+    "date": datetime.date.today().isoformat(),
+    "benchmarks": benches,
+})
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"recorded {len(benches)} benchmarks into {out} under label {label!r}")
+PY

@@ -64,3 +64,21 @@ if [ "$named" -lt 1 ]; then
   exit 1
 fi
 echo "PASS: closed loop published global version $v1 plus $named per-tenant named set(s)"
+
+echo "== streaming the FULL trafficgen trace through leakstream (perf smoke)"
+"$dir/bin/leakgen" -seed 1 -out "$dir/full.jsonl" -device "$dir/device_full.json"
+full_n="$(wc -l <"$dir/full.jsonl")"
+echo "== full trace: $full_n packets, matching against the learned signature set"
+"$dir/bin/leakstream" -server "http://127.0.0.1:$PORT" \
+  <"$dir/full.jsonl" >/dev/null 2>"$dir/full.log"
+echo "== full-trace engine stats (packets/s + p50/p99 latency):"
+cat "$dir/full.log"
+if ! grep -Eq "pps=[0-9]" "$dir/full.log"; then
+  echo "FAIL: no packets/s stats line from the full-trace stream" >&2
+  exit 1
+fi
+if ! grep -Eq "p99=" "$dir/full.log"; then
+  echo "FAIL: no p99 latency in the full-trace stats line" >&2
+  exit 1
+fi
+echo "PASS: full ${full_n}-packet trace streamed; throughput and tail latency logged above"
