@@ -18,6 +18,13 @@
 //	flowproxy -addr :8080 -sigs signatures.json -policy block
 //	flowproxy -addr :8080 -server http://sigserver:8700 -refresh 30s
 //	flowproxy -addr :8080 -server http://sigserver:8700 -learn http://siggend:8810
+//	flowproxy -addr :8080 -sigs signatures.json -debug-addr 127.0.0.1:8081
+//
+// The main address is the proxy itself — every verb and path forwards —
+// so the ops plane lives on -debug-addr: /metrics (engine, proxy
+// decision, and learn-forwarder families), /stats as JSON, and
+// /debug/pprof. -events-url ships every policy decision on a matching
+// request as a structured NDJSON event.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"leaksig/internal/engine"
 	"leaksig/internal/flowcontrol"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
@@ -51,8 +59,21 @@ func main() {
 		policy     = flag.String("policy", "block", "block | log (log allows but records)")
 		learn      = flag.String("learn", "", "siggend base URL; unmatched flows are forwarded to its /observe intake")
 		learnToken = flag.String("learn-token", "", "bearer token for the siggend /observe intake")
+
+		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
+		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
+		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /stats, /healthz, /debug/pprof")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	reg.Register(obs.BuildInfoCollector())
+	var shipper *obs.Shipper
+	if *eventsURL != "" {
+		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "flowproxy"})
+		defer shipper.Close()
+		reg.Register(shipper)
+	}
 
 	set := &signature.Set{}
 	if *sigsIn != "" {
@@ -81,6 +102,25 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
+	if shipper != nil {
+		// Every decision on a matching request is an ops-plane event —
+		// blocked exfiltration and policy-allowed leaks alike. The wrap
+		// costs one closure call on the vet path; shipping never blocks.
+		inner := pol
+		pol = flowcontrol.PolicyFunc(func(p *httpmodel.Packet, matched []int) flowcontrol.Action {
+			action := inner.Decide(p, matched)
+			if len(matched) > 0 {
+				shipper.Ship(obs.Event{
+					Type:    "decision",
+					App:     p.App,
+					Host:    p.Host,
+					Matched: matched,
+					Detail:  action.String(),
+				})
+			}
+			return action
+		})
+	}
 
 	// The engine backend gives the proxy sharded compilation, atomic hot
 	// reload, and shared telemetry; its worker shards stay idle (vetting
@@ -95,6 +135,43 @@ func main() {
 	proxy := flowcontrol.NewProxyWith(be, pol, nil)
 	fmt.Printf("flow control proxy on %s with %d signatures (policy: %s)\n",
 		*addr, set.Len(), *policy)
+
+	reg.Register(obs.EngineCollector(eng.Metrics, eng.ShardStats))
+	reg.Register(obs.ProxyCollector(proxy.Stats))
+	if fwd != nil {
+		reg.Register(obs.CollectorFunc(func(m *obs.MetricWriter) {
+			sent, dropped := fwd.stats()
+			m.Counter("leaksig_proxy_learn_forwarded_total", "Unmatched flows delivered to the siggend intake.", float64(sent))
+			m.Counter("leaksig_proxy_learn_dropped_total", "Unmatched flows dropped before the siggend intake (full buffer or failed POST).", float64(dropped))
+		}))
+	}
+	if *debugAddr != "" {
+		// The main address proxies every verb and path, so the ops plane
+		// gets its own listener rather than stealing a URL from proxied
+		// traffic.
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+			allowed, blocked := proxy.Stats()
+			sent, dropped := int64(0), int64(0)
+			if fwd != nil {
+				sent, dropped = fwd.stats()
+			}
+			obs.WriteJSON(w, struct {
+				Allowed      int64           `json:"allowed"`
+				Blocked      int64           `json:"blocked"`
+				LearnSent    int64           `json:"learn_sent"`
+				LearnDropped int64           `json:"learn_dropped"`
+				Engine       engine.Snapshot `json:"engine"`
+			}{allowed, blocked, sent, dropped, eng.Metrics()})
+		})
+		mux.Handle("/", obs.DebugHandler(reg))
+		go func() {
+			log.Printf("debug listener on %s (/metrics, /stats, /debug/pprof)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *server != "" {
 		client := sigserver.NewClient(*server, nil)

@@ -50,13 +50,23 @@
 //	POST /match  — NDJSON packets in, NDJSON verdicts out (synchronous)
 //	GET  /stats  — engine metrics snapshot as JSON; with -pool, the
 //	               pool-wide aggregate, or one tenant via ?tenant=
+//	GET  /metrics— Prometheus text exposition for the whole daemon
 //	GET  /healthz— liveness
+//	GET  /readyz — readiness: 503 until the first signature set is live
+//
+// The ops plane rides along on every posture: -tenant-rate imposes a
+// per-tenant token-bucket intake limit ahead of the engines (policy per
+// -rate-policy, drops surfaced as leaksig_intake_* series), -events-url
+// ships leak verdicts, reloads, and publishes as batched NDJSON events
+// without ever blocking intake, and -debug-addr opens a private
+// listener with /metrics and /debug/pprof for operators.
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -64,11 +74,13 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"leaksig/internal/capture"
 	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
@@ -104,6 +116,13 @@ func main() {
 		learnMinCluster = flag.Int("learn-min-cluster", 3, "cluster size a -learn signature needs")
 		learnToken      = flag.String("learn-token", "", "bearer token for the -learn publish endpoint")
 		learnTenants    = flag.Bool("learn-tenants", false, "with -learn: publish one named set per tenant (keyed by -tenant-by) alongside the global set")
+
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained intake limit in packets/sec (0: account only, never limit)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant intake burst depth (0: one second of -tenant-rate)")
+		ratePolicy  = flag.String("rate-policy", "drop", "over-limit intake policy: drop (shed silently, counted) | reject (error the line)")
+		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
+		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
+		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /healthz, /debug/pprof")
 	)
 	flag.Parse()
 
@@ -118,6 +137,33 @@ func main() {
 	}
 	if *tenantBy != "app" && *tenantBy != "host" {
 		log.Fatalf("unknown -tenant-by %q (want app or host)", *tenantBy)
+	}
+	if *ratePolicy != "drop" && *ratePolicy != "reject" {
+		log.Fatalf("unknown -rate-policy %q (want drop or reject)", *ratePolicy)
+	}
+
+	// The ops plane: a metrics registry every endpoint scrapes from, an
+	// always-on intake limiter (pass-through below any -tenant-rate, so
+	// per-tenant intake accounting exists even without enforcement), an
+	// optional event shipper, and a readiness latch that trips when the
+	// first signature set is live.
+	reg := obs.NewRegistry()
+	reg.Register(obs.BuildInfoCollector())
+	limiter := obs.NewRateLimiter(obs.RateLimiterConfig{Rate: *tenantRate, Burst: *tenantBurst})
+	reg.Register(limiter)
+	var shipper *obs.Shipper
+	if *eventsURL != "" {
+		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "leakstream"})
+		defer shipper.Close()
+		reg.Register(shipper)
+	}
+	var ready atomic.Bool
+	ops := &opsState{
+		limiter: limiter,
+		keyFn:   tenantKeyFn(*tenantBy),
+		reject:  *ratePolicy == "reject",
+		reg:     reg,
+		ready:   &ready,
 	}
 
 	set := &signature.Set{}
@@ -166,17 +212,42 @@ func main() {
 			TenantSets:       *learnTenants,
 			OnPublish: func(set *signature.Set) {
 				log.Printf("learn: published version %d (%d signatures)", set.Version, set.Len())
+				if shipper != nil {
+					shipper.Ship(obs.Event{Type: "publish", Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+				}
 			},
 		}
 		if *learnTenants {
 			lcfg.OnPublishNamed = func(name string, set *signature.Set) {
 				if name != "" {
 					log.Printf("learn: published set %q version %d (%d signatures)", name, set.Version, set.Len())
+					if shipper != nil {
+						shipper.Ship(obs.Event{Type: "publish", Set: name, Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+					}
 				}
 			}
 		}
 		svc = siggen.NewService(lcfg)
 		defer svc.Close()
+		reg.Register(obs.SiggenCollector(svc.Stats))
+	}
+
+	// Leak verdicts are ops-plane events: ship them (clean traffic is
+	// volume, leaks are signal). The shipper never blocks the verdict
+	// path — a wedged event consumer costs dropped events, not matching
+	// throughput.
+	shipVerdict := func(tenant string, v engine.Verdict) {
+		if shipper == nil || !v.Leak() {
+			return
+		}
+		shipper.Ship(obs.Event{
+			Type:    "verdict",
+			Tenant:  tenant,
+			App:     v.Packet.App,
+			Host:    v.Packet.Host,
+			Matched: v.Matched,
+			Version: v.Version,
+		})
 	}
 
 	// The daemon fronts either one engine or a pool of them; backend
@@ -189,7 +260,10 @@ func main() {
 			MaxTenants:  *maxTenants,
 			IdleAfter:   *idle,
 			ConfigureTenant: func(key string, cfg engine.Config) engine.Config {
-				cfg.OnVerdict = func(v engine.Verdict) { out.emitTenant(key, v) }
+				cfg.OnVerdict = func(v engine.Verdict) {
+					out.emitTenant(key, v)
+					shipVerdict(key, v)
+				}
 				if svc != nil {
 					cfg.Sink = svc.MissSinkFor(key)
 				}
@@ -197,7 +271,10 @@ func main() {
 			},
 		}, *tenantBy)
 	} else {
-		cfg.OnVerdict = out.emit
+		cfg.OnVerdict = func(v engine.Verdict) {
+			out.emit(v)
+			shipVerdict("", v)
+		}
 		if svc != nil {
 			if *learnTenants {
 				// Single-engine learning with tenant labels: tenancy rides
@@ -209,9 +286,21 @@ func main() {
 		}
 		be = &engineBackend{eng: engine.New(set, cfg)}
 	}
+	switch b := be.(type) {
+	case *engineBackend:
+		reg.Register(obs.EngineCollector(b.eng.Metrics, b.eng.ShardStats))
+	case *poolBackend:
+		reg.Register(obs.PoolCollector(b.pool.Metrics))
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	if *server == "" {
+		// No server to wait on: whatever -sigs loaded is all the
+		// signatures this process will ever have, so it is as ready now as
+		// it will ever be.
+		ready.Store(true)
+	}
 	if *server != "" {
 		client := sigserver.NewClient(*server, nil)
 		if *pool {
@@ -220,6 +309,10 @@ func main() {
 			// tenant — the HTTP route for per-tenant learned signatures.
 			go func() {
 				err := client.WatchSets(ctx, *poll, func(name string, set *signature.Set) {
+					ready.Store(true)
+					if shipper != nil {
+						shipper.Ship(obs.Event{Type: "reload", Set: name, Version: set.Version})
+					}
 					if name == "" {
 						be.reload(set)
 						log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
@@ -235,6 +328,10 @@ func main() {
 		} else {
 			go func() {
 				err := client.Watch(ctx, *poll, func(set *signature.Set) {
+					ready.Store(true)
+					if shipper != nil {
+						shipper.Ship(obs.Event{Type: "reload", Version: set.Version})
+					}
 					be.reload(set)
 					log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
 				})
@@ -256,10 +353,18 @@ func main() {
 	}
 
 	if *listen != "" {
-		srv := &http.Server{Addr: *listen, Handler: ingestHandler(be)}
+		srv := &http.Server{Addr: *listen, Handler: ingestHandler(be, ops)}
 		go func() {
-			log.Printf("HTTP ingest on %s (/ingest, /match, /stats, /healthz)", *listen)
+			log.Printf("HTTP ingest on %s (/ingest, /match, /stats, /metrics, /healthz, /readyz)", *listen)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("debug listener on %s (/metrics, /debug/pprof)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg)); err != nil {
 				log.Fatal(err)
 			}
 		}()
@@ -268,7 +373,7 @@ func main() {
 	// Stdin is always consumed: in pipe mode it is the packet source; in
 	// daemon mode it typically hits EOF immediately and only -listen feeds
 	// the engine.
-	accepted, rejected := streamNDJSON(os.Stdin, be.submitter(""))
+	accepted, rejected := streamNDJSON(os.Stdin, ops.submitter(be, ""))
 	if *listen == "" {
 		// Closing the backend drains every queued packet through the
 		// matcher — and, with -learn, through the miss sink — so the
@@ -304,11 +409,48 @@ type backend interface {
 	// has no tenants and ignores it.
 	reloadTenant(name string, set *signature.Set)
 	statsLine() string
-	// stats writes the JSON snapshot; tenant selects one tenant's view
-	// in pool mode ("" means everything). It reports whether the tenant
-	// exists.
-	stats(w io.Writer, tenant string) bool
+	// stats returns the JSON-ready snapshot; tenant selects one tenant's
+	// view in pool mode ("" means everything). It reports whether the
+	// tenant exists.
+	stats(tenant string) (any, bool)
 	close()
+}
+
+// errRateLimited is what a limited submit returns under -rate-policy
+// reject; under drop the packet is shed silently and only the limiter's
+// counters record it.
+var errRateLimited = errors.New("tenant over intake rate limit")
+
+// opsState carries the daemon-wide ops plane: the intake limiter wrapped
+// around every submit path, the metrics registry behind /metrics, and
+// the readiness latch behind /readyz.
+type opsState struct {
+	limiter *obs.RateLimiter
+	keyFn   func(*httpmodel.Packet) string
+	reject  bool // -rate-policy reject (vs drop)
+	reg     *obs.Registry
+	ready   *atomic.Bool
+}
+
+// submitter wraps the backend's queueing function with per-tenant intake
+// limiting. tenant is the stream-level override; when empty each packet
+// is keyed individually, so the limiter sees the same tenancy the pool
+// and learner do.
+func (o *opsState) submitter(be backend, tenant string) func(*httpmodel.Packet) error {
+	submit := be.submitter(tenant)
+	return func(p *httpmodel.Packet) error {
+		key := tenant
+		if key == "" {
+			key = o.keyFn(p)
+		}
+		if !o.limiter.Allow(key) {
+			if o.reject {
+				return errRateLimited
+			}
+			return nil // drop policy: shed silently, the limiter counted it
+		}
+		return submit(p)
+	}
 }
 
 // engineBackend is the classic single-population daemon.
@@ -327,12 +469,11 @@ func (b *engineBackend) reloadTenant(string, *signature.Set) {}
 func (b *engineBackend) statsLine() string                   { return b.eng.Metrics().String() }
 func (b *engineBackend) close()                              { b.eng.Close() }
 
-func (b *engineBackend) stats(w io.Writer, tenant string) bool {
+func (b *engineBackend) stats(tenant string) (any, bool) {
 	if tenant != "" {
-		return false
+		return nil, false
 	}
-	json.NewEncoder(w).Encode(b.eng.Metrics())
-	return true
+	return b.eng.Metrics(), true
 }
 
 // poolBackend is the multi-tenant daemon: one engine per population.
@@ -394,17 +535,15 @@ func (b *poolBackend) statsLine() string {
 		s.Aggregate.Dropped, s.Aggregate.PacketsPerSec)
 }
 
-func (b *poolBackend) stats(w io.Writer, tenant string) bool {
+func (b *poolBackend) stats(tenant string) (any, bool) {
 	if tenant == "" {
-		json.NewEncoder(w).Encode(b.pool.Metrics())
-		return true
+		return b.pool.Metrics(), true
 	}
 	snap, ok := b.pool.TenantMetrics(tenant)
 	if !ok {
-		return false
+		return nil, false
 	}
-	json.NewEncoder(w).Encode(snap)
-	return true
+	return snap, true
 }
 
 // streamNDJSON feeds packets from one NDJSON stream into the submit
@@ -521,11 +660,12 @@ func tenantOf(r *http.Request) string {
 	return r.Header.Get("X-Leaksig-Tenant")
 }
 
-// ingestHandler exposes the backend over HTTP.
-func ingestHandler(be backend) http.Handler {
+// ingestHandler exposes the backend over HTTP, every submit path routed
+// through the ops plane's intake limiter.
+func ingestHandler(be backend, ops *opsState) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
-		accepted, rejected := streamNDJSON(r.Body, be.submitter(tenantOf(r)))
+		accepted, rejected := streamNDJSON(r.Body, ops.submitter(be, tenantOf(r)))
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", accepted, rejected)
 	})
@@ -560,13 +700,26 @@ func ingestHandler(be backend) http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if !be.stats(w, r.URL.Query().Get("tenant")) {
+		snap, ok := be.stats(r.URL.Query().Get("tenant"))
+		if !ok {
 			http.Error(w, "unknown tenant", http.StatusNotFound)
+			return
 		}
+		obs.WriteJSON(w, snap)
 	})
+	mux.Handle("GET /metrics", ops.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Distinct from /healthz on purpose: the process is alive the
+		// moment it serves, but routing traffic to it before a signature
+		// set is live would vet packets against nothing.
+		if !ops.ready.Load() {
+			http.Error(w, "no signature set yet", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready")
 	})
 	return mux
 }

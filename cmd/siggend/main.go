@@ -27,7 +27,12 @@
 //	POST /observe — NDJSON packets in, offered to the learner;
 //	                responds {"observed":N,"dropped":M}
 //	GET  /stats   — learner statistics as JSON
+//	GET  /metrics — Prometheus text exposition
 //	GET  /healthz — liveness
+//	GET  /readyz  — readiness: 503 until the first set publishes
+//
+// -events-url ships publish and retirement events as batched NDJSON;
+// -debug-addr opens a private listener with /metrics and /debug/pprof.
 //
 // /observe is a write path into fleet signature generation: whoever can
 // reach it influences what the learner clusters and ultimately
@@ -47,10 +52,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"leaksig/internal/capture"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 )
@@ -78,8 +85,22 @@ func main() {
 		minSamples  = flag.Int("min-samples", 8, "new samples required before a timed epoch generates")
 		seed        = flag.Int64("seed", 1, "sampling seed")
 		statsInt    = flag.Duration("stats", 0, "stats reporting interval on stderr (0: off)")
+
+		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
+		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
+		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /healthz, /debug/pprof")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	reg.Register(obs.BuildInfoCollector())
+	var shipper *obs.Shipper
+	if *eventsURL != "" {
+		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "siggend"})
+		defer shipper.Close()
+		reg.Register(shipper)
+	}
+	var ready atomic.Bool
 
 	var benign []*httpmodel.Packet
 	if *benignIn != "" {
@@ -119,7 +140,17 @@ func main() {
 		TenantSets:          *tenants,
 		Seed:                *seed,
 		OnPublish: func(set *signature.Set) {
+			ready.Store(true)
 			log.Printf("published version %d: %d signatures", set.Version, set.Len())
+			if shipper != nil {
+				shipper.Ship(obs.Event{Type: "publish", Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+			}
+		},
+		OnRetire: func(n int) {
+			log.Printf("retired %d signatures (source clusters went stale)", n)
+			if shipper != nil {
+				shipper.Ship(obs.Event{Type: "retire", Detail: fmt.Sprintf("%d signatures", n)})
+			}
 		},
 	}
 	if *tenants {
@@ -127,8 +158,12 @@ func main() {
 			log.Fatal("-tenant-sets needs a tenant key; use -tenant-by app or host")
 		}
 		cfg.OnPublishNamed = func(name string, set *signature.Set) {
+			ready.Store(true)
 			if name != "" {
 				log.Printf("published set %q version %d: %d signatures", name, set.Version, set.Len())
+				if shipper != nil {
+					shipper.Ship(obs.Event{Type: "publish", Set: name, Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+				}
 			}
 		}
 	}
@@ -137,6 +172,7 @@ func main() {
 	}
 	svc := siggen.NewService(cfg)
 	defer svc.Close()
+	reg.Register(obs.SiggenCollector(svc.Stats))
 
 	if *statsInt > 0 {
 		go func() {
@@ -152,10 +188,18 @@ func main() {
 	}
 
 	if *listen != "" {
-		srv := &http.Server{Addr: *listen, Handler: handler(svc, keyFn, *obsToken)}
+		srv := &http.Server{Addr: *listen, Handler: handler(svc, keyFn, *obsToken, reg, &ready)}
 		go func() {
-			log.Printf("HTTP intake on %s (/observe, /stats, /healthz)", *listen)
+			log.Printf("HTTP intake on %s (/observe, /stats, /metrics, /healthz, /readyz)", *listen)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatal(err)
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("debug listener on %s (/metrics, /debug/pprof)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg)); err != nil {
 				log.Fatal(err)
 			}
 		}()
@@ -216,7 +260,7 @@ func observeNDJSON(r io.Reader, svc *siggen.Service, keyFn func(*httpmodel.Packe
 // handler exposes the learner over HTTP. A non-empty obsToken requires
 // `Authorization: Bearer <token>` on the intake, since /observe shapes
 // what the fleet will eventually enforce.
-func handler(svc *siggen.Service, keyFn func(*httpmodel.Packet) string, obsToken string) http.Handler {
+func handler(svc *siggen.Service, keyFn func(*httpmodel.Packet) string, obsToken string, reg *obs.Registry, ready *atomic.Bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
 		if obsToken != "" {
@@ -230,11 +274,20 @@ func handler(svc *siggen.Service, keyFn func(*httpmodel.Packet) string, obsToken
 		fmt.Fprintf(w, `{"observed":%d,"dropped":%d}`+"\n", observed, dropped)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(svc.Stats())
+		obs.WriteJSON(w, svc.Stats())
 	})
+	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Not ready until something has published: before that the
+		// learner has produced nothing the fleet can enforce.
+		if !ready.Load() {
+			http.Error(w, "nothing published yet", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready")
 	})
 	return mux
 }

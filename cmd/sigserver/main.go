@@ -18,6 +18,13 @@
 // roll the fleet backwards. A zero version auto-bumps, preserving the
 // manual curl workflow.
 //
+// GET /metrics serves Prometheus text exposition (per-set publish
+// counters under the set label, the default set as the empty label);
+// GET /readyz answers 503 until a seed load or first publish gives the
+// server something to distribute. -events-url ships every accepted
+// publish as a structured NDJSON event; -debug-addr opens a private
+// listener with /metrics and /debug/pprof.
+//
 // Without -token the publish endpoint is open: bind -addr to loopback
 // (or front it with an authenticating proxy) before exposing the
 // read-only API beyond the host, or anyone who can reach the port can
@@ -31,6 +38,7 @@ import (
 	"net/http"
 	"os"
 
+	"leaksig/internal/obs"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
@@ -42,11 +50,34 @@ func main() {
 		addr   = flag.String("addr", ":8700", "listen address")
 		sigsIn = flag.String("sigs", "", "signature set to publish at startup (empty: start empty at version 0)")
 		token  = flag.String("token", "", "bearer token required on POST /publish (empty: unauthenticated)")
+
+		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
+		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
+		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /healthz, /debug/pprof")
 	)
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	reg.Register(obs.BuildInfoCollector())
+	var shipper *obs.Shipper
+	if *eventsURL != "" {
+		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "sigserver"})
+		defer shipper.Close()
+		reg.Register(shipper)
+	}
+
 	srv := sigserver.New()
-	srv.OnPublish(func(v int64) { log.Printf("published version %d", v) })
+	reg.Register(obs.SigserverCollector(srv.Stats))
+	srv.OnPublishNamed(func(name string, v int64) {
+		if name == "" {
+			log.Printf("published version %d", v)
+		} else {
+			log.Printf("published set %q version %d", name, v)
+		}
+		if shipper != nil {
+			shipper.Ship(obs.Event{Type: "publish", Set: name, Version: v})
+		}
+	})
 
 	if *sigsIn != "" {
 		f, err := os.Open(*sigsIn)
@@ -64,8 +95,20 @@ func main() {
 		fmt.Println("starting empty at version 0 (publish to fill)")
 	}
 
-	fmt.Printf("serving on %s (GET /signatures, /version, /wait, /stats, /healthz; POST /publish)\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.HandlerWithPublish(*token)); err != nil {
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("debug listener on %s (/metrics, /debug/pprof)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg)); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.HandlerWithPublish(*token))
+	mux.Handle("GET /metrics", reg.Handler())
+	fmt.Printf("serving on %s (GET /signatures, /version, /wait, /stats, /metrics, /healthz, /readyz; POST /publish)\n", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -89,6 +89,32 @@ func (s Snapshot) String() string {
 		s.QueueDepth, s.BatchTarget, s.PacketsPerSec, s.MatchRate, s.P50, s.P99)
 }
 
+// ShardStat is one worker shard's share of the engine counters — the
+// per-shard breakdown behind Snapshot, for shard-labeled exposition and
+// load-balance diagnostics (a hot host hashing every packet onto one
+// shard shows up here long before it shows in the aggregate).
+type ShardStat struct {
+	Processed    uint64 // packets this shard matched
+	Matched      uint64 // processed packets that matched >= 1 signature
+	BatchTarget  int    // current adaptive batch target
+	QueueBatches int    // batches in flight to the worker
+}
+
+// ShardStats returns the per-shard counters, indexed by shard. It is
+// safe to call concurrently with streaming.
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardStat{
+			Processed:    s.processed.Load(),
+			Matched:      s.matched.Load(),
+			BatchTarget:  int(s.target.Load()),
+			QueueBatches: len(s.in),
+		}
+	}
+	return out
+}
+
 // Metrics assembles a snapshot from the per-shard counters. It is safe to
 // call concurrently with streaming.
 func (e *Engine) Metrics() Snapshot {

@@ -211,6 +211,50 @@ func TestPoolMaxTenantsEvictsLRU(t *testing.T) {
 	}
 }
 
+// TestPoolAggregateSurvivesLRUEviction pins the accounting contract the
+// ops plane scrapes: a tenant recycled by the MaxTenants LRU cap drops
+// out of TenantMetrics and the per-tenant snapshot, but its lifetime
+// counters fold into the eviction-surviving aggregate — so fleet-wide
+// totals never regress when the tenant table churns.
+func TestPoolAggregateSurvivesLRUEviction(t *testing.T) {
+	p := NewPool(tokenSet(1, "x-token"), PoolConfig{
+		Engine:     Config{Shards: 1, BatchSize: 4},
+		MaxTenants: 2,
+	})
+	defer p.Close()
+	const n = 50
+	feed := func(key string) {
+		for i := 0; i < n; i++ {
+			if err := p.Submit(key, pkt(int64(i), "a.example.com", "x-token")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Flush()
+		time.Sleep(2 * time.Millisecond) // make LRU recency unambiguous
+	}
+	feed("t1")
+	feed("t2")
+	feed("t3") // creating t3 overflows the cap and recycles t1
+
+	if _, ok := p.TenantMetrics("t1"); ok {
+		t.Fatal("LRU-evicted tenant still answers TenantMetrics")
+	}
+	if snap, ok := p.TenantMetrics("t3"); !ok || snap.Processed != n || snap.Matched != n {
+		t.Fatalf("live tenant: ok=%v processed=%d matched=%d, want %d each", ok, snap.Processed, snap.Matched, n)
+	}
+	snap := p.Metrics()
+	if snap.Aggregate.Processed != 3*n || snap.Aggregate.Matched != 3*n {
+		t.Fatalf("aggregate lost LRU-evicted history: processed=%d matched=%d, want %d each",
+			snap.Aggregate.Processed, snap.Aggregate.Matched, 3*n)
+	}
+	if _, live := snap.PerTenant["t1"]; live {
+		t.Fatal("evicted tenant still in the per-tenant snapshot")
+	}
+	if snap.Evicted != 1 || snap.Created != 3 {
+		t.Fatalf("lifecycle counters: created=%d evicted=%d, want 1 and 3", snap.Evicted, snap.Created)
+	}
+}
+
 func TestPoolClose(t *testing.T) {
 	p := NewPool(nil, PoolConfig{Engine: Config{Shards: 1}})
 	p.Tenant("x")

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+
+	"leaksig/internal/engine"
+	"leaksig/internal/siggen"
+	"leaksig/internal/sigserver"
+)
+
+// The adapters in this file project the subsystems' existing internal
+// snapshots — engine.Snapshot, engine.PoolSnapshot, siggen.Stats,
+// sigserver.ServerStats — into metric families at scrape time. Each
+// takes a snapshot function rather than the object itself, so a daemon
+// can point one at whatever backend posture it runs (single engine,
+// pool, embedded learner) and the subsystems never import obs.
+
+// EngineCollector projects one engine's snapshot (and, when shards is
+// non-nil, its per-shard breakdown) into the leaksig_engine_* families.
+func EngineCollector(snap func() engine.Snapshot, shards func() []engine.ShardStat) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		s := snap()
+		writeEngineSnapshot(m, s, nil)
+		if shards == nil {
+			return
+		}
+		for i, sh := range shards() {
+			shard := L("shard", strconv.Itoa(i))
+			m.Counter("leaksig_engine_shard_processed_total", "Packets matched, per worker shard.", float64(sh.Processed), shard)
+			m.Counter("leaksig_engine_shard_matched_total", "Leaking packets, per worker shard.", float64(sh.Matched), shard)
+			m.Gauge("leaksig_engine_shard_batch_target", "Adaptive batch target, per worker shard.", float64(sh.BatchTarget), shard)
+			m.Gauge("leaksig_engine_shard_queue_batches", "Batches in flight to the worker, per shard.", float64(sh.QueueBatches), shard)
+		}
+	})
+}
+
+// writeEngineSnapshot emits the leaksig_engine_* families for one
+// snapshot under the given labels (none for a single engine, a tenant
+// label inside a pool).
+func writeEngineSnapshot(m *MetricWriter, s engine.Snapshot, labels []Label) {
+	m.Counter("leaksig_engine_ingested_total", "Packets accepted by Submit/TrySubmit.", float64(s.Ingested), labels...)
+	m.Counter("leaksig_engine_processed_total", "Packets matched and emitted.", float64(s.Processed), labels...)
+	m.Counter("leaksig_engine_matched_total", "Processed packets that matched at least one signature.", float64(s.Matched), labels...)
+	m.Counter("leaksig_engine_dropped_total", "Packets rejected by TrySubmit under backpressure.", float64(s.Dropped), labels...)
+	m.Counter("leaksig_engine_sync_vetted_total", "Packets vetted inline via MatchPacket (proxy path).", float64(s.SyncVetted), labels...)
+	m.Counter("leaksig_engine_sync_matched_total", "Inline vets that matched at least one signature.", float64(s.SyncMatched), labels...)
+	m.Counter("leaksig_engine_reloads_total", "Signature hot reloads since construction.", float64(s.Reloads), labels...)
+	m.Gauge("leaksig_engine_queue_depth", "Packets accepted but not yet processed.", float64(s.QueueDepth), labels...)
+	m.Gauge("leaksig_engine_shards", "Worker shard count.", float64(s.Shards), labels...)
+	m.Gauge("leaksig_engine_signatures", "Signatures in the live set.", float64(s.Signatures), labels...)
+	m.Gauge("leaksig_engine_signature_version", "Live signature-set version.", float64(s.Version), labels...)
+	m.Gauge("leaksig_engine_batch_target", "Mean adaptive batch target across shards.", float64(s.BatchTarget), labels...)
+	m.Gauge("leaksig_engine_packets_per_second", "Lifetime processed packets per second.", s.PacketsPerSec, labels...)
+	m.Gauge("leaksig_engine_match_rate", "Matched / processed, in [0, 1].", s.MatchRate, labels...)
+	m.Gauge("leaksig_engine_latency_seconds", "Sampled queue-to-verdict latency quantiles.", s.P50.Seconds(), append(append([]Label{}, labels...), L("quantile", "0.5"))...)
+	m.Gauge("leaksig_engine_latency_seconds", "Sampled queue-to-verdict latency quantiles.", s.P99.Seconds(), append(append([]Label{}, labels...), L("quantile", "0.99"))...)
+}
+
+// PoolCollector projects a pool snapshot: pool lifecycle gauges, the
+// eviction-surviving aggregate as the unlabeled leaksig_engine_*
+// families, and each live tenant's engine snapshot under its tenant
+// label. Cardinality is bounded by the pool's MaxTenants cap.
+func PoolCollector(snap func() engine.PoolSnapshot) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		s := snap()
+		m.Gauge("leaksig_pool_tenants", "Live tenants.", float64(s.Tenants))
+		m.Counter("leaksig_pool_created_total", "Tenants ever created.", float64(s.Created))
+		m.Counter("leaksig_pool_evicted_total", "Tenants evicted (idle, LRU, or explicit).", float64(s.Evicted))
+		m.Gauge("leaksig_pool_shard_budget", "Configured global shard budget.", float64(s.ShardBudget))
+		m.Gauge("leaksig_pool_shards_in_use", "Shards charged by live tenants.", float64(s.ShardsInUse))
+		m.Gauge("leaksig_pool_degraded_tenants", "Live tenants running on an uncharged single-shard grant (budget pressure).", float64(s.DegradedTenants))
+		writeEngineSnapshot(m, s.Aggregate, nil)
+		tenants := make([]string, 0, len(s.PerTenant))
+		for k := range s.PerTenant {
+			tenants = append(tenants, k)
+		}
+		sort.Strings(tenants)
+		for _, k := range tenants {
+			writeEngineSnapshot(m, s.PerTenant[k], []Label{L("tenant", k)})
+		}
+	})
+}
+
+// SiggenCollector projects the learner's stats into leaksig_siggen_*
+// families. Named-set versions carry the set label; cardinality is
+// bounded by the learner's live published names (tenants with retired
+// sets drop out of the books, and the label with them).
+func SiggenCollector(snap func() siggen.Stats) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		s := snap()
+		m.Counter("leaksig_siggen_observed_total", "Misses admitted past the filter into the intake queue.", float64(s.Observed))
+		m.Counter("leaksig_siggen_sink_dropped_total", "Misses dropped at the sink (intake queue full).", float64(s.SinkDropped))
+		m.Counter("leaksig_siggen_admitted_total", "Intake samples routed to a reservoir.", float64(s.Admitted))
+		m.Counter("leaksig_siggen_sampled_total", "Packets stored by a reservoir.", float64(s.Sampled))
+		m.Counter("leaksig_siggen_overflow_tenants_total", "Admissions routed to the shared overflow reservoir.", float64(s.OverflowTenants))
+		m.Gauge("leaksig_siggen_pending_samples", "Packets currently held in reservoirs.", float64(s.PendingSamples))
+		m.Gauge("leaksig_siggen_reservoir_tenants", "Tenants with a private reservoir this epoch.", float64(s.Tenants))
+		m.Gauge("leaksig_siggen_clusters", "Rolling clusters.", float64(s.Clusters))
+		m.Gauge("leaksig_siggen_cluster_members", "Members across rolling clusters.", float64(s.ClusterMembers))
+		m.Counter("leaksig_siggen_cluster_rejected_total", "Arrivals dropped by the clusterer (table full, nothing close).", float64(s.ClusterRejected))
+		m.Gauge("leaksig_siggen_silhouette", "Last compaction's medoid silhouette.", s.Silhouette)
+		m.Counter("leaksig_siggen_epochs_total", "Generation epochs run.", float64(s.Epochs))
+		m.Gauge("leaksig_siggen_candidates", "Candidate signatures in the last distillation.", float64(s.Candidates))
+		m.Gauge("leaksig_siggen_rejected_bayes", "Candidates rejected by the Bayes gate in the last distillation.", float64(s.RejectedBayes))
+		m.Gauge("leaksig_siggen_rejected_fp", "Candidates rejected by the held-out FP gate in the last distillation.", float64(s.RejectedFP))
+		m.Gauge("leaksig_siggen_accepted", "Candidates accepted in the last distillation.", float64(s.Accepted))
+		m.Gauge("leaksig_siggen_catalog_signatures", "Signatures currently published (or publishable).", float64(s.Catalog))
+		m.Counter("leaksig_siggen_retired_signatures_total", "Signatures retired because every source cluster went stale.", float64(s.RetiredSig))
+		m.Counter("leaksig_siggen_publishes_total", "Global-set publishes.", float64(s.Publishes))
+		m.Counter("leaksig_siggen_named_publishes_total", "Per-tenant named-set publishes.", float64(s.NamedPublishes))
+		m.Counter("leaksig_siggen_publish_errors_total", "Failed publish round trips.", float64(s.PublishErrors))
+		m.Gauge("leaksig_siggen_set_version", "Last published version, per set (the default set is the empty label).", float64(s.LastVersion), L("set", ""))
+		names := make([]string, 0, len(s.NamedVersions))
+		for k := range s.NamedVersions {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			m.Gauge("leaksig_siggen_set_version", "Last published version, per set (the default set is the empty label).", float64(s.NamedVersions[k]), L("set", k))
+		}
+	})
+}
+
+// SigserverCollector projects the signature server's stats into
+// leaksig_sigserver_* families, every set under its name (the default
+// set is the empty label). Cardinality is bounded by the server's named
+// set cap.
+func SigserverCollector(snap func() sigserver.ServerStats) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		s := snap()
+		m.Gauge("leaksig_sigserver_seq", "Catalog sequence: publishes to any set.", float64(s.Seq))
+		emit := func(name string, st sigserver.NamedSetStats) {
+			set := L("set", name)
+			m.Gauge("leaksig_sigserver_version", "Current published version, per set.", float64(st.Version), set)
+			m.Gauge("leaksig_sigserver_signatures", "Signatures in the published set, per set.", float64(st.Signatures), set)
+			m.Counter("leaksig_sigserver_publishes_total", "Accepted publishes, per set.", float64(st.Publishes), set)
+			m.Counter("leaksig_sigserver_publishes_rejected_total", "Publishes rejected by the strict-increase guard, per set.", float64(st.PublishesRejected), set)
+		}
+		emit("", sigserver.NamedSetStats{
+			Version:           s.Version,
+			Signatures:        s.Signatures,
+			Publishes:         s.Publishes,
+			PublishesRejected: s.PublishesRejected,
+		})
+		names := make([]string, 0, len(s.Sets))
+		for k := range s.Sets {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			emit(k, s.Sets[k])
+		}
+	})
+}
+
+// ProxyCollector projects the flow-control proxy's allow/block tallies —
+// the decision counters the engine families cannot carry.
+func ProxyCollector(stats func() (allowed, blocked int64)) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		allowed, blocked := stats()
+		m.Counter("leaksig_proxy_decisions_total", "Proxy policy decisions, by action.", float64(allowed), L("action", "allow"))
+		m.Counter("leaksig_proxy_decisions_total", "Proxy policy decisions, by action.", float64(blocked), L("action", "block"))
+	})
+}
+
+// BuildInfoCollector emits the constant leaksig_build_info gauge: module
+// version and Go toolchain as labels, value 1 — the join key that makes
+// fleet rollouts attributable in dashboards.
+func BuildInfoCollector() Collector {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	goversion := runtime.Version()
+	return CollectorFunc(func(m *MetricWriter) {
+		m.Gauge("leaksig_build_info", "Build metadata: constant 1, labeled with the module version and Go toolchain.", 1,
+			L("version", version), L("goversion", goversion))
+	})
+}

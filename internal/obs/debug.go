@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// WriteJSON writes v as the response body with the headers every /stats
+// endpoint owes its scrapers: an explicit JSON content type and
+// Cache-Control: no-store, so point-in-time snapshots are never served
+// stale by an intermediary. All daemons route their JSON stats through
+// this one helper so the contract cannot drift per binary again.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	json.NewEncoder(w).Encode(v)
+}
+
+// DebugHandler is the operator side-channel every daemon mounts on its
+// -debug-addr: pprof under /debug/pprof/, the registry's /metrics, and a
+// /healthz. It deliberately uses a private mux — importing net/http/pprof
+// for its DefaultServeMux side effect would expose profiling on whatever
+// mux the daemon serves traffic on.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Event is one structured ops-plane record: a leak verdict, a signature
+// publish, a retirement convergence, a reload — whatever the daemons
+// decide is worth shipping. Fields are omitted when empty so the NDJSON
+// stays compact.
+type Event struct {
+	Time    time.Time `json:"ts"`
+	Type    string    `json:"type"`              // verdict | publish | retire | reload | ...
+	Node    string    `json:"node,omitempty"`    // emitting daemon, e.g. "leakstream"
+	Tenant  string    `json:"tenant,omitempty"`  // traffic population
+	Set     string    `json:"set,omitempty"`     // signature set name ("" = default, omitted)
+	Version int64     `json:"version,omitempty"` // signature-set version involved
+	App     string    `json:"app,omitempty"`
+	Host    string    `json:"host,omitempty"`
+	Matched []int     `json:"matched,omitempty"` // signature IDs, for verdict events
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// ShipperConfig parameterizes a Shipper. Zero values select the noted
+// defaults; exactly one of URL and Sink must be set.
+type ShipperConfig struct {
+	// URL is the HTTP endpoint batches POST to as
+	// application/x-ndjson. Ignored when Sink is set.
+	URL string
+
+	// Token, when non-empty, is sent as `Authorization: Bearer <token>`
+	// on every upload.
+	Token string
+
+	// Sink, when non-nil, replaces the HTTP uploader: it receives one
+	// encoded NDJSON batch per flush and reports delivery. It runs on the
+	// shipper's flush goroutine; a Sink that blocks forever wedges
+	// delivery but NEVER the producers — Ship keeps accepting (and,
+	// past the buffer bound, counting drops).
+	Sink func(ctx context.Context, batch []byte) error
+
+	// Node stamps every shipped event's Node field (the emitting daemon).
+	Node string
+
+	// BufferEvents bounds the in-memory ring; producers shipping into a
+	// full ring drop the NEW event and count it — the logtail posture:
+	// never stall the pipeline for the log. Default 4096.
+	BufferEvents int
+
+	// FlushEvents triggers a flush when this many events are buffered;
+	// default 256. FlushInterval flushes partial batches; default 2s.
+	FlushEvents   int
+	FlushInterval time.Duration
+
+	// RetryMin and RetryMax bound the exponential backoff between failed
+	// delivery attempts; defaults 500ms and 30s. MaxAttempts bounds
+	// attempts per batch before the batch is abandoned and counted as
+	// delivery drops; default 5.
+	RetryMin    time.Duration
+	RetryMax    time.Duration
+	MaxAttempts int
+
+	// UploadTimeout bounds one delivery attempt; default 10s.
+	UploadTimeout time.Duration
+}
+
+func (c ShipperConfig) withDefaults() ShipperConfig {
+	if c.BufferEvents <= 0 {
+		c.BufferEvents = 4096
+	}
+	if c.FlushEvents <= 0 {
+		c.FlushEvents = 256
+	}
+	if c.FlushEvents > c.BufferEvents {
+		c.FlushEvents = c.BufferEvents
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Second
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 500 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 30 * time.Second
+	}
+	if c.RetryMax < c.RetryMin {
+		c.RetryMax = c.RetryMin
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.UploadTimeout <= 0 {
+		c.UploadTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// ShipperStats is a point-in-time view of the shipper's accounting.
+type ShipperStats struct {
+	Shipped        uint64 `json:"shipped"`         // events delivered to the sink
+	DroppedBuffer  uint64 `json:"dropped_buffer"`  // events dropped: ring full
+	DroppedUpload  uint64 `json:"dropped_upload"`  // events dropped: batch abandoned after MaxAttempts
+	UploadFailures uint64 `json:"upload_failures"` // failed delivery attempts
+	Batches        uint64 `json:"batches"`         // batches delivered
+	Buffered       int    `json:"buffered"`        // events currently in the ring
+}
+
+// Shipper batches structured events into NDJSON and ships them to a
+// consumer without ever blocking its producers: the buffer is a bounded
+// ring whose overflow increments a drop counter instead of stalling the
+// caller, flushing happens on size or interval off the producing
+// goroutine, and failed uploads retry with exponential backoff while the
+// ring keeps absorbing (and, at the bound, dropping) new events — the
+// buffered-upload/backpressure idiom of tailscale's logtail. Construct
+// with NewShipper; all methods are safe for concurrent use.
+type Shipper struct {
+	cfg ShipperConfig
+
+	mu     sync.Mutex
+	buf    []Event // bounded ring, FIFO via slice shift at take time
+	wake   chan struct{}
+	closed bool
+
+	shipped        Counter
+	droppedBuffer  Counter
+	droppedUpload  Counter
+	uploadFailures Counter
+	batches        Counter
+
+	flushSec *Histogram // delivery attempt duration, seconds
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewShipper starts a shipper. The flush goroutine begins immediately.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	cfg = cfg.withDefaults()
+	if cfg.Sink == nil {
+		cfg.Sink = httpSink(cfg.URL, cfg.Token, cfg.UploadTimeout)
+	}
+	s := &Shipper{
+		cfg:      cfg,
+		buf:      make([]Event, 0, cfg.BufferEvents),
+		wake:     make(chan struct{}, 1),
+		flushSec: NewHistogram(ExpBuckets(0.001, 4, 8)), // 1ms .. ~16s
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// httpSink POSTs one NDJSON batch per call.
+func httpSink(url, token string, timeout time.Duration) func(context.Context, []byte) error {
+	hc := &http.Client{Timeout: timeout}
+	return func(ctx context.Context, batch []byte) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(batch))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("obs: event upload status %s", resp.Status)
+		}
+		return nil
+	}
+}
+
+// Ship offers one event. It never blocks: when the ring is full the
+// event is dropped and counted, and Ship reports false. The event's Time
+// is stamped if zero, and Node is stamped from the config.
+func (s *Shipper) Ship(ev Event) bool {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now().UTC()
+	}
+	if ev.Node == "" {
+		ev.Node = s.cfg.Node
+	}
+	s.mu.Lock()
+	if s.closed || len(s.buf) >= s.cfg.BufferEvents {
+		s.mu.Unlock()
+		s.droppedBuffer.Inc()
+		return false
+	}
+	s.buf = append(s.buf, ev)
+	n := len(s.buf)
+	s.mu.Unlock()
+	if n >= s.cfg.FlushEvents {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// take removes up to FlushEvents events from the head of the ring.
+func (s *Shipper) take() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.buf)
+	if n == 0 {
+		return nil
+	}
+	if n > s.cfg.FlushEvents {
+		n = s.cfg.FlushEvents
+	}
+	batch := make([]Event, n)
+	copy(batch, s.buf)
+	rest := copy(s.buf, s.buf[n:])
+	s.buf = s.buf[:rest]
+	return batch
+}
+
+// run is the flush loop: wait for a size trigger, the interval, or Close,
+// then deliver whatever is buffered, retrying each batch with backoff.
+func (s *Shipper) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			// Final best-effort flush: one attempt per remaining batch, no
+			// retries — Close must not hang on a dead consumer.
+			for {
+				batch := s.take()
+				if len(batch) == 0 {
+					return
+				}
+				s.deliver(batch, 1)
+			}
+		case <-s.wake:
+		case <-t.C:
+		}
+		for {
+			batch := s.take()
+			if len(batch) == 0 {
+				break
+			}
+			s.deliver(batch, s.cfg.MaxAttempts)
+		}
+	}
+}
+
+// deliver encodes one batch as NDJSON and ships it with up to attempts
+// tries. An abandoned batch is counted as upload drops — explicit loss
+// accounting rather than unbounded buffering.
+func (s *Shipper) deliver(batch []Event, attempts int) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range batch {
+		enc.Encode(&batch[i])
+	}
+	backoff := s.cfg.RetryMin
+	for attempt := 1; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.UploadTimeout)
+		begin := time.Now()
+		err := s.cfg.Sink(ctx, buf.Bytes())
+		s.flushSec.Observe(time.Since(begin).Seconds())
+		cancel()
+		if err == nil {
+			s.shipped.Add(uint64(len(batch)))
+			s.batches.Inc()
+			return
+		}
+		s.uploadFailures.Inc()
+		if attempt >= attempts {
+			s.droppedUpload.Add(uint64(len(batch)))
+			return
+		}
+		select {
+		case <-s.stop:
+			// Closing: abandon the retry loop, count the loss.
+			s.droppedUpload.Add(uint64(len(batch)))
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > s.cfg.RetryMax {
+			backoff = s.cfg.RetryMax
+		}
+	}
+}
+
+// Stats returns the shipper's accounting counters.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	buffered := len(s.buf)
+	s.mu.Unlock()
+	return ShipperStats{
+		Shipped:        s.shipped.Value(),
+		DroppedBuffer:  s.droppedBuffer.Value(),
+		DroppedUpload:  s.droppedUpload.Value(),
+		UploadFailures: s.uploadFailures.Value(),
+		Batches:        s.batches.Value(),
+		Buffered:       buffered,
+	}
+}
+
+// Collect implements Collector: the shipper's own accounting as metric
+// families, so event loss is as scrapeable as event volume.
+func (s *Shipper) Collect(m *MetricWriter) {
+	st := s.Stats()
+	m.Counter("leaksig_events_shipped_total", "Events delivered to the event sink.", float64(st.Shipped))
+	m.Counter("leaksig_events_dropped_total", "Events dropped, by reason (buffer overflow vs abandoned upload).", float64(st.DroppedBuffer), L("reason", "buffer_full"))
+	m.Counter("leaksig_events_dropped_total", "Events dropped, by reason (buffer overflow vs abandoned upload).", float64(st.DroppedUpload), L("reason", "upload_abandoned"))
+	m.Counter("leaksig_events_upload_failures_total", "Failed event upload attempts (each retried batch attempt counts once).", float64(st.UploadFailures))
+	m.Counter("leaksig_events_batches_total", "Event batches delivered.", float64(st.Batches))
+	m.Gauge("leaksig_events_buffered", "Events currently waiting in the ship buffer.", float64(st.Buffered))
+	s.flushSec.Write(m, "leaksig_events_flush_seconds", "Event batch delivery attempt duration.")
+}
+
+// Close stops the flush loop after one final best-effort delivery pass.
+// Events shipped after Close are dropped and counted. Close is
+// idempotent.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink records delivered batches.
+type collectSink struct {
+	mu      sync.Mutex
+	batches [][]byte
+}
+
+func (c *collectSink) sink(_ context.Context, batch []byte) error {
+	c.mu.Lock()
+	c.batches = append(c.batches, append([]byte(nil), batch...))
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *collectSink) events(t *testing.T) []Event {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, b := range c.batches {
+		sc := bufio.NewScanner(bytes.NewReader(b))
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestShipperDeliversNDJSON(t *testing.T) {
+	var cs collectSink
+	s := NewShipper(ShipperConfig{
+		Sink:          cs.sink,
+		Node:          "testd",
+		FlushEvents:   4,
+		FlushInterval: 10 * time.Millisecond,
+	})
+	for i := 0; i < 10; i++ {
+		if !s.Ship(Event{Type: "verdict", Tenant: "app.a", Matched: []int{i}}) {
+			t.Fatalf("Ship %d rejected", i)
+		}
+	}
+	s.Close()
+
+	evs := cs.events(t)
+	if len(evs) != 10 {
+		t.Fatalf("delivered %d events, want 10", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Node != "testd" || ev.Type != "verdict" || ev.Tenant != "app.a" {
+			t.Fatalf("event fields not stamped: %+v", ev)
+		}
+		if ev.Time.IsZero() {
+			t.Fatal("event time not stamped")
+		}
+	}
+	st := s.Stats()
+	if st.Shipped != 10 || st.DroppedBuffer != 0 || st.DroppedUpload != 0 {
+		t.Fatalf("stats = %+v, want 10 shipped and no drops", st)
+	}
+}
+
+// TestShipperNeverBlocksOnStalledSink is the ops-plane invariant: with
+// the consumer wedged, producers keep shipping at full speed, overflow
+// is dropped and counted, and nothing deadlocks. Run under -race in CI.
+func TestShipperNeverBlocksOnStalledSink(t *testing.T) {
+	release := make(chan struct{})
+	var delivered sync.WaitGroup
+	delivered.Add(1)
+	var once sync.Once
+	s := NewShipper(ShipperConfig{
+		Sink: func(ctx context.Context, _ []byte) error {
+			once.Do(delivered.Done)
+			<-release // wedged until the test releases it
+			return nil
+		},
+		BufferEvents:  64,
+		FlushEvents:   8,
+		FlushInterval: time.Millisecond,
+		MaxAttempts:   1,
+	})
+	// LIFO: release the sink first, then Close can drain.
+	defer s.Close()
+	defer close(release)
+
+	// Concurrent producers hammer the shipper while the sink is wedged.
+	const producers, perProducer = 8, 200
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Ship(Event{Type: "verdict", Tenant: "t", Version: int64(p*perProducer + i)})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("producers took %v with a stalled sink; Ship must not block", elapsed)
+	}
+
+	delivered.Wait() // the wedged delivery is in flight — the buffer bound is now hard
+	st := s.Stats()
+	total := st.Shipped + st.DroppedBuffer + st.DroppedUpload + uint64(st.Buffered)
+	// The in-flight batch (taken from the ring, not yet counted anywhere)
+	// accounts for at most FlushEvents of slack.
+	if want := uint64(producers * perProducer); total > want || total+8 < want {
+		t.Fatalf("accounting leak: shipped=%d dropBuf=%d dropUp=%d buffered=%d, want ~%d total",
+			st.Shipped, st.DroppedBuffer, st.DroppedUpload, st.Buffered, want)
+	}
+	if st.DroppedBuffer == 0 {
+		t.Fatal("expected buffer-overflow drops with a stalled sink and 1600 events into a 64-event ring")
+	}
+	if st.Buffered > 64 {
+		t.Fatalf("buffered=%d exceeds the 64-event bound", st.Buffered)
+	}
+}
+
+func TestShipperRetriesThenDrops(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	s := NewShipper(ShipperConfig{
+		Sink: func(context.Context, []byte) error {
+			mu.Lock()
+			attempts++
+			mu.Unlock()
+			return context.DeadlineExceeded
+		},
+		FlushEvents:   1,
+		FlushInterval: time.Millisecond,
+		RetryMin:      time.Millisecond,
+		RetryMax:      2 * time.Millisecond,
+		MaxAttempts:   3,
+	})
+	s.Ship(Event{Type: "publish"})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.DroppedUpload == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never abandoned: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts < 3 {
+		t.Fatalf("sink saw %d attempts, want >= 3 (MaxAttempts)", attempts)
+	}
+	if st := s.Stats(); st.UploadFailures < 3 {
+		t.Fatalf("upload failures = %d, want >= 3", st.UploadFailures)
+	}
+}
+
+func TestShipperCollectFamilies(t *testing.T) {
+	var cs collectSink
+	s := NewShipper(ShipperConfig{Sink: cs.sink, FlushInterval: time.Millisecond})
+	s.Ship(Event{Type: "x"})
+	s.Close()
+	reg := NewRegistry()
+	reg.Register(s)
+	out := reg.Expose()
+	for _, fam := range []string{
+		"leaksig_events_shipped_total",
+		`leaksig_events_dropped_total{reason="buffer_full"}`,
+		`leaksig_events_dropped_total{reason="upload_abandoned"}`,
+		"leaksig_events_buffered",
+		"leaksig_events_flush_seconds_count",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("scrape missing %s:\n%s", fam, out)
+		}
+	}
+}

@@ -146,6 +146,12 @@ type Config struct {
 	// engine.Pool (see PoolReloader). Same execution rules as OnPublish.
 	OnPublishNamed func(name string, set *signature.Set)
 
+	// OnRetire, when non-nil, observes drift retirement: n catalog
+	// signatures lost their last source cluster this epoch and will be
+	// absent from the next published versions. Same execution rules as
+	// OnPublish.
+	OnRetire func(n int)
+
 	// Seed fixes the reservoir and medoid-election randomness; default 1.
 	Seed int64
 }
@@ -404,6 +410,7 @@ func (s *Service) retireLocked(cs CompactStats) {
 	for _, id := range cs.Retired {
 		retired[id] = struct{}{}
 	}
+	dropped := 0
 	for key, ps := range s.catalog {
 		next := make(map[uint64]int, len(ps.sources))
 		for src, size := range ps.sources {
@@ -420,9 +427,13 @@ func (s *Service) retireLocked(cs CompactStats) {
 		if len(next) == 0 {
 			delete(s.catalog, key)
 			s.retiredSigs.Add(1)
+			dropped++
 			continue
 		}
 		ps.sources = next
+	}
+	if dropped > 0 && s.cfg.OnRetire != nil {
+		s.cfg.OnRetire(dropped)
 	}
 }
 

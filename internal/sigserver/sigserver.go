@@ -441,6 +441,8 @@ func (s *Server) Stats() ServerStats {
 //	GET /stats                 — publish counters as JSON, named sets
 //	                             broken out under "sets"
 //	GET /healthz               — liveness
+//	GET /readyz                — readiness: 503 until any set holds a
+//	                             published (or seeded) version
 //
 // Handler is strictly read-only; mount PublishHandler (or use
 // HandlerWithPublish) to accept publishes.
@@ -448,6 +450,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		json.NewEncoder(w).Encode(s.Stats())
 	})
 	mux.HandleFunc("GET /signatures", func(w http.ResponseWriter, r *http.Request) {
@@ -503,6 +506,17 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// A distributor with nothing to distribute should not take
+		// watcher traffic: cold nodes answer 503 until a seed load or
+		// first publish lands a version in some set.
+		_, version := s.Current()
+		if version == 0 && s.Seq() == 0 {
+			http.Error(w, "no signature set yet", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready")
 	})
 	return mux
 }

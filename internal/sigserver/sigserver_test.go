@@ -108,6 +108,72 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
+// TestReadyz pins the readiness contract orchestrators route on: alive
+// is not ready — a server with nothing to distribute answers 503 until
+// a publish (to any set) gives watchers something to fetch.
+func TestReadyz(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("empty server readyz = %d, want 503", code)
+	}
+	s.Publish(testSet("x-token"))
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("readyz after publish = %d, want 200", code)
+	}
+}
+
+// TestReadyzNamedSetOnly covers the learner-seeded posture: the first
+// publish may land in a named set, never touching the default — the
+// server is still ready (watchers of that set have content).
+func TestReadyzNamedSetOnly(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, err := s.PublishNamed("app.alpha", testSet("alpha-token")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with only a named set = %s, want 200", resp.Status)
+	}
+}
+
+// TestStatsHeaders pins the /stats response contract: explicit JSON
+// content type and no-store, so point-in-time snapshots never come back
+// stale from an intermediary cache.
+func TestStatsHeaders(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	ts := httptest.NewServer(New().Handler())
 	defer ts.Close()

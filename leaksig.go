@@ -17,6 +17,8 @@
 //	internal/siggen     — online incremental signature generation
 //	internal/sigserver  — signature distribution (Figure 3a)
 //	internal/flowcontrol— the on-device vetting proxy (Figure 3b)
+//	internal/obs        — the ops plane: Prometheus exposition, event
+//	                      shipping, per-tenant intake accounting
 //
 // Detection comes in two modes. The offline mode (Detect, Evaluate)
 // scores a fully materialized capture — the paper's evaluation posture.
@@ -37,6 +39,7 @@ import (
 	"leaksig/internal/detect"
 	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs"
 	"leaksig/internal/sensitive"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
@@ -221,6 +224,70 @@ func NewHTTPPublisher(base, token string) SetPublisher { return siggen.NewHTTPPu
 func PoolReloader(p *Pool) func(name string, set *SignatureSet) {
 	return siggen.PoolReloader(p)
 }
+
+// MetricsRegistry collects Prometheus text-format metric families from
+// registered collectors and serves them over HTTP (see internal/obs).
+// Project engines, pools, and learners into one with EngineMetrics,
+// PoolMetrics, and LearnerMetrics, then mount Registry.Handler as
+// GET /metrics.
+type MetricsRegistry = obs.Registry
+
+// MetricsCollector contributes metric families to a MetricsRegistry
+// scrape.
+type MetricsCollector = obs.Collector
+
+// NewMetricsRegistry returns an empty registry pre-loaded with nothing;
+// most callers immediately Register BuildInfoMetrics() plus the
+// subsystem collectors.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// EngineMetrics projects a StreamEngine's snapshot (with the per-shard
+// breakdown) into the leaksig_engine_* families at scrape time.
+func EngineMetrics(e *StreamEngine) MetricsCollector {
+	return obs.EngineCollector(e.Metrics, e.ShardStats)
+}
+
+// PoolMetrics projects a Pool's snapshot — lifecycle gauges, the
+// eviction-surviving aggregate, and each live tenant under its label.
+func PoolMetrics(p *Pool) MetricsCollector { return obs.PoolCollector(p.Metrics) }
+
+// LearnerMetrics projects a Learner's stats into the leaksig_siggen_*
+// families.
+func LearnerMetrics(l *Learner) MetricsCollector { return obs.SiggenCollector(l.Stats) }
+
+// BuildInfoMetrics emits the constant leaksig_build_info gauge (module
+// version and Go toolchain as labels).
+func BuildInfoMetrics() MetricsCollector { return obs.BuildInfoCollector() }
+
+// EventShipper batches structured ops events into NDJSON uploads
+// without ever blocking its producers: bounded buffer, flush on
+// size/interval, retry with backoff, explicit drop accounting (see
+// internal/obs).
+type EventShipper = obs.Shipper
+
+// EventShipperConfig parameterizes NewEventShipper.
+type EventShipperConfig = obs.ShipperConfig
+
+// OpsEvent is one structured ops-plane record (verdict, publish,
+// retire, reload, decision, ...).
+type OpsEvent = obs.Event
+
+// NewEventShipper starts a shipper; its Collect method doubles as a
+// MetricsCollector so event loss is scrapeable.
+func NewEventShipper(cfg EventShipperConfig) *EventShipper { return obs.NewShipper(cfg) }
+
+// IntakeLimiter enforces a per-tenant token-bucket intake limit with a
+// bounded tenant table and eviction-surviving aggregate accounting (see
+// internal/obs). Register it on a MetricsRegistry to scrape the
+// leaksig_intake_* families.
+type IntakeLimiter = obs.RateLimiter
+
+// IntakeLimiterConfig parameterizes NewIntakeLimiter.
+type IntakeLimiterConfig = obs.RateLimiterConfig
+
+// NewIntakeLimiter builds a limiter; Rate <= 0 yields a pass-through
+// limiter that still keeps per-tenant intake accounting.
+func NewIntakeLimiter(cfg IntakeLimiterConfig) *IntakeLimiter { return obs.NewRateLimiter(cfg) }
 
 // Dataset is a synthetic capture with its device and ground truth.
 type Dataset struct {

@@ -9,9 +9,11 @@
 set -euo pipefail
 
 PORT="${LOOP_SMOKE_PORT:-8701}"
+MPORT="${LOOP_SMOKE_METRICS_PORT:-8702}"
 dir="$(mktemp -d)"
 cleanup() {
   [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true
+  [ -n "${stream_pid:-}" ] && kill "$stream_pid" 2>/dev/null || true
   rm -rf "$dir"
 }
 trap cleanup EXIT
@@ -82,3 +84,52 @@ if ! grep -Eq "p99=" "$dir/full.log"; then
   exit 1
 fi
 echo "PASS: full ${full_n}-packet trace streamed; throughput and tail latency logged above"
+
+echo "== ops-plane smoke: /metrics and /readyz across the pipeline"
+
+# metric NAME VALUE_REGEX FILE: assert the series is present with a
+# non-negative value (a leading digit — a negative value would start
+# with '-').
+metric() {
+  if ! grep -Eq "^$1(\{[^}]*\})? $2" "$3"; then
+    echo "FAIL: metric $1 missing or negative in $3" >&2
+    grep -E "^$1" "$3" >&2 || true
+    exit 1
+  fi
+}
+
+curl -fs "http://127.0.0.1:$PORT/readyz" >/dev/null \
+  || { echo "FAIL: sigserver not ready after publishing" >&2; exit 1; }
+curl -fs "http://127.0.0.1:$PORT/metrics" >"$dir/sigserver.metrics"
+metric leaksig_sigserver_publishes_total '[0-9]' "$dir/sigserver.metrics"
+metric leaksig_sigserver_seq '[1-9]' "$dir/sigserver.metrics"
+metric leaksig_build_info '1' "$dir/sigserver.metrics"
+
+echo "== daemon-mode leakstream with a tight per-tenant intake limit on :$MPORT"
+"$dir/bin/leakstream" -server "http://127.0.0.1:$PORT" -listen "127.0.0.1:$MPORT" \
+  -tenant-rate 5 -tenant-burst 5 -rate-policy drop \
+  </dev/null >/dev/null 2>"$dir/daemon.log" &
+stream_pid=$!
+for _ in $(seq 1 50); do
+  curl -fs "http://127.0.0.1:$MPORT/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+# /readyz flips once the sigserver watch delivers the learned set.
+ready=""
+for _ in $(seq 1 50); do
+  if curl -fs "http://127.0.0.1:$MPORT/readyz" >/dev/null 2>&1; then ready=1; break; fi
+  sleep 0.2
+done
+[ -n "$ready" ] || { echo "FAIL: leakstream never became ready" >&2; exit 1; }
+
+# 200 packets for one tenant against a 5-token bucket: most must be shed
+# by the limiter, and the drops must be visible in the exposition.
+head -200 "$dir/trace.jsonl" \
+  | curl -fs --data-binary @- "http://127.0.0.1:$MPORT/ingest?tenant=smoke-tenant" >/dev/null
+curl -fs "http://127.0.0.1:$MPORT/metrics" >"$dir/leakstream.metrics"
+metric leaksig_engine_packets_per_second '[0-9]' "$dir/leakstream.metrics"
+metric leaksig_intake_allowed_total '[1-9]' "$dir/leakstream.metrics"
+metric leaksig_intake_limited_total '[1-9]' "$dir/leakstream.metrics"
+metric leaksig_build_info '1' "$dir/leakstream.metrics"
+limited="$(awk '$1 == "leaksig_intake_limited_total" {print $2}' "$dir/leakstream.metrics")"
+echo "PASS: ops plane live — sigserver publishes scraped, leakstream shed $limited over-limit packets"
