@@ -464,7 +464,10 @@ func (b *engineBackend) match(_ string, p *httpmodel.Packet) ([]int, int64) {
 	return b.eng.MatchPacket(p), b.eng.Version()
 }
 
-func (b *engineBackend) reload(set *signature.Set)           { b.eng.Reload(set) }
+// reload is async: the watcher loop must keep long-polling while a large
+// set compiles on the engine's background compiler, and a publish burst
+// coalesces into the newest set rather than queueing stale compiles.
+func (b *engineBackend) reload(set *signature.Set)           { b.eng.ReloadAsync(set) }
 func (b *engineBackend) reloadTenant(string, *signature.Set) {}
 func (b *engineBackend) statsLine() string                   { return b.eng.Metrics().String() }
 func (b *engineBackend) close()                              { b.eng.Close() }

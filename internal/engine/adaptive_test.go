@@ -7,45 +7,45 @@ import (
 	"time"
 )
 
-// TestAdaptiveBatchGrowsUnderBacklog wedges the single worker and keeps
-// producing: every dispatch that observes the queue at least half full
-// must double the batch target until it pins at MaxBatch.
+// TestAdaptiveBatchGrowsUnderBacklog keeps a producer ahead of the single
+// worker: every full drain that leaves the ring still occupied must
+// double the drain target until it pins at MaxBatch.
 func TestAdaptiveBatchGrowsUnderBacklog(t *testing.T) {
-	gate := make(chan struct{})
 	e := New(tokenSet(1, "x-token"), Config{
 		Shards:     1,
 		BatchSize:  4,
 		MinBatch:   2,
 		MaxBatch:   64,
-		QueueDepth: 64, // 16 batches of the initial size
-		OnVerdict:  func(Verdict) { <-gate },
+		QueueDepth: 256,
+		OnVerdict:  func(Verdict) {},
 	})
+	defer e.Close()
 	s := e.shards[0]
-	// Fill until the queue rejects; each accepted dispatch re-evaluates
-	// the target. TrySubmit never blocks, so a saturated queue just stops
-	// accepting.
-	for i := 0; i < 4096; i++ {
-		e.TrySubmit(pkt(int64(i), "a.example.com", "x-token"))
+	// Blocking submits keep the ring saturated faster than the worker
+	// can shrink it; each full drain with leftover occupancy grows the
+	// target toward the ceiling.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; int(s.target.Load()) != 64; i++ {
+		if err := e.Submit(pkt(int64(i), "a.example.com", "x-token")); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch target stuck at %d after sustained backlog, want ceiling 64", s.target.Load())
+		}
 	}
-	if got := int(s.target.Load()); got != 64 {
-		t.Errorf("batch target after sustained backlog = %d, want ceiling 64", got)
-	}
-	close(gate)
-	e.Close()
 }
 
 // TestAdaptiveBatchShrinksWhenDrained sends lone packets through a large
-// initial batch: every flusher dispatch of a partial batch into an empty
-// queue must halve the target until it pins at MinBatch.
+// initial drain target: every partial drain that empties the ring must
+// halve the target until it pins at MinBatch.
 func TestAdaptiveBatchShrinksWhenDrained(t *testing.T) {
 	verdicts := make(chan Verdict, 64)
 	e := New(tokenSet(1, "x-token"), Config{
-		Shards:        1,
-		BatchSize:     64,
-		MinBatch:      4,
-		MaxBatch:      64,
-		FlushInterval: time.Millisecond,
-		OnVerdict:     func(v Verdict) { verdicts <- v },
+		Shards:    1,
+		BatchSize: 64,
+		MinBatch:  4,
+		MaxBatch:  64,
+		OnVerdict: func(v Verdict) { verdicts <- v },
 	})
 	defer e.Close()
 	s := e.shards[0]
@@ -55,7 +55,7 @@ func TestAdaptiveBatchShrinksWhenDrained(t *testing.T) {
 			t.Fatal(err)
 		}
 		select {
-		case <-verdicts: // the flusher shipped the partial batch
+		case <-verdicts: // a lone-packet drain emptied the ring
 		case <-deadline:
 			t.Fatalf("batch target stuck at %d, want floor 4", s.target.Load())
 		}

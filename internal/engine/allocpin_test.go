@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"leaksig/internal/httpmodel"
+)
+
+// makeAllocPinPackets prebuilds a mixed clean/leaking packet stream so
+// the AllocsPerRun loops below measure the engine, not packet
+// fabrication.
+func makeAllocPinPackets(n int) []*httpmodel.Packet {
+	pkts := make([]*httpmodel.Packet, n)
+	for i := range pkts {
+		if i%3 == 0 {
+			pkts[i] = scratchTestPacket(i)
+		} else {
+			pkts[i] = &httpmodel.Packet{
+				ID: int64(i), Host: "ads.example", Method: "GET",
+				Path: "/benign", Proto: "HTTP/1.1",
+			}
+		}
+	}
+	return pkts
+}
+
+// TestCountOnlyPathZeroAlloc pins the count-only streaming path at zero
+// allocations per packet: Submit writes into the ring, the worker drains
+// with its persistent buffer and scratch, and the CountSink bumps two
+// atomics — no Verdict, no batch, no slice, nothing on the heap. The
+// threshold tolerates stray runtime allocations (well under one per
+// drain) while still failing on any real per-packet or per-batch cost.
+func TestCountOnlyPathZeroAlloc(t *testing.T) {
+	sink := NewCountSink()
+	e := New(scratchTestSet(64), Config{
+		Shards: 1, BatchSize: 8, QueueDepth: 1024, Sink: sink,
+	})
+	defer e.Close()
+	if !e.shards[0].countOnly {
+		t.Fatal("count-only path not engaged")
+	}
+
+	const batch = 256
+	pkts := makeAllocPinPackets(batch)
+	run := func() {
+		for _, p := range pkts {
+			if err := e.Submit(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Flush()
+	}
+	run() // warm: size the scratch, settle the adaptive target
+
+	allocs := testing.AllocsPerRun(20, run)
+	if perPacket := allocs / batch; perPacket >= 0.01 {
+		t.Errorf("count-only path allocates %.4f per packet (%.1f per %d), want 0", perPacket, allocs, batch)
+	}
+}
+
+// TestBatchVerdictPathAllocBudget pins the pooled-verdict path: a
+// BatchCallbackSink consumer costs at most 2 allocations per packet in
+// the steady state — the budget the VerdictBatch design is sized
+// against. Measured it is ~0, because the batch, its spans, and the
+// matched-ID arena all recycle through the pool.
+func TestBatchVerdictPathAllocBudget(t *testing.T) {
+	var total atomic.Uint64
+	e := New(scratchTestSet(64), Config{
+		Shards: 1, BatchSize: 8, QueueDepth: 1024,
+		Sink: BatchCallbackSink(func(vs []Verdict) { total.Add(uint64(len(vs))) }),
+	})
+	defer e.Close()
+	if e.shards[0].batchSink == nil {
+		t.Fatal("batch sink path not engaged")
+	}
+
+	const batch = 256
+	pkts := makeAllocPinPackets(batch)
+	run := func() {
+		for _, p := range pkts {
+			if err := e.Submit(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Flush()
+	}
+	run() // warm the pool, scratch, and adaptive target
+
+	allocs := testing.AllocsPerRun(20, run)
+	if perPacket := allocs / batch; perPacket > 2 {
+		t.Errorf("batch verdict path allocates %.4f per packet, budget is 2", perPacket)
+	}
+	if total.Load() == 0 {
+		t.Fatal("batch sink never saw a verdict")
+	}
+}

@@ -14,6 +14,12 @@ type compiledSet struct {
 	eng     *detect.Engine
 	version int64
 	sigs    int
+
+	// gen is the reload ticket this generation was compiled under.
+	// install applies generations strictly monotonically by gen, so a
+	// slow background compile can never clobber a newer set (the
+	// double-buffered ReloadAsync invariant).
+	gen uint64
 }
 
 // compile builds a generation from a signature set — including the dense

@@ -1,5 +1,5 @@
 // Package engine is the streaming half of the detection system: a sharded
-// worker pool that consumes HTTP packets from a bounded ingest queue and
+// worker pool that consumes HTTP packets from bounded lock-free rings and
 // matches them against a hot-swappable compiled signature set.
 //
 // The batch matcher (detect.MatchSetWith) answers "which of these packets
@@ -13,22 +13,29 @@
 //     so packets for one host land on one worker and its matcher state
 //     stays cache-warm (Config.Affinity switches to round-robin when
 //     host locality is not wanted).
-//   - Producers batch packets per shard before dispatch; workers load
-//     the compiled-set pointer once per batch, amortizing both channel
-//     traffic and the atomic load.
+//   - Each shard's queue is a bounded lock-free MPSC ring: producers
+//     publish a packet with one CAS and one atomic store — no mutex, no
+//     channel hop, no batch-slice allocation. Workers drain runs of
+//     published items and load the compiled-set pointer once per drain,
+//     amortizing the atomic load across the adaptive batch.
 //   - Reload compiles the new set off the hot path and swaps it in with
-//     a single atomic pointer store. In-flight batches finish under the
-//     generation they started with; every later batch sees the new one.
-//   - Submit blocks when a shard's queue is full (bounded backpressure);
-//     TrySubmit drops instead and counts the drop.
-//   - Batch sizes adapt to load: each shard's target doubles toward
-//     Config.MaxBatch while its queue backs up and halves toward
-//     Config.MinBatch when the flusher ships partial batches into a
-//     drained queue, trading latency for amortization only when the
-//     backlog pays for it.
+//     a single atomic pointer store; ReloadAsync moves even the compile
+//     off the caller onto a background compiler with a double-buffered
+//     pending slot, coalescing bursts of publishes so signature churn
+//     never stalls intake. Generations apply strictly monotonically.
+//   - Submit blocks while a shard's ring is full (bounded backpressure);
+//     TrySubmit drops instead and counts the drop. A stalled sink slows
+//     only its own shard's ring — sibling shards keep flowing.
+//   - Drain sizes adapt to load: each shard's target doubles toward
+//     Config.MaxBatch while its ring stays occupied and halves toward
+//     Config.MinBatch when partial drains empty it, trading latency for
+//     amortization only when the backlog pays for it.
 //   - Results leave through a Sink bound per shard: CallbackSink carries
 //     full verdicts, CountSink aggregates per-shard tallies without
-//     assembling a Verdict at all (the count-only fast path).
+//     assembling a Verdict at all (the count-only fast path), and
+//     batch-capable sinks (BatchShardSink) receive pooled VerdictBatches
+//     whose Matched slices live in a recycled arena — the zero-allocation
+//     verdict path.
 //
 // Pool stacks a multi-tenant layer on top: tenant keys (app package,
 // device cohort, destination host) map to independently configured
@@ -36,12 +43,13 @@
 // evicted when idle, each optionally pinned to a tenant-private
 // signature set — one service instance isolating many traffic
 // populations the way the paper's per-module signatures isolate ad
-// libraries (§IV-A).
+// libraries (§IV-A). When budget frees, degraded tenants are upgraded
+// back to multi-shard grants by weighted rebalancing.
 //
-// Metrics (packets/s, match rate, queue depth, batch target, reloads,
-// p50/p99 latency) are exposed through Metrics, reusing internal/stats
-// for the quantiles; Pool.Metrics aggregates across tenants, evicted
-// ones included.
+// Metrics (packets/s, match rate, ring depth, batch target, reloads,
+// reload latency, p50/p99 latency) are exposed through Metrics, reusing
+// internal/stats for the quantiles; Pool.Metrics aggregates across
+// tenants, evicted ones included.
 package engine
 
 import (
@@ -76,35 +84,38 @@ const (
 type Config struct {
 	// Shards is the worker count; 0 means runtime.GOMAXPROCS(0).
 	Shards int
-	// QueueDepth bounds the packets queued per shard (beyond the
-	// accumulating batch); 0 means 1024. The bound is exact in batches
-	// and approximate in packets once adaptive batching grows the batch
-	// target past BatchSize.
+	// QueueDepth bounds the packets queued per shard — the capacity of
+	// the shard's ring, rounded up to a power of two; 0 means 1024.
 	QueueDepth int
-	// BatchSize is the initial batch target: how many packets a producer
-	// accumulates per shard before dispatching to the worker; 0 means 64.
+	// BatchSize is the initial drain target: how many packets a worker
+	// takes from its ring per drain; 0 means 64.
 	BatchSize int
-	// MinBatch and MaxBatch bound adaptive batch sizing. Each shard's
-	// batch target starts at BatchSize, doubles (up to MaxBatch) when a
-	// dispatch observes its queue at least half full — large batches
-	// amortize channel traffic under backlog — and halves (down to
-	// MinBatch) when the background flusher ships a partial batch into a
-	// drained queue, so light traffic gets low latency. Zero values
-	// default to BatchSize/8 and BatchSize*8 (clamped to [1, QueueDepth]);
-	// setting MinBatch = MaxBatch = BatchSize pins the batch size.
+	// MinBatch and MaxBatch bound adaptive drain sizing. Each shard's
+	// target starts at BatchSize, doubles (up to MaxBatch) when a full
+	// drain leaves the ring still occupied — large drains amortize the
+	// generation load under backlog — and halves (down to MinBatch) when
+	// a partial drain empties the ring, so light traffic gets low
+	// latency. Zero values default to BatchSize/8 and BatchSize*8
+	// (clamped to [1, QueueDepth]); setting MinBatch = MaxBatch =
+	// BatchSize pins the drain size.
 	MinBatch int
 	MaxBatch int
-	// FlushInterval bounds how long a partial batch may linger before a
-	// background flusher dispatches it anyway; 0 means 1ms.
+	// FlushInterval is retained for configuration compatibility and is
+	// no longer used: ring-queued packets are visible to the worker
+	// immediately, so no background flusher is needed to bound the
+	// latency of lone packets.
 	FlushInterval time.Duration
 	// Affinity selects the shard-assignment strategy.
 	Affinity Affinity
 	// OnVerdict, when non-nil, receives every verdict. It is called from
 	// shard worker goroutines concurrently and must be safe for that.
+	// Setting it forces the per-verdict delivery path even for batch-
+	// capable sinks.
 	OnVerdict func(Verdict)
 	// Sink, when non-nil, receives match results through per-shard
 	// consumers (see Sink). A count-only sink with a nil OnVerdict lets
-	// workers skip verdict assembly entirely; when both Sink and
+	// workers skip verdict assembly entirely; a BatchShardSink with a
+	// nil OnVerdict receives pooled verdict batches; when both Sink and
 	// OnVerdict are set, both receive every verdict.
 	Sink Sink
 }
@@ -161,6 +172,15 @@ type Verdict struct {
 // Leak reports whether the packet matched any signature.
 func (v Verdict) Leak() bool { return len(v.Matched) > 0 }
 
+// pendingReload is the double-buffer slot between ReloadAsync and the
+// background compiler: the latest requested set plus its generation
+// ticket. Rapid republishes overwrite the slot, so at most one compile
+// runs while one more waits — intervening sets are coalesced away.
+type pendingReload struct {
+	set *signature.Set
+	gen uint64
+}
+
 // Engine is the streaming detector. Construct with New; all methods are
 // safe for concurrent use.
 type Engine struct {
@@ -175,6 +195,15 @@ type Engine struct {
 	dropped  atomic.Uint64
 	reloads  atomic.Int64
 
+	// Reload machinery: gen tickets order every Reload/ReloadAsync call;
+	// install applies compiled generations strictly monotonically, so a
+	// slow background compile can never overwrite a newer set.
+	reloadGen    atomic.Uint64
+	pending      atomic.Pointer[pendingReload]
+	compiling    atomic.Bool
+	lastReloadNs atomic.Int64 // compile+install wall time of the last applied reload
+	reloadCh     chan struct{}
+
 	// Synchronous-vet counters: MatchPacket bypasses the queue, so the
 	// shard counters never see it; these make inline consumers (the
 	// flowcontrol proxy) share the engine's telemetry.
@@ -184,10 +213,10 @@ type Engine struct {
 	submitMu sync.RWMutex // closed check vs Close
 	closed   bool
 
-	stopFlush chan struct{}
-	flushDone chan struct{}
-	wg        sync.WaitGroup
-	start     time.Time
+	stop    chan struct{} // closed by Close: wakes parked workers and the compiler
+	stopped atomic.Bool   // set before stop closes; workers exit on empty ring
+	wg      sync.WaitGroup
+	start   time.Time
 }
 
 // New starts an engine over the signature set (nil for empty) and begins
@@ -197,37 +226,103 @@ func New(set *signature.Set, cfg Config) *Engine {
 	e := &Engine{
 		cfg:       cfg,
 		onVerdict: cfg.OnVerdict,
-		stopFlush: make(chan struct{}),
-		flushDone: make(chan struct{}),
+		reloadCh:  make(chan struct{}, 1),
+		stop:      make(chan struct{}),
 		start:     time.Now(),
 	}
 	e.set.Store(compile(set))
-	queueBatches := cfg.QueueDepth / cfg.BatchSize
-	if queueBatches < 1 {
-		queueBatches = 1
-	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		s := newShard(queueBatches, cfg.BatchSize)
+		s := newShard(cfg.QueueDepth, cfg.BatchSize)
 		if cfg.Sink != nil {
 			s.sink = cfg.Sink.Bind(i, cfg.Shards)
 			s.countOnly = e.onVerdict == nil && s.sink.CountOnly()
+			if bs, ok := s.sink.(BatchShardSink); ok && e.onVerdict == nil && !s.countOnly {
+				s.batchSink = bs
+			}
 		}
 		e.shards[i] = s
 		e.wg.Add(1)
 		go e.run(s)
 	}
-	go e.runFlusher()
+	e.wg.Add(1)
+	go e.runCompiler()
 	return e
 }
 
-// Reload compiles the new signature set and atomically swaps it in. The
-// compile happens off the hot path; workers pick up the new generation at
-// their next batch. Packets already queued are never dropped — they are
-// simply matched under whichever generation is live when their batch runs.
+// install makes cs the live generation iff it is newer than the current
+// one. Sync and async reloads race through here, and the monotonic gen
+// check guarantees a stale compile is discarded rather than applied.
+func (e *Engine) install(cs *compiledSet, started time.Time) bool {
+	for {
+		cur := e.set.Load()
+		if cur != nil && cur.gen >= cs.gen {
+			return false
+		}
+		if e.set.CompareAndSwap(cur, cs) {
+			e.reloads.Add(1)
+			e.lastReloadNs.Store(time.Since(started).Nanoseconds())
+			return true
+		}
+	}
+}
+
+// Reload compiles the new signature set and atomically swaps it in,
+// returning only after the new generation is live: packets submitted
+// after Reload returns are judged under it. The compile happens on the
+// caller's goroutine — intake is never blocked, but a caller reloading
+// large sets at high frequency should prefer ReloadAsync. Packets
+// already queued are never dropped — they are simply matched under
+// whichever generation is live when their drain runs.
 func (e *Engine) Reload(set *signature.Set) {
-	e.set.Store(compile(set))
-	e.reloads.Add(1)
+	gen := e.reloadGen.Add(1)
+	started := time.Now()
+	cs := compile(set)
+	cs.gen = gen
+	e.install(cs, started)
+}
+
+// ReloadAsync requests a reload and returns immediately: the dense
+// compile runs on the engine's background compiler goroutine and the
+// result is swapped in atomically when ready. Bursts coalesce — a
+// republish that lands while a compile is in flight overwrites the
+// single pending slot, so a 10k-signature tenant republishing every
+// epoch costs at most one in-flight compile plus one queued, and intake
+// never stalls. Generations still apply strictly monotonically; the
+// final state always reflects the latest requested set.
+func (e *Engine) ReloadAsync(set *signature.Set) {
+	gen := e.reloadGen.Add(1)
+	e.pending.Store(&pendingReload{set: set, gen: gen})
+	select {
+	case e.reloadCh <- struct{}{}:
+	default:
+	}
+}
+
+// runCompiler is the background reload compiler: it drains the pending
+// slot, compiling and installing the latest requested generation until
+// none is left, then sleeps until the next ReloadAsync.
+func (e *Engine) runCompiler() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.reloadCh:
+			for {
+				pr := e.pending.Swap(nil)
+				if pr == nil {
+					break
+				}
+				e.compiling.Store(true)
+				started := time.Now()
+				cs := compile(pr.set)
+				cs.gen = pr.gen
+				e.install(cs, started)
+				e.compiling.Store(false)
+			}
+		}
+	}
 }
 
 // Version returns the live signature-set version.
@@ -271,7 +366,7 @@ func (e *Engine) shardFor(p *httpmodel.Packet, seq uint64) *shard {
 }
 
 // Submit queues one packet for matching, blocking while the target shard's
-// queue is full (backpressure). It returns ErrClosed after Close.
+// ring is full (backpressure). It returns ErrClosed after Close.
 func (e *Engine) Submit(p *httpmodel.Packet) error {
 	e.submitMu.RLock()
 	defer e.submitMu.RUnlock()
@@ -294,77 +389,48 @@ func (e *Engine) TrySubmit(p *httpmodel.Packet) bool {
 	return e.submit(p, false)
 }
 
-// submit appends the packet to its shard's accumulating batch, first
-// dispatching the batch if full. Caller holds submitMu.RLock.
+// submit publishes the packet into its shard's ring: one CAS, one store,
+// zero allocations. When the ring is full a blocking submit spins briefly
+// then sleeps in short slices until the worker frees a slot — the
+// backpressure point. Caller holds submitMu.RLock, which is what
+// guarantees Close observes no in-flight publication.
 func (e *Engine) submit(p *httpmodel.Packet, block bool) bool {
 	// Sequences from dropped TrySubmits are not reused, so Seq is a unique
 	// admission ticket: gapless under Submit, with holes where TrySubmit
 	// dropped.
 	seq := e.seq.Add(1) - 1
 	s := e.shardFor(p, seq)
-	s.mu.Lock()
-	if target := int(s.target.Load()); len(s.acc) >= target {
-		batch := s.acc
-		if block {
-			s.acc = make([]item, 0, target)
-			s.mu.Unlock()
-			s.in <- batch // backpressure point
-			s.adapt(len(s.in), false, e.cfg)
-			s.mu.Lock()
-		} else {
-			select {
-			case s.in <- batch:
-				s.acc = make([]item, 0, target)
-				s.adapt(len(s.in), false, e.cfg)
-			default:
-				s.mu.Unlock()
-				e.dropped.Add(1)
-				return false
-			}
-		}
-	}
 	it := item{p: p, seq: seq}
 	if seq%latencySampleEvery == 0 {
 		it.enq = time.Now().UnixNano()
 	}
-	s.acc = append(s.acc, it)
-	s.mu.Unlock()
-	e.ingested.Add(1)
-	return true
-}
-
-// runFlusher periodically dispatches lingering partial batches so a quiet
-// shard still bounds its queue-to-verdict latency.
-func (e *Engine) runFlusher() {
-	defer close(e.flushDone)
-	t := time.NewTicker(e.cfg.FlushInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-e.stopFlush:
-			return
-		case <-t.C:
-			for _, s := range e.shards {
-				s.flush(false, e.cfg)
-			}
+	if s.ring.push(it) {
+		e.ingested.Add(1)
+		return true
+	}
+	if !block {
+		e.dropped.Add(1)
+		return false
+	}
+	for spin := 0; ; spin++ {
+		if spin < 8 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(5 * time.Microsecond)
+		}
+		if s.ring.push(it) {
+			e.ingested.Add(1)
+			return true
 		}
 	}
 }
 
 // Flush blocks until every packet accepted so far has been matched. After
-// Close it returns immediately (Close already drained the queues).
+// Close it returns immediately (Close already drained the rings).
 func (e *Engine) Flush() {
-	// The read lock excludes Close, whose channel close would otherwise
-	// race our blocking sends.
-	e.submitMu.RLock()
-	if e.closed {
-		e.submitMu.RUnlock()
+	if e.isClosed() {
 		return
 	}
-	for _, s := range e.shards {
-		s.flush(true, e.cfg)
-	}
-	e.submitMu.RUnlock()
 	target := e.ingested.Load()
 	for {
 		var done uint64
@@ -390,26 +456,34 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.submitMu.Unlock()
 
-	close(e.stopFlush)
-	<-e.flushDone
-	for _, s := range e.shards {
-		s.flush(true, e.cfg)
-		close(s.in)
-	}
+	// Every producer has finished (the write lock excluded them), so the
+	// rings hold their final contents. Mark stopped before broadcasting:
+	// a worker that wakes to an empty ring may then exit.
+	e.stopped.Store(true)
+	close(e.stop)
 	e.wg.Wait()
 }
 
 // MatchSet streams an entire capture through a fresh engine and returns
 // one verdict per packet in order — detect.MatchSetWith's drop-in
 // streaming equivalent, and the basis of the engine-vs-batch benchmarks.
-// A caller-supplied cfg.OnVerdict still fires for every verdict.
+// A caller-supplied cfg.OnVerdict still fires for every verdict; with no
+// OnVerdict and no Sink, collection rides the pooled batch path.
 func MatchSet(set *signature.Set, s *capture.Set, cfg Config) []bool {
 	out := make([]bool, s.Len())
-	user := cfg.OnVerdict
-	cfg.OnVerdict = func(v Verdict) {
-		out[v.Seq] = len(v.Matched) > 0
-		if user != nil {
-			user(v)
+	if cfg.OnVerdict == nil && cfg.Sink == nil {
+		cfg.Sink = BatchCallbackSink(func(vs []Verdict) {
+			for _, v := range vs {
+				out[v.Seq] = v.Leak()
+			}
+		})
+	} else {
+		user := cfg.OnVerdict
+		cfg.OnVerdict = func(v Verdict) {
+			out[v.Seq] = len(v.Matched) > 0
+			if user != nil {
+				user(v)
+			}
 		}
 	}
 	e := New(set, cfg)

@@ -161,8 +161,8 @@ func TestBackpressureTrySubmit(t *testing.T) {
 			<-gate // wedge the worker
 		},
 	})
-	// First packet occupies the worker; then the queue (1 batch) and the
-	// accumulator (1 packet) fill; everything after must be rejected.
+	// First packet occupies the worker; then the ring (floor capacity 2)
+	// fills; everything after must be rejected.
 	if !e.TrySubmit(pkt(0, "a.example.com", "x-token")) {
 		t.Fatal("first TrySubmit rejected")
 	}

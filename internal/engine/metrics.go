@@ -58,7 +58,17 @@ type Snapshot struct {
 	Shards     int   // worker count
 	Version    int64 // signature-set version currently live
 	Signatures int   // signatures in the live set
-	Reloads    int64 // hot reloads since construction
+	Reloads    int64 // hot reloads applied since construction
+
+	// ReloadGen is the generation ticket of the live set: it increases
+	// with every applied reload and, because ReloadAsync coalesces
+	// bursts, may skip tickets that were superseded before compiling.
+	ReloadGen uint64
+	// PendingReload reports an async reload compile queued or in flight.
+	PendingReload bool
+	// LastReload is the compile+install wall time of the last applied
+	// reload — the churn-cost signal for the reload-latency metric.
+	LastReload time.Duration
 
 	Ingested  uint64 // packets accepted by Submit/TrySubmit
 	Processed uint64 // packets matched and emitted
@@ -94,10 +104,10 @@ func (s Snapshot) String() string {
 // load-balance diagnostics (a hot host hashing every packet onto one
 // shard shows up here long before it shows in the aggregate).
 type ShardStat struct {
-	Processed    uint64 // packets this shard matched
-	Matched      uint64 // processed packets that matched >= 1 signature
-	BatchTarget  int    // current adaptive batch target
-	QueueBatches int    // batches in flight to the worker
+	Processed   uint64 // packets this shard matched
+	Matched     uint64 // processed packets that matched >= 1 signature
+	BatchTarget int    // current adaptive drain target
+	RingDepth   int    // packets occupying the shard's MPSC ring
 }
 
 // ShardStats returns the per-shard counters, indexed by shard. It is
@@ -106,10 +116,10 @@ func (e *Engine) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(e.shards))
 	for i, s := range e.shards {
 		out[i] = ShardStat{
-			Processed:    s.processed.Load(),
-			Matched:      s.matched.Load(),
-			BatchTarget:  int(s.target.Load()),
-			QueueBatches: len(s.in),
+			Processed:   s.processed.Load(),
+			Matched:     s.matched.Load(),
+			BatchTarget: int(s.target.Load()),
+			RingDepth:   s.ring.len(),
 		}
 	}
 	return out
@@ -120,15 +130,18 @@ func (e *Engine) ShardStats() []ShardStat {
 func (e *Engine) Metrics() Snapshot {
 	cs := e.set.Load()
 	snap := Snapshot{
-		Shards:      len(e.shards),
-		Version:     cs.version,
-		Signatures:  cs.sigs,
-		Reloads:     e.reloads.Load(),
-		Ingested:    e.ingested.Load(),
-		Dropped:     e.dropped.Load(),
-		SyncVetted:  e.syncVetted.Load(),
-		SyncMatched: e.syncMatched.Load(),
-		Uptime:      time.Since(e.start),
+		Shards:        len(e.shards),
+		Version:       cs.version,
+		Signatures:    cs.sigs,
+		Reloads:       e.reloads.Load(),
+		ReloadGen:     cs.gen,
+		PendingReload: e.pending.Load() != nil || e.compiling.Load(),
+		LastReload:    time.Duration(e.lastReloadNs.Load()),
+		Ingested:      e.ingested.Load(),
+		Dropped:       e.dropped.Load(),
+		SyncVetted:    e.syncVetted.Load(),
+		SyncMatched:   e.syncMatched.Load(),
+		Uptime:        time.Since(e.start),
 	}
 	var lat []int
 	var targets int

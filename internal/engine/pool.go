@@ -28,7 +28,8 @@ type PoolConfig struct {
 	// (ShardsInUse never exceeds ShardBudget); they are counted in
 	// PoolSnapshot.DegradedTenants instead, so budget pressure stays
 	// visible. Evicting a tenant returns its charged shards to the
-	// budget.
+	// budget, and freed budget flows back: degraded tenants are upgraded
+	// to charged multi-shard grants, busiest first.
 	ShardBudget int
 
 	// MaxTenants caps concurrently live tenants; 0 means unlimited.
@@ -110,6 +111,7 @@ type Pool struct {
 
 	created   atomic.Uint64
 	evictions atomic.Uint64
+	upgrades  atomic.Uint64
 
 	// Counters folded in from evicted tenants, so the aggregate never
 	// loses history.
@@ -437,7 +439,120 @@ func (p *Pool) Evict(key string) bool {
 	if p.cfg.OnEvict != nil {
 		p.cfg.OnEvict(key, final)
 	}
+	p.upgradeDegraded()
 	return true
+}
+
+// upgradeDegraded resizes degraded tenants back up after an eviction
+// frees budget, so a tenant admitted during budget exhaustion is not
+// stuck on one uncharged shard for its whole life. Each round picks the
+// degraded tenant with the most ingested packets — the busiest starved
+// tenant — and regrants it a weighted share of the free budget (its
+// ingested fraction across all degraded tenants, clamped to the template
+// ceiling, floor 2). The upgrade is a drain-and-swap: the old engine
+// drains fully, its counters fold into the retained aggregate, and a new
+// charged engine takes over the key, landing any pinned set.
+func (p *Pool) upgradeDegraded() {
+	for {
+		p.mu.Lock()
+		if p.closed || p.degraded == 0 {
+			p.mu.Unlock()
+			return
+		}
+		ceiling := p.cfg.Engine.Shards
+		if ceiling <= 0 {
+			ceiling = runtime.GOMAXPROCS(0)
+		}
+		free := p.cfg.ShardBudget - p.shardsInUse
+		if ceiling < 2 || free < 2 {
+			// A 1-shard template cannot be upgraded; under 2 free shards
+			// a regrant would not beat the uncharged shard it replaces.
+			p.mu.Unlock()
+			return
+		}
+		var (
+			victim *tenant
+			weight uint64
+			total  uint64
+		)
+		for _, t := range p.tenants {
+			if t.charged != 0 {
+				continue
+			}
+			w := t.eng.ingested.Load() + 1 // +1 so idle tenants still weigh in
+			total += w
+			if victim == nil || w > weight {
+				victim, weight = t, w
+			}
+		}
+		if victim == nil {
+			p.mu.Unlock()
+			return
+		}
+		grant := int(uint64(free) * weight / total)
+		if grant > ceiling {
+			grant = ceiling
+		}
+		if grant < 2 {
+			grant = 2
+		}
+		delete(p.tenants, victim.key)
+		p.degraded--
+		p.shardsInUse += grant // reserve before dropping the lock
+		set := p.set
+		pin, pinned := p.pins[victim.key]
+		if pinned {
+			set = pin
+		}
+		p.mu.Unlock()
+
+		victim.eng.Close() // drains every accepted packet before the swap
+		final := victim.eng.Metrics()
+
+		cfg := p.cfg.Engine
+		cfg.Shards = grant
+		if p.cfg.ConfigureTenant != nil {
+			cfg = p.cfg.ConfigureTenant(victim.key, cfg)
+			if cfg.Shards <= 0 || cfg.Shards > grant {
+				cfg.Shards = grant
+			}
+		}
+		nt := &tenant{key: victim.key, eng: New(set, cfg), shards: cfg.Shards, charged: cfg.Shards, pinned: pinned}
+		nt.touch()
+
+		p.mu.Lock()
+		if refund := grant - nt.shards; refund > 0 {
+			p.shardsInUse -= refund // ConfigureTenant took fewer shards
+		}
+		// The drained engine's history must survive the swap, exactly as
+		// it survives an eviction.
+		p.retIngested += final.Ingested
+		p.retProcessed += final.Processed
+		p.retMatched += final.Matched
+		p.retDropped += final.Dropped
+		p.retSyncVetted += final.SyncVetted
+		p.retSyncMatched += final.SyncMatched
+		p.retReloads += final.Reloads
+		if p.closed || p.tenants[victim.key] != nil {
+			// The pool closed, or a producer recreated the tenant while
+			// the old engine drained; the recreation already charged the
+			// post-eviction budget, so defer to it and roll back ours.
+			p.shardsInUse -= nt.charged
+			p.mu.Unlock()
+			nt.eng.Close()
+			if p.isClosed() {
+				return
+			}
+			continue
+		}
+		p.tenants[victim.key] = nt
+		latest, stillPinned := p.pins[victim.key]
+		p.mu.Unlock()
+		if stillPinned && latest != set {
+			p.applyPin(nt)
+		}
+		p.upgrades.Add(1)
+	}
 }
 
 // runJanitor periodically evicts tenants idle longer than IdleAfter.
@@ -543,12 +658,15 @@ type PoolSnapshot struct {
 	Tenants     int    // live tenants
 	Created     uint64 // tenants ever created
 	Evicted     uint64 // tenants evicted (idle, LRU, or explicit)
+	Upgraded    uint64 // degraded tenants regranted charged shards after budget freed
 	ShardBudget int    // configured global shard budget
 	ShardsInUse int    // shards charged by live tenants (never exceeds ShardBudget)
 
 	// DegradedTenants counts live tenants created after the budget was
-	// exhausted: they run on a single uncharged shard until evicted, so a
-	// non-zero value is the operator's signal of budget pressure.
+	// exhausted: they run on a single uncharged shard until an eviction
+	// frees budget and the pool upgrades them back to charged grants, so
+	// a non-zero value is the operator's signal of sustained budget
+	// pressure.
 	DegradedTenants int
 
 	// Aggregate sums counters across live and evicted tenants. Its
@@ -570,6 +688,7 @@ func (p *Pool) Metrics() PoolSnapshot {
 		Tenants:         len(tenants),
 		Created:         p.created.Load(),
 		Evicted:         p.evictions.Load(),
+		Upgraded:        p.upgrades.Load(),
 		ShardBudget:     p.cfg.ShardBudget,
 		ShardsInUse:     p.shardsInUse,
 		DegradedTenants: p.degraded,

@@ -437,24 +437,97 @@ func TestPoolBudgetNeverOverCommits(t *testing.T) {
 		}
 	}
 
-	// Evicting a charged tenant frees real shards; evicting a degraded
-	// one frees none but clears the pressure signal.
+	// Evicting a charged tenant frees real shards — and the freed budget
+	// flows straight back: one of the degraded tenants is upgraded to a
+	// charged 2-shard grant, re-spending the budget without ever
+	// over-committing it.
 	p.Evict("t1")
-	p.Evict("t3")
 	snap = p.Metrics()
-	if snap.ShardsInUse != 2 || snap.DegradedTenants != 2 {
-		t.Fatalf("after evictions: in-use=%d degraded=%d, want 2 and 2", snap.ShardsInUse, snap.DegradedTenants)
+	if snap.ShardsInUse != 4 || snap.DegradedTenants != 2 || snap.Upgraded != 1 {
+		t.Fatalf("after eviction: in-use=%d degraded=%d upgraded=%d, want 4, 2, 1",
+			snap.ShardsInUse, snap.DegradedTenants, snap.Upgraded)
+	}
+	if snap.ShardsInUse > snap.ShardBudget {
+		t.Fatalf("books over-committed after upgrade: %d > %d", snap.ShardsInUse, snap.ShardBudget)
 	}
 
-	// A tenant created into the freed budget is charged normally again.
+	// Evicting a still-degraded tenant frees no charged shards; with the
+	// budget spent again, a new tenant degrades rather than over-commits.
+	var stillDegraded string
+	for key, m := range snap.PerTenant {
+		if key != "t1" && key != "t2" && m.Shards == 1 {
+			stillDegraded = key
+			break
+		}
+	}
+	if stillDegraded == "" {
+		t.Fatal("no degraded tenant left to evict")
+	}
+	p.Evict(stillDegraded)
 	p.Tenant("t6")
 	snap = p.Metrics()
-	if snap.PerTenant["t6"].Shards != 2 || snap.ShardsInUse != 4 || snap.DegradedTenants != 2 {
-		t.Fatalf("post-eviction creation: shards=%d in-use=%d degraded=%d, want 2, 4, 2",
+	if snap.PerTenant["t6"].Shards != 1 || snap.ShardsInUse != 4 || snap.DegradedTenants != 2 {
+		t.Fatalf("post-eviction creation: shards=%d in-use=%d degraded=%d, want 1, 4, 2",
 			snap.PerTenant["t6"].Shards, snap.ShardsInUse, snap.DegradedTenants)
 	}
 	if snap.ShardsInUse > snap.ShardBudget {
 		t.Fatalf("books over-committed after recycle: %d > %d", snap.ShardsInUse, snap.ShardBudget)
+	}
+}
+
+// TestPoolUpgradeAfterBudgetFrees pins the degraded-tenant upgrade: a
+// tenant admitted during budget exhaustion runs on one uncharged shard,
+// and when the hog that spent the budget is evicted, the pool resizes
+// the degraded tenant back up to the template grant — charged, books
+// reconciled, pressure signal cleared — without losing a packet or its
+// pinned signature set.
+func TestPoolUpgradeAfterBudgetFrees(t *testing.T) {
+	var seen atomic.Uint64
+	p := NewPool(tokenSet(1, "default-token"), PoolConfig{
+		Engine:      Config{Shards: 4, BatchSize: 4, OnVerdict: func(Verdict) { seen.Add(1) }},
+		ShardBudget: 4,
+	})
+	defer p.Close()
+
+	p.Tenant("big") // spends the whole budget
+	p.ReloadTenant("late", tokenSet(7, "late-token"))
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := p.Submit("late", pkt(int64(i), "h.example.com", "late-token")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := p.Metrics()
+	if snap.PerTenant["late"].Shards != 1 || snap.DegradedTenants != 1 {
+		t.Fatalf("before upgrade: shards=%d degraded=%d, want 1 and 1",
+			snap.PerTenant["late"].Shards, snap.DegradedTenants)
+	}
+
+	p.Evict("big")
+	snap = p.Metrics()
+	if snap.PerTenant["late"].Shards != 4 {
+		t.Fatalf("degraded tenant not resized: %d shards, want 4", snap.PerTenant["late"].Shards)
+	}
+	if snap.DegradedTenants != 0 || snap.Upgraded != 1 {
+		t.Fatalf("after upgrade: degraded=%d upgraded=%d, want 0 and 1", snap.DegradedTenants, snap.Upgraded)
+	}
+	if snap.ShardsInUse != 4 || snap.ShardsInUse > snap.ShardBudget {
+		t.Fatalf("books after upgrade: in-use=%d budget=%d, want exactly 4", snap.ShardsInUse, snap.ShardBudget)
+	}
+	// The swap drained, not dropped: every pre-upgrade verdict is in the
+	// books (the old engine's counters folded into the aggregate).
+	if got := seen.Load(); got < n {
+		t.Fatalf("upgrade lost packets: sink saw %d of %d", got, n)
+	}
+	if agg := snap.Aggregate.Processed; agg < n {
+		t.Fatalf("aggregate lost upgrade history: processed=%d, want >= %d", agg, n)
+	}
+	// The pin rode along onto the upgraded engine.
+	if m := p.MatchPacket("late", pkt(0, "h.example.com", "late-token")); len(m) == 0 {
+		t.Fatal("upgraded tenant lost its pinned set")
+	}
+	if m := p.MatchPacket("late", pkt(0, "h.example.com", "default-token")); len(m) != 0 {
+		t.Fatal("upgraded tenant fell back to the pool default set")
 	}
 }
 

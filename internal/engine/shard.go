@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,72 +16,94 @@ type item struct {
 	enq int64 // unix nanos at acceptance; 0 when the packet is unsampled
 }
 
-// shard owns one worker goroutine and the queue feeding it. Packets are
-// batched on the producer side: Submit appends to acc under the shard
-// lock and hands a full batch to the channel, so the worker pays channel
-// and pointer-load costs once per batch, not once per packet.
+// shard owns one worker goroutine and the lock-free MPSC ring feeding
+// it. Producers push packets straight into the ring (one CAS + one
+// store, no mutex, no allocation); the worker drains runs of published
+// items into a private buffer, loading the compiled-set pointer once per
+// drain so channel traffic, batch slices, and the per-packet atomic load
+// are all gone from the hot path.
 type shard struct {
-	in chan []item // full batches in flight to the worker
+	ring *ring
 
-	mu  sync.Mutex
-	acc []item // accumulating batch, at most the current target entries
-
-	// target is the adaptive batch size: the accumulator dispatches when
-	// it reaches this many packets. Producers double it (up to
-	// Config.MaxBatch) when a dispatch finds the queue at least half
-	// full, and the flusher halves it (down to Config.MinBatch) when a
-	// partial batch ships into a drained queue.
+	// target is the adaptive drain limit: how many packets the worker
+	// takes per drain, which is also the generation-load amortization
+	// unit and the verdict-batch size. The worker doubles it (up to
+	// Config.MaxBatch) on every full drain — backlog pays for
+	// amortization — and halves it (down to Config.MinBatch) after two
+	// consecutive partial drains that empty the ring, so light traffic
+	// keeps small batches and low verdict latency without one burst-end
+	// drain unlearning the batch size.
 	target atomic.Int32
 
 	// sink is this shard's bound consumer (nil when the engine has no
-	// sink); countOnly caches sink.CountOnly() && no OnVerdict, letting
-	// the worker skip verdict assembly per batch rather than per packet.
+	// sink). countOnly caches sink.CountOnly() && no OnVerdict, letting
+	// the worker skip verdict assembly per drain rather than per packet;
+	// batchSink is non-nil when the sink opts into pooled VerdictBatch
+	// delivery and no OnVerdict forces the per-verdict path.
 	sink      ShardSink
+	batchSink BatchShardSink
 	countOnly bool
+
+	// shrinkStreak counts consecutive drains that qualified for halving
+	// the target. Shrinking waits for two in a row: the single partial
+	// drain that ends every burst would otherwise throw away the batch
+	// size the backlog just paid to learn, oscillating the target on
+	// each producer/worker handoff. Worker-owned, so a plain int.
+	shrinkStreak int
 
 	processed atomic.Uint64
 	matched   atomic.Uint64
 	lat       *latencyRing
 }
 
-func newShard(queueBatches, batchSize int) *shard {
+func newShard(queueDepth, batchSize int) *shard {
 	s := &shard{
-		in:  make(chan []item, queueBatches),
-		acc: make([]item, 0, batchSize),
-		lat: newLatencyRing(),
+		ring: newRing(queueDepth),
+		lat:  newLatencyRing(),
 	}
 	s.target.Store(int32(batchSize))
 	return s
 }
 
-// adapt retunes the batch target after a dispatch that observed queueLen
-// batches in flight. drained marks a flusher-driven partial dispatch into
-// an empty queue — the signal that traffic is too light to fill a batch
-// within the flush interval, so smaller batches (lower latency) win.
-// Lost updates between racing producers are harmless: both sides compute
-// from a loaded value and stay inside [MinBatch, MaxBatch].
-func (s *shard) adapt(queueLen int, drained bool, cfg Config) {
+// adapt retunes the drain limit after a drain of n items that left
+// occupancy claimed slots behind. Running inside the single consumer,
+// updates never race; producers only read target through Metrics.
+func (s *shard) adapt(n, occupancy int, cfg Config) {
 	t := int(s.target.Load())
 	switch {
-	case drained && queueLen == 0:
-		if half := t / 2; half >= cfg.MinBatch {
-			s.target.Store(int32(half))
-		} else if t > cfg.MinBatch {
-			s.target.Store(int32(cfg.MinBatch))
-		}
-	case queueLen >= (cap(s.in)+1)/2:
+	// A full drain is the backlog signal: at least a whole target was
+	// waiting. Unlike producer-side accumulators, a large target adds no
+	// latency — the worker never waits to fill it — so growth does not
+	// also require leftover occupancy.
+	case n >= t:
+		s.shrinkStreak = 0
 		if doubled := t * 2; doubled <= cfg.MaxBatch {
 			s.target.Store(int32(doubled))
 		} else if t < cfg.MaxBatch {
 			s.target.Store(int32(cfg.MaxBatch))
 		}
+	case n <= t/2 && occupancy == 0:
+		s.shrinkStreak++
+		if s.shrinkStreak < 2 {
+			break
+		}
+		s.shrinkStreak = 0
+		if half := t / 2; half >= cfg.MinBatch {
+			s.target.Store(int32(half))
+		} else if t > cfg.MinBatch {
+			s.target.Store(int32(cfg.MinBatch))
+		}
+	default:
+		s.shrinkStreak = 0
 	}
 }
 
-// run is the worker loop: drain batches until the channel closes, loading
-// the live signature generation once per batch. Count-only sinks take a
-// dedicated loop with no Verdict assembly at all; the full path feeds the
-// OnVerdict callback and/or the sink's Verdict method.
+// run is the worker loop: drain the ring until the engine stops, loading
+// the live signature generation once per drain. Count-only sinks take a
+// dedicated loop with no Verdict assembly at all; batch-capable sinks
+// get one pooled VerdictBatch per drain; the legacy path feeds the
+// OnVerdict callback and/or the sink's per-verdict method with a copied
+// Matched slice (the retain-safe contract).
 //
 // The worker owns one detect.Scratch for its whole lifetime, so the
 // scan+resolve path allocates nothing in the steady state. MatchInto
@@ -92,10 +113,28 @@ func (s *shard) adapt(queueLen int, drained bool, cfg Config) {
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
 	var sc detect.Scratch
-	for batch := range s.in {
+	buf := make([]item, e.cfg.MaxBatch)
+	for {
+		limit := int(s.target.Load())
+		if limit > len(buf) {
+			limit = len(buf)
+		}
+		n := s.ring.drain(buf[:limit])
+		if n == 0 {
+			// Close sets stopped only after every producer has finished
+			// (it holds the write lock first), so stopped + empty ring
+			// means no packet can still arrive.
+			if e.stopped.Load() && s.ring.empty() {
+				return
+			}
+			s.ring.park(e.stop)
+			continue
+		}
 		cs := e.set.Load()
-		if s.countOnly {
-			for _, it := range batch {
+		switch {
+		case s.countOnly:
+			for i := 0; i < n; i++ {
+				it := buf[i]
 				leak := len(cs.eng.MatchInto(it.p, &sc)) > 0
 				s.processed.Add(1)
 				if leak {
@@ -106,74 +145,68 @@ func (e *Engine) run(s *shard) {
 				}
 				s.sink.Count(leak)
 			}
-			continue
-		}
-		for _, it := range batch {
-			ids := cs.eng.MatchInto(it.p, &sc)
-			// The scratch-backed slice is reused next packet; verdicts
-			// escape to sinks, so only a leak pays for a copy.
-			var matched []int
-			if len(ids) > 0 {
-				matched = append(matched, ids...)
-			}
-			s.processed.Add(1)
-			if len(matched) > 0 {
-				s.matched.Add(1)
-			}
-			var lat time.Duration
-			if it.enq != 0 {
-				lat = time.Duration(time.Now().UnixNano() - it.enq)
-				s.lat.record(lat)
-			}
-			if e.onVerdict != nil || s.sink != nil {
-				v := Verdict{
+		case s.batchSink != nil:
+			vb := vbatchPool.Get().(*VerdictBatch)
+			for i := 0; i < n; i++ {
+				it := buf[i]
+				ids := cs.eng.MatchInto(it.p, &sc)
+				s.processed.Add(1)
+				if len(ids) > 0 {
+					s.matched.Add(1)
+				}
+				var lat time.Duration
+				if it.enq != 0 {
+					lat = time.Duration(time.Now().UnixNano() - it.enq)
+					s.lat.record(lat)
+				}
+				vb.add(Verdict{
 					Packet:  it.p,
 					Seq:     it.seq,
-					Matched: matched,
 					Version: cs.version,
 					Latency: lat,
+				}, ids)
+			}
+			vb.seal()
+			s.batchSink.Batch(vb)
+			vb.reset()
+			vbatchPool.Put(vb)
+		default:
+			for i := 0; i < n; i++ {
+				it := buf[i]
+				ids := cs.eng.MatchInto(it.p, &sc)
+				// The scratch-backed slice is reused next packet; verdicts
+				// escape to retaining consumers, so only a leak pays for a
+				// copy.
+				var matched []int
+				if len(ids) > 0 {
+					matched = append(matched, ids...)
 				}
-				if e.onVerdict != nil {
-					e.onVerdict(v)
+				s.processed.Add(1)
+				if len(matched) > 0 {
+					s.matched.Add(1)
 				}
-				if s.sink != nil {
-					s.sink.Verdict(v)
+				var lat time.Duration
+				if it.enq != 0 {
+					lat = time.Duration(time.Now().UnixNano() - it.enq)
+					s.lat.record(lat)
+				}
+				if e.onVerdict != nil || s.sink != nil {
+					v := Verdict{
+						Packet:  it.p,
+						Seq:     it.seq,
+						Matched: matched,
+						Version: cs.version,
+						Latency: lat,
+					}
+					if e.onVerdict != nil {
+						e.onVerdict(v)
+					}
+					if s.sink != nil {
+						s.sink.Verdict(v)
+					}
 				}
 			}
 		}
+		s.adapt(n, s.ring.len(), e.cfg)
 	}
-}
-
-// flush hands the accumulating batch to the worker. When block is false a
-// full queue leaves the accumulator in place for the next flusher tick;
-// when true the send waits for the worker (the backpressure point).
-func (s *shard) flush(block bool, cfg Config) {
-	s.mu.Lock()
-	if len(s.acc) == 0 {
-		s.mu.Unlock()
-		return
-	}
-	batch := s.acc
-	target := int(s.target.Load())
-	partial := len(batch) < target
-	if block {
-		s.acc = make([]item, 0, target)
-		s.mu.Unlock()
-		s.in <- batch
-		return
-	}
-	// Occupancy is sampled before the send: a partial batch shipped into
-	// an already-empty queue is the light-traffic signal that shrinks the
-	// batch target.
-	qlen := len(s.in)
-	select {
-	case s.in <- batch:
-		s.acc = make([]item, 0, target)
-		if partial {
-			s.adapt(qlen, true, cfg)
-		}
-	default:
-		// Queue full: the worker is saturated; retry on the next tick.
-	}
-	s.mu.Unlock()
 }

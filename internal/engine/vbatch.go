@@ -1,0 +1,88 @@
+package engine
+
+import "sync"
+
+// VerdictBatch is a pooled, arena-backed batch of verdicts: one worker
+// drain's worth of results whose Matched slices are all carved from a
+// single shared []int arena. Batches are recycled through a sync.Pool,
+// so in the steady state the full-verdict delivery path allocates
+// nothing per packet — the leak-verdict copy that used to cost one
+// allocation per leaking packet lands in the arena instead.
+//
+// A batch handed to a BatchShardSink is valid only for the duration of
+// the call: the engine resets and re-pools it as soon as the sink
+// returns. A consumer that retains verdicts (or their Matched slices)
+// past the call must copy them. Sinks that need the retain-forever
+// contract should stay on the per-verdict ShardSink path, where the
+// engine copies Matched for every leak.
+type VerdictBatch struct {
+	verdicts []Verdict
+	ids      []int   // arena backing every Matched slice in the batch
+	spans    []vspan // per-verdict arena extent, resolved at seal time
+}
+
+type vspan struct{ off, n int }
+
+// Verdicts returns the batch contents, one verdict per packet in shard
+// order. Valid only until the sink call returns.
+func (b *VerdictBatch) Verdicts() []Verdict { return b.verdicts }
+
+// add appends one verdict, copying ids into the arena. Matched pointers
+// are not materialized yet — the arena may still move while growing —
+// so callers must seal before handing the batch out.
+func (b *VerdictBatch) add(v Verdict, ids []int) {
+	b.spans = append(b.spans, vspan{off: len(b.ids), n: len(ids)})
+	b.ids = append(b.ids, ids...)
+	b.verdicts = append(b.verdicts, v)
+}
+
+// seal materializes every verdict's Matched slice against the final
+// arena. Capacity-clamped subslices keep a consumer's append from
+// bleeding into its neighbor's IDs.
+func (b *VerdictBatch) seal() {
+	for i := range b.verdicts {
+		if sp := b.spans[i]; sp.n > 0 {
+			b.verdicts[i].Matched = b.ids[sp.off : sp.off+sp.n : sp.off+sp.n]
+		}
+	}
+}
+
+// reset clears the batch for reuse, keeping the backing arrays.
+func (b *VerdictBatch) reset() {
+	for i := range b.verdicts {
+		b.verdicts[i] = Verdict{} // drop packet refs so the pool doesn't pin them
+	}
+	b.verdicts = b.verdicts[:0]
+	b.ids = b.ids[:0]
+	b.spans = b.spans[:0]
+}
+
+// vbatchPool recycles VerdictBatches across all engines; batches are
+// handed out and returned only by shard workers.
+var vbatchPool = sync.Pool{New: func() any { return new(VerdictBatch) }}
+
+// BatchShardSink is the batch-delivery extension of ShardSink. When a
+// bound shard sink implements it (and the engine has no OnVerdict
+// callback), the worker assembles each drain's verdicts into one pooled
+// VerdictBatch and calls Batch once, instead of calling Verdict per
+// packet — the zero-allocation verdict path. The batch is valid only
+// during the call; see VerdictBatch.
+type BatchShardSink interface {
+	ShardSink
+	Batch(b *VerdictBatch)
+}
+
+// BatchCallbackSink adapts a per-batch function to the Sink interface —
+// the batch-delivery analogue of CallbackSink. The slice passed to fn is
+// valid only during the call and fn runs on shard worker goroutines
+// concurrently, so it must be safe for that and must copy anything it
+// keeps.
+func BatchCallbackSink(fn func([]Verdict)) Sink { return batchCallbackSink{fn} }
+
+type batchCallbackSink struct{ fn func([]Verdict) }
+
+func (s batchCallbackSink) Bind(shard, shards int) ShardSink { return s }
+func (s batchCallbackSink) CountOnly() bool                  { return false }
+func (s batchCallbackSink) Count(bool)                       {}
+func (s batchCallbackSink) Verdict(v Verdict)                { s.fn([]Verdict{v}) }
+func (s batchCallbackSink) Batch(b *VerdictBatch)            { s.fn(b.Verdicts()) }

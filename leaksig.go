@@ -114,7 +114,8 @@ type StreamVerdict = engine.Verdict
 // NewStreamEngine starts a streaming detection engine over the signature
 // set. Packets enter through Submit, verdicts leave through the
 // StreamConfig.OnVerdict callback, and Reload hot-swaps the signature set
-// mid-stream without dropping a packet.
+// mid-stream without dropping a packet (ReloadAsync moves even the
+// compile off the caller, coalescing publish bursts).
 func NewStreamEngine(set *SignatureSet, cfg StreamConfig) *StreamEngine {
 	return engine.New(set, cfg)
 }
@@ -165,6 +166,17 @@ func NewCountSink() *CountSink { return engine.NewCountSink() }
 
 // CallbackSink adapts a per-verdict function to the Sink interface.
 func CallbackSink(fn func(StreamVerdict)) Sink { return engine.CallbackSink(fn) }
+
+// VerdictBatch is one drain's worth of verdicts delivered to a
+// batch-capable sink; its contents are pooled and valid only inside the
+// sink call (see engine.VerdictBatch).
+type VerdictBatch = engine.VerdictBatch
+
+// BatchCallbackSink adapts a per-batch function to the Sink interface —
+// the zero-allocation verdict path: the batch, its verdicts, and their
+// matched-ID slices are recycled after the callback returns, so
+// consumers that retain verdicts must copy them.
+func BatchCallbackSink(fn func([]StreamVerdict)) Sink { return engine.BatchCallbackSink(fn) }
 
 // TeeSink fans engine results out to several sinks — e.g. a CountSink
 // for totals plus a Learner's MissSink feeding online generation.

@@ -5,8 +5,16 @@
 #
 # Usage: scripts/bench_baseline.sh [label]
 #   label defaults to the current short commit hash.
-#   BENCH_TIME  -benchtime passed to go test (default 2x)
-#   BENCH_OUT   output JSON path (default BENCH_engine.json)
+#   BENCH_TIME         -benchtime passed to go test (default 2x)
+#   BENCH_OUT          output JSON path (default BENCH_engine.json)
+#   BENCH_REGRESS_PCT  shards=1 packets/s regression tolerance vs the
+#                      last committed entry, in percent (default 15)
+#   BENCH_GATE=off     record the entry but never fail the build
+#
+# The gate compares every BenchmarkEngineStreaming/*/shards=1/host
+# packets/s against the most recent prior entry carrying the same key;
+# a drop beyond the tolerance fails the run AFTER the fresh entry is
+# appended, so the regression itself is preserved in the trajectory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,16 +24,17 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run=NONE \
-  -bench='BenchmarkEngineStreaming|BenchmarkDetectionThroughput|BenchmarkMatcherDense' \
+  -bench='BenchmarkEngineStreaming|BenchmarkDetectionThroughput|BenchmarkMatcherDense|BenchmarkCountOnlySink' \
   -benchmem -benchtime="${BENCH_TIME:-2x}" -timeout=30m . | tee "$TMP"
 
-python3 - "$TMP" "$OUT" "$LABEL" <<'PY'
+python3 - "$TMP" "$OUT" "$LABEL" "${BENCH_REGRESS_PCT:-15}" "${BENCH_GATE:-on}" <<'PY'
 import datetime
 import json
 import re
 import sys
 
 src, out, label = sys.argv[1], sys.argv[2], sys.argv[3]
+regress_pct, gate = float(sys.argv[4]), sys.argv[5] != "off"
 benches = {}
 for line in open(src):
     if not line.startswith("Benchmark"):
@@ -62,6 +71,27 @@ try:
         doc = json.load(f)
 except (FileNotFoundError, json.JSONDecodeError):
     doc = {"entries": []}
+
+# Regression gate: the single-shard host-affine streaming keys are the
+# per-core baseline the scaling curve stands on; compare each against the
+# most recent prior entry that recorded it.
+regressions = []
+gate_re = re.compile(r"^BenchmarkEngineStreaming/.*/shards=1/host$")
+for name, rec in benches.items():
+    if not gate_re.match(name) or "packets_per_sec" not in rec:
+        continue
+    for prior in reversed(doc["entries"]):
+        old = prior["benchmarks"].get(name, {}).get("packets_per_sec")
+        if not old:
+            continue
+        new = rec["packets_per_sec"]
+        drop = 100.0 * (old - new) / old
+        if drop > regress_pct:
+            regressions.append(
+                f"{name}: {new:,.0f} packets/s vs {old:,.0f} in {prior['label']!r} "
+                f"({drop:.1f}% drop > {regress_pct:g}% tolerance)")
+        break
+
 doc["entries"].append({
     "label": label,
     "date": datetime.date.today().isoformat(),
@@ -71,4 +101,10 @@ with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"recorded {len(benches)} benchmarks into {out} under label {label!r}")
+if regressions:
+    for r in regressions:
+        print(f"REGRESSION {r}", file=sys.stderr)
+    if gate:
+        sys.exit(1)
+    print("BENCH_GATE=off: regression recorded, build not failed", file=sys.stderr)
 PY
