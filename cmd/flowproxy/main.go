@@ -44,6 +44,7 @@ import (
 	"leaksig/internal/flowcontrol"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/obs"
+	"leaksig/internal/obs/trace"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
@@ -62,7 +63,9 @@ func main() {
 
 		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
 		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
-		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /stats, /healthz, /debug/pprof")
+		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /stats, /healthz, /readyz, /debug/pprof, /debug/flight")
+
+		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N learn-forwarded misses with a trace ID, so the signature each one seeds can be followed back here (0: off)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,30 @@ func main() {
 		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "flowproxy"})
 		defer shipper.Close()
 		reg.Register(shipper)
+	}
+	tracer := trace.NewTracer(*traceSample)
+	reg.Register(obs.TracerCollector(tracer))
+	flight := trace.NewFlight(1, 0)
+	reg.Register(obs.FlightCollector(flight))
+	if shipper != nil {
+		flight.SetTrigger(func(reason string, ev trace.FlightEvent) {
+			st := flight.Stats()
+			shipper.Ship(obs.Event{
+				Type:  "flight",
+				Trace: ev.Trace,
+				Detail: fmt.Sprintf("reason=%s kind=%s shard=%d value=%d held=%d recorded=%d",
+					reason, ev.Kind, ev.Shard, ev.Value, st.Held, st.Recorded),
+			})
+		})
+	}
+
+	// Readiness: with static signatures (or none) the proxy can vet as
+	// soon as it listens; with -server it is not ready until the first
+	// watch callback lands a set, since before that it would enforce
+	// nothing the fleet has agreed on.
+	var ready atomic.Bool
+	if *server == "" {
+		ready.Store(true)
 	}
 
 	set := &signature.Set{}
@@ -125,11 +152,11 @@ func main() {
 	// The engine backend gives the proxy sharded compilation, atomic hot
 	// reload, and shared telemetry; its worker shards stay idle (vetting
 	// is inline via MatchPacket), costing only parked goroutines.
-	eng := engine.New(set, engine.Config{Shards: 1})
+	eng := engine.New(set, engine.Config{Shards: 1, Flight: flight})
 	var be flowcontrol.Backend = eng
 	var fwd *missForwarder
 	if *learn != "" {
-		fwd = newMissForwarder(*learn, *learnToken)
+		fwd = newMissForwarder(*learn, *learnToken, tracer, flight)
 		be = flowcontrol.NewObservedBackend(eng, fwd.offer)
 	}
 	proxy := flowcontrol.NewProxyWith(be, pol, nil)
@@ -164,9 +191,16 @@ func main() {
 				Engine       engine.Snapshot `json:"engine"`
 			}{allowed, blocked, sent, dropped, eng.Metrics()})
 		})
-		mux.Handle("/", obs.DebugHandler(reg))
+		mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+			if !ready.Load() {
+				http.Error(w, "no signature set loaded yet", http.StatusServiceUnavailable)
+				return
+			}
+			io.WriteString(w, "ready")
+		})
+		mux.Handle("/", obs.DebugHandler(reg, flight))
 		go func() {
-			log.Printf("debug listener on %s (/metrics, /stats, /debug/pprof)", *debugAddr)
+			log.Printf("debug listener on %s (/metrics, /stats, /readyz, /debug/pprof, /debug/flight)", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
 				log.Fatal(err)
 			}
@@ -180,7 +214,19 @@ func main() {
 			// land within one round trip; -refresh only bounds the retry
 			// and fallback cadence.
 			err := client.Watch(context.Background(), *refresh, func(newSet *signature.Set) {
+				// Adopt the set's provenance trace, if it carries one, so
+				// the reload apply closes that trace's loop in this process.
+				var id string
+				if len(newSet.Traces) > 0 {
+					id = newSet.Traces[0]
+				}
+				sp := tracer.Adopt(id)
+				start := time.Now()
 				eng.Reload(newSet)
+				tracer.Observe(trace.StageReloadApply, time.Since(start))
+				sp.Stamp(trace.StageReloadApply)
+				sp.Finish()
+				ready.Store(true)
 				log.Printf("signatures updated: %d entries, version %d", newSet.Len(), newSet.Version)
 			})
 			log.Printf("signature watch ended: %v", err)
@@ -217,6 +263,8 @@ type missForwarder struct {
 	url     string
 	token   string
 	hc      *http.Client
+	tracer  *trace.Tracer
+	flight  *trace.Flight
 	sent    atomic.Int64
 	dropped atomic.Int64
 }
@@ -230,22 +278,32 @@ const (
 	forwarderTimeout = 10 * time.Second
 )
 
-func newMissForwarder(base, token string) *missForwarder {
+func newMissForwarder(base, token string, tracer *trace.Tracer, flight *trace.Flight) *missForwarder {
 	f := &missForwarder{
-		ch:    make(chan *httpmodel.Packet, 1024),
-		url:   base + "/observe",
-		token: token,
-		hc:    &http.Client{Timeout: forwarderTimeout},
+		ch:     make(chan *httpmodel.Packet, 1024),
+		url:    base + "/observe",
+		token:  token,
+		hc:     &http.Client{Timeout: forwarderTimeout},
+		tracer: tracer,
+		flight: flight,
 	}
 	go f.run()
 	return f
 }
 
 func (f *missForwarder) offer(p *httpmodel.Packet) {
+	// Tag sampled misses with an ID only — the proxy vets inline, so
+	// there are no local stage timestamps worth a span; the learner
+	// adopts the ID and the stages it stamps downstream carry it through
+	// to the published set's provenance.
+	if p.Trace == "" {
+		p.Trace = f.tracer.StartID()
+	}
 	select {
 	case f.ch <- p:
 	default:
 		f.dropped.Add(1)
+		f.flight.RecordDrop(-1, p.Trace)
 	}
 }
 

@@ -81,6 +81,7 @@ import (
 	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/obs"
+	"leaksig/internal/obs/trace"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
@@ -122,7 +123,10 @@ func main() {
 		ratePolicy  = flag.String("rate-policy", "drop", "over-limit intake policy: drop (shed silently, counted) | reject (error the line)")
 		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
 		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
-		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /healthz, /debug/pprof")
+		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /healthz, /debug/flight, /debug/pprof")
+
+		traceSample = flag.Int("trace-sample", 0, "head-sample one packet in N through the pipeline tracer (0: off; incoming trace IDs are always honored)")
+		p99Breach   = flag.Duration("p99-breach", 0, "flight-dump trigger when engine p99 latency exceeds this (0: off)")
 	)
 	flag.Parse()
 
@@ -157,6 +161,26 @@ func main() {
 		defer shipper.Close()
 		reg.Register(shipper)
 	}
+	// The trace plane: a head-sampling tracer (always constructed — at
+	// sample 0 it starts nothing but still adopts upstream trace IDs) and
+	// an always-on flight recorder the engine feeds. Trigger conditions
+	// ship as events when a shipper is wired.
+	tracer := trace.NewTracer(*traceSample)
+	flight := trace.NewFlight(engine.Config{Shards: *shards}.ShardCount(), 0)
+	reg.Register(obs.TracerCollector(tracer))
+	reg.Register(obs.FlightCollector(flight))
+	if shipper != nil {
+		flight.SetTrigger(func(reason string, ev trace.FlightEvent) {
+			st := flight.Stats()
+			shipper.Ship(obs.Event{
+				Type:  "flight",
+				Trace: ev.Trace,
+				Detail: fmt.Sprintf("reason=%s kind=%s shard=%d value=%d held=%d recorded=%d",
+					reason, ev.Kind, ev.Shard, ev.Value, st.Held, st.Recorded),
+			})
+		})
+	}
+
 	var ready atomic.Bool
 	ops := &opsState{
 		limiter: limiter,
@@ -164,6 +188,8 @@ func main() {
 		reject:  *ratePolicy == "reject",
 		reg:     reg,
 		ready:   &ready,
+		tracer:  tracer,
+		flight:  flight,
 	}
 
 	set := &signature.Set{}
@@ -185,6 +211,7 @@ func main() {
 		QueueDepth: *queue,
 		BatchSize:  *batch,
 		Affinity:   aff,
+		Flight:     flight,
 	}
 
 	// With -learn, an embedded siggen service samples every miss and
@@ -210,10 +237,11 @@ func main() {
 			MinClusterSize:   *learnMinCluster,
 			GenerateInterval: *learnInterval,
 			TenantSets:       *learnTenants,
+			Tracer:           tracer,
 			OnPublish: func(set *signature.Set) {
 				log.Printf("learn: published version %d (%d signatures)", set.Version, set.Len())
 				if shipper != nil {
-					shipper.Ship(obs.Event{Type: "publish", Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+					shipper.Ship(obs.Event{Type: "publish", Version: set.Version, Trace: firstTrace(set), Detail: fmt.Sprintf("%d signatures", set.Len())})
 				}
 			},
 		}
@@ -222,7 +250,7 @@ func main() {
 				if name != "" {
 					log.Printf("learn: published set %q version %d (%d signatures)", name, set.Version, set.Len())
 					if shipper != nil {
-						shipper.Ship(obs.Event{Type: "publish", Set: name, Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+						shipper.Ship(obs.Event{Type: "publish", Set: name, Version: set.Version, Trace: firstTrace(set), Detail: fmt.Sprintf("%d signatures", set.Len())})
 					}
 				}
 			}
@@ -247,6 +275,7 @@ func main() {
 			Host:    v.Packet.Host,
 			Matched: v.Matched,
 			Version: v.Version,
+			Trace:   v.Packet.Trace,
 		})
 	}
 
@@ -310,15 +339,17 @@ func main() {
 			go func() {
 				err := client.WatchSets(ctx, *poll, func(name string, set *signature.Set) {
 					ready.Store(true)
-					if shipper != nil {
-						shipper.Ship(obs.Event{Type: "reload", Set: name, Version: set.Version})
-					}
 					if name == "" {
-						be.reload(set)
+						applyReload(be, set, tracer, shipper, "")
 						log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
 						return
 					}
+					start := time.Now()
 					be.reloadTenant(name, set)
+					tracer.Observe(trace.StageReloadApply, time.Since(start))
+					if shipper != nil {
+						shipper.Ship(obs.Event{Type: "reload", Set: name, Version: set.Version, Trace: firstTrace(set)})
+					}
 					log.Printf("tenant %q signatures pinned: version %d, %d entries", name, set.Version, set.Len())
 				})
 				if err != nil && ctx.Err() == nil {
@@ -329,10 +360,7 @@ func main() {
 			go func() {
 				err := client.Watch(ctx, *poll, func(set *signature.Set) {
 					ready.Store(true)
-					if shipper != nil {
-						shipper.Ship(obs.Event{Type: "reload", Version: set.Version})
-					}
-					be.reload(set)
+					applyReload(be, set, tracer, shipper, "")
 					log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
 				})
 				if err != nil && ctx.Err() == nil {
@@ -340,6 +368,35 @@ func main() {
 				}
 			}()
 		}
+	}
+
+	if *p99Breach > 0 {
+		// The p99 watchdog: one of the flight recorder's three trigger
+		// conditions (with drop bursts and sink stalls, detected in the
+		// engine itself).
+		go func() {
+			t := time.NewTicker(5 * time.Second)
+			defer t.Stop()
+			for range t.C {
+				snap, ok := be.stats("")
+				if !ok {
+					continue
+				}
+				var p99 time.Duration
+				switch m := snap.(type) {
+				case engine.Snapshot:
+					p99 = m.P99
+				case engine.PoolSnapshot:
+					p99 = m.Aggregate.P99
+				}
+				if p99 > *p99Breach {
+					flight.Trigger(trace.KindP99Breach, trace.FlightEvent{
+						Kind: trace.KindP99Breach, Shard: -1,
+						Value: p99.Nanoseconds(), Detail: "p99 over " + p99Breach.String(),
+					})
+				}
+			}
+		}()
 	}
 
 	if *statsInt > 0 {
@@ -363,8 +420,8 @@ func main() {
 	}
 	if *debugAddr != "" {
 		go func() {
-			log.Printf("debug listener on %s (/metrics, /debug/pprof)", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg)); err != nil {
+			log.Printf("debug listener on %s (/metrics, /debug/flight, /debug/pprof)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg, flight)); err != nil {
 				log.Fatal(err)
 			}
 		}()
@@ -421,6 +478,51 @@ type backend interface {
 // counters record it.
 var errRateLimited = errors.New("tenant over intake rate limit")
 
+// firstTrace returns a set's lead provenance trace ID ("" when the set
+// carries none) — the ID reload and publish events attribute to.
+func firstTrace(set *signature.Set) string {
+	if len(set.Traces) > 0 {
+		return set.Traces[0]
+	}
+	return ""
+}
+
+// applyReload rolls one published set into the backend under its trace
+// context: a span adopted from the set's provenance records the apply
+// stage, and the shipped reload event carries the issued-vs-applied
+// ticket accounting that makes reload coalescing visible.
+func applyReload(be backend, set *signature.Set, tracer *trace.Tracer, shipper *obs.Shipper, name string) {
+	sp := tracer.Adopt(firstTrace(set))
+	start := time.Now()
+	be.reload(set)
+	tracer.Observe(trace.StageReloadApply, time.Since(start))
+	sp.Stamp(trace.StageReloadApply)
+	sp.Finish()
+	if shipper != nil {
+		shipper.Ship(obs.Event{
+			Type: "reload", Set: name, Version: set.Version,
+			Trace: firstTrace(set), Detail: reloadOutcome(be),
+		})
+	}
+}
+
+// reloadOutcome summarizes the backend's reload-coalescing books: tickets
+// issued versus generations actually applied (the gap is publishes
+// coalesced away or still compiling).
+func reloadOutcome(be backend) string {
+	snap, ok := be.stats("")
+	if !ok {
+		return ""
+	}
+	switch m := snap.(type) {
+	case engine.Snapshot:
+		return fmt.Sprintf("issued=%d applied=%d", m.ReloadIssued, m.ReloadGen)
+	case engine.PoolSnapshot:
+		return fmt.Sprintf("issued=%d applied=%d", m.Aggregate.ReloadIssued, m.Aggregate.ReloadGen)
+	}
+	return ""
+}
+
 // opsState carries the daemon-wide ops plane: the intake limiter wrapped
 // around every submit path, the metrics registry behind /metrics, and
 // the readiness latch behind /readyz.
@@ -430,6 +532,8 @@ type opsState struct {
 	reject  bool // -rate-policy reject (vs drop)
 	reg     *obs.Registry
 	ready   *atomic.Bool
+	tracer  *trace.Tracer
+	flight  *trace.Flight
 }
 
 // submitter wraps the backend's queueing function with per-tenant intake
@@ -439,15 +543,23 @@ type opsState struct {
 func (o *opsState) submitter(be backend, tenant string) func(*httpmodel.Packet) error {
 	submit := be.submitter(tenant)
 	return func(p *httpmodel.Packet) error {
+		p.BeginTrace(o.tracer)
 		key := tenant
 		if key == "" {
 			key = o.keyFn(p)
 		}
 		if !o.limiter.Allow(key) {
+			// Shed packets are drops like any other: the flight recorder's
+			// burst detector turns a shedding storm into a dump trigger.
+			o.flight.RecordDrop(-1, p.Trace)
+			p.EndTrace() // the limited packet's journey ends here
 			if o.reject {
 				return errRateLimited
 			}
 			return nil // drop policy: shed silently, the limiter counted it
+		}
+		if p.Span != nil {
+			p.Span.Stamp(trace.StageRateLimit)
 		}
 		return submit(p)
 	}
@@ -593,6 +705,7 @@ type verdictLine struct {
 	Matched   []int  `json:"matched,omitempty"`
 	Version   int64  `json:"version"`
 	LatencyUS int64  `json:"latency_us,omitempty"`
+	Trace     string `json:"trace,omitempty"`
 }
 
 func toLine(v engine.Verdict) verdictLine {
@@ -604,6 +717,7 @@ func toLine(v engine.Verdict) verdictLine {
 		Matched:   v.Matched,
 		Version:   v.Version,
 		LatencyUS: int64(v.Latency / time.Microsecond),
+		Trace:     v.Packet.Trace,
 	}
 }
 

@@ -58,6 +58,7 @@ import (
 	"leaksig/internal/capture"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/obs"
+	"leaksig/internal/obs/trace"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 )
@@ -88,7 +89,9 @@ func main() {
 
 		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
 		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
-		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /healthz, /debug/pprof")
+		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /healthz, /debug/pprof, /debug/flight")
+
+		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N locally-originated packets for stage tracing; forwarded trace IDs are always adopted (0: adopt only)")
 	)
 	flag.Parse()
 
@@ -99,6 +102,21 @@ func main() {
 		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "siggend"})
 		defer shipper.Close()
 		reg.Register(shipper)
+	}
+	tracer := trace.NewTracer(*traceSample)
+	reg.Register(obs.TracerCollector(tracer))
+	flight := trace.NewFlight(0, 0)
+	reg.Register(obs.FlightCollector(flight))
+	if shipper != nil {
+		flight.SetTrigger(func(reason string, ev trace.FlightEvent) {
+			st := flight.Stats()
+			shipper.Ship(obs.Event{
+				Type:  "flight",
+				Trace: ev.Trace,
+				Detail: fmt.Sprintf("reason=%s kind=%s shard=%d value=%d held=%d recorded=%d",
+					reason, ev.Kind, ev.Shard, ev.Value, st.Held, st.Recorded),
+			})
+		})
 	}
 	var ready atomic.Bool
 
@@ -139,11 +157,12 @@ func main() {
 		MinNewSamples:       *minSamples,
 		TenantSets:          *tenants,
 		Seed:                *seed,
+		Tracer:              tracer,
 		OnPublish: func(set *signature.Set) {
 			ready.Store(true)
 			log.Printf("published version %d: %d signatures", set.Version, set.Len())
 			if shipper != nil {
-				shipper.Ship(obs.Event{Type: "publish", Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+				shipper.Ship(obs.Event{Type: "publish", Version: set.Version, Trace: firstTrace(set), Detail: fmt.Sprintf("%d signatures", set.Len())})
 			}
 		},
 		OnRetire: func(n int) {
@@ -162,7 +181,7 @@ func main() {
 			if name != "" {
 				log.Printf("published set %q version %d: %d signatures", name, set.Version, set.Len())
 				if shipper != nil {
-					shipper.Ship(obs.Event{Type: "publish", Set: name, Version: set.Version, Detail: fmt.Sprintf("%d signatures", set.Len())})
+					shipper.Ship(obs.Event{Type: "publish", Set: name, Version: set.Version, Trace: firstTrace(set), Detail: fmt.Sprintf("%d signatures", set.Len())})
 				}
 			}
 		}
@@ -188,7 +207,7 @@ func main() {
 	}
 
 	if *listen != "" {
-		srv := &http.Server{Addr: *listen, Handler: handler(svc, keyFn, *obsToken, reg, &ready)}
+		srv := &http.Server{Addr: *listen, Handler: handler(svc, keyFn, *obsToken, reg, &ready, tracer)}
 		go func() {
 			log.Printf("HTTP intake on %s (/observe, /stats, /metrics, /healthz, /readyz)", *listen)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -198,14 +217,14 @@ func main() {
 	}
 	if *debugAddr != "" {
 		go func() {
-			log.Printf("debug listener on %s (/metrics, /debug/pprof)", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg)); err != nil {
+			log.Printf("debug listener on %s (/metrics, /debug/pprof, /debug/flight)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg, flight)); err != nil {
 				log.Fatal(err)
 			}
 		}()
 	}
 
-	observed, dropped := observeNDJSON(os.Stdin, svc, keyFn)
+	observed, dropped := observeNDJSON(os.Stdin, svc, keyFn, tracer)
 	if *listen == "" {
 		set, err := svc.RunEpoch(context.Background())
 		if err != nil {
@@ -225,8 +244,13 @@ func main() {
 	select {} // daemon mode: serve until killed
 }
 
-// observeNDJSON offers every NDJSON packet on r to the learner.
-func observeNDJSON(r io.Reader, svc *siggen.Service, keyFn func(*httpmodel.Packet) string) (observed, dropped int) {
+// observeNDJSON offers every NDJSON packet on r to the learner. Packets
+// forwarded with a trace ID (the "trace" field leakstream stamps on
+// sampled misses) are adopted so their span keeps accumulating stage
+// timestamps — reservoir, cluster — inside this process; the intake's
+// own reference is released once the learner has taken (or refused) its
+// hold.
+func observeNDJSON(r io.Reader, svc *siggen.Service, keyFn func(*httpmodel.Packet) string, tracer *trace.Tracer) (observed, dropped int) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -245,11 +269,18 @@ func observeNDJSON(r io.Reader, svc *siggen.Service, keyFn func(*httpmodel.Packe
 			dropped++
 			continue
 		}
+		p.BeginTrace(tracer)
+		// Capture before Observe: once the learner owns the packet it may
+		// end the trace (niling p.Span) on its own goroutine.
+		sp := p.Span
 		if svc.Observe(keyFn(p), p) {
 			observed++
 		} else {
 			dropped++
 		}
+		// The learner holds its own span reference when it admits the
+		// packet; drop the intake's.
+		sp.Finish()
 	}
 	if err := sc.Err(); err != nil {
 		log.Printf("reading stdin: %v", err)
@@ -257,10 +288,18 @@ func observeNDJSON(r io.Reader, svc *siggen.Service, keyFn func(*httpmodel.Packe
 	return observed, dropped
 }
 
+// firstTrace is the provenance trace ID a published set carries, if any.
+func firstTrace(set *signature.Set) string {
+	if len(set.Traces) > 0 {
+		return set.Traces[0]
+	}
+	return ""
+}
+
 // handler exposes the learner over HTTP. A non-empty obsToken requires
 // `Authorization: Bearer <token>` on the intake, since /observe shapes
 // what the fleet will eventually enforce.
-func handler(svc *siggen.Service, keyFn func(*httpmodel.Packet) string, obsToken string, reg *obs.Registry, ready *atomic.Bool) http.Handler {
+func handler(svc *siggen.Service, keyFn func(*httpmodel.Packet) string, obsToken string, reg *obs.Registry, ready *atomic.Bool, tracer *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
 		if obsToken != "" {
@@ -269,7 +308,7 @@ func handler(svc *siggen.Service, keyFn func(*httpmodel.Packet) string, obsToken
 				return
 			}
 		}
-		observed, dropped := observeNDJSON(r.Body, svc, keyFn)
+		observed, dropped := observeNDJSON(r.Body, svc, keyFn, tracer)
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"observed":%d,"dropped":%d}`+"\n", observed, dropped)
 	})

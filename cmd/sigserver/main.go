@@ -98,7 +98,7 @@ func main() {
 	if *debugAddr != "" {
 		go func() {
 			log.Printf("debug listener on %s (/metrics, /debug/pprof)", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg)); err != nil {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler(reg, nil)); err != nil {
 				log.Fatal(err)
 			}
 		}()

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs/trace"
 )
 
 // makeAllocPinPackets prebuilds a mixed clean/leaking packet stream so
@@ -56,6 +57,46 @@ func TestCountOnlyPathZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(20, run)
 	if perPacket := allocs / batch; perPacket >= 0.01 {
 		t.Errorf("count-only path allocates %.4f per packet (%.1f per %d), want 0", perPacket, allocs, batch)
+	}
+}
+
+// TestCountOnlyPathZeroAllocWithTracing pins the same count-only path
+// with the tracing plane compiled in and attached — tracer at sample 0
+// on every packet, a flight recorder on the config — and demands it
+// still allocates nothing per packet. This is the contract that lets
+// tracing ship always-linked: the unsampled cost is one nil check on
+// p.Span per stage hook, never a heap object.
+func TestCountOnlyPathZeroAllocWithTracing(t *testing.T) {
+	sink := NewCountSink()
+	tracer := trace.NewTracer(0) // sampling off: BeginTrace never starts
+	e := New(scratchTestSet(64), Config{
+		Shards: 1, BatchSize: 8, QueueDepth: 1024, Sink: sink,
+		Flight: trace.NewFlight(1, 0),
+	})
+	defer e.Close()
+	if !e.shards[0].countOnly {
+		t.Fatal("count-only path not engaged")
+	}
+
+	const batch = 256
+	pkts := makeAllocPinPackets(batch)
+	run := func() {
+		for _, p := range pkts {
+			p.BeginTrace(tracer)
+			if err := e.Submit(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Flush()
+	}
+	run() // warm: size the scratch, settle the adaptive target
+
+	allocs := testing.AllocsPerRun(20, run)
+	if perPacket := allocs / batch; perPacket >= 0.01 {
+		t.Errorf("count-only path with tracing attached allocates %.4f per packet (%.1f per %d), want 0", perPacket, allocs, batch)
+	}
+	if st := tracer.Stats(); st.Started != 0 {
+		t.Errorf("sample-0 tracer started %d spans, want 0", st.Started)
 	}
 }
 

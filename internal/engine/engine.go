@@ -61,6 +61,7 @@ import (
 
 	"leaksig/internal/capture"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs/trace"
 	"leaksig/internal/signature"
 )
 
@@ -118,7 +119,18 @@ type Config struct {
 	// nil OnVerdict receives pooled verdict batches; when both Sink and
 	// OnVerdict are set, both receive every verdict.
 	Sink Sink
+	// Flight, when non-nil, is the flight recorder the engine feeds:
+	// TrySubmit drops (with burst detection), blocking-submit stalls,
+	// reload tickets issued and applied, and per-shard batch-target
+	// changes. Nil disables recording at the cost of a nil check off the
+	// per-packet path.
+	Flight *trace.Flight
 }
+
+// ShardCount resolves the worker count this configuration will run with
+// — what daemons size shard-striped companions (the flight recorder) to
+// before constructing the engine.
+func (c Config) ShardCount() int { return c.withDefaults().Shards }
 
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
@@ -234,6 +246,7 @@ func New(set *signature.Set, cfg Config) *Engine {
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		s := newShard(cfg.QueueDepth, cfg.BatchSize)
+		s.idx = i
 		if cfg.Sink != nil {
 			s.sink = cfg.Sink.Bind(i, cfg.Shards)
 			s.countOnly = e.onVerdict == nil && s.sink.CountOnly()
@@ -262,6 +275,10 @@ func (e *Engine) install(cs *compiledSet, started time.Time) bool {
 		if e.set.CompareAndSwap(cur, cs) {
 			e.reloads.Add(1)
 			e.lastReloadNs.Store(time.Since(started).Nanoseconds())
+			e.cfg.Flight.Record(trace.FlightEvent{
+				Kind: trace.KindReloadApply, Shard: -1,
+				Value: int64(cs.gen), Detail: time.Since(started).String(),
+			})
 			return true
 		}
 	}
@@ -276,6 +293,7 @@ func (e *Engine) install(cs *compiledSet, started time.Time) bool {
 // whichever generation is live when their drain runs.
 func (e *Engine) Reload(set *signature.Set) {
 	gen := e.reloadGen.Add(1)
+	e.cfg.Flight.Record(trace.FlightEvent{Kind: trace.KindReloadIssue, Shard: -1, Value: int64(gen)})
 	started := time.Now()
 	cs := compile(set)
 	cs.gen = gen
@@ -292,6 +310,9 @@ func (e *Engine) Reload(set *signature.Set) {
 // final state always reflects the latest requested set.
 func (e *Engine) ReloadAsync(set *signature.Set) {
 	gen := e.reloadGen.Add(1)
+	e.cfg.Flight.Record(trace.FlightEvent{
+		Kind: trace.KindReloadIssue, Shard: -1, Value: int64(gen), Detail: "async",
+	})
 	e.pending.Store(&pendingReload{set: set, gen: gen})
 	select {
 	case e.reloadCh <- struct{}{}:
@@ -404,12 +425,17 @@ func (e *Engine) submit(p *httpmodel.Packet, block bool) bool {
 	if seq%latencySampleEvery == 0 {
 		it.enq = time.Now().UnixNano()
 	}
+	if p.Span != nil {
+		p.Span.Stamp(trace.StageEnqueue)
+	}
 	if s.ring.push(it) {
 		e.ingested.Add(1)
 		return true
 	}
 	if !block {
 		e.dropped.Add(1)
+		e.cfg.Flight.RecordDrop(s.idx, p.Trace)
+		p.EndTrace() // the dropped packet leaves the pipeline here
 		return false
 	}
 	for spin := 0; ; spin++ {
@@ -418,12 +444,26 @@ func (e *Engine) submit(p *httpmodel.Packet, block bool) bool {
 		} else {
 			time.Sleep(5 * time.Microsecond)
 		}
+		// ~1.25ms of continuous backpressure on one ring means the shard's
+		// consumer is not keeping up — most likely a stalled sink. Flag it
+		// once per blocking episode; the recorder rate-limits the dump
+		// trigger itself.
+		if spin == sinkStallSpins {
+			e.cfg.Flight.Trigger(trace.KindSinkStall, trace.FlightEvent{
+				Kind: trace.KindSinkStall, Shard: s.idx, Trace: p.Trace,
+				Value: int64(s.ring.len()), Detail: "blocking submit stalled",
+			})
+		}
 		if s.ring.push(it) {
 			e.ingested.Add(1)
 			return true
 		}
 	}
 }
+
+// sinkStallSpins is the blocking-submit spin count treated as a stalled
+// sink: 8 Gosched yields plus ~248 5µs sleeps ≈ 1.25ms on one full ring.
+const sinkStallSpins = 256
 
 // Flush blocks until every packet accepted so far has been matched. After
 // Close it returns immediately (Close already drained the rings).

@@ -64,6 +64,10 @@ type Snapshot struct {
 	// with every applied reload and, because ReloadAsync coalesces
 	// bursts, may skip tickets that were superseded before compiling.
 	ReloadGen uint64
+	// ReloadIssued is the highest ticket ever handed out. The gap to
+	// ReloadGen is the coalescing outcome: issued − applied reloads were
+	// superseded (or are still pending) rather than compiled.
+	ReloadIssued uint64
 	// PendingReload reports an async reload compile queued or in flight.
 	PendingReload bool
 	// LastReload is the compile+install wall time of the last applied
@@ -135,6 +139,7 @@ func (e *Engine) Metrics() Snapshot {
 		Signatures:    cs.sigs,
 		Reloads:       e.reloads.Load(),
 		ReloadGen:     cs.gen,
+		ReloadIssued:  e.reloadGen.Load(),
 		PendingReload: e.pending.Load() != nil || e.compiling.Load(),
 		LastReload:    time.Duration(e.lastReloadNs.Load()),
 		Ingested:      e.ingested.Load(),

@@ -6,6 +6,7 @@ import (
 
 	"leaksig/internal/detect"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs/trace"
 )
 
 // item is one queued packet with its acceptance order and (when sampled)
@@ -23,6 +24,7 @@ type item struct {
 // drain so channel traffic, batch slices, and the per-packet atomic load
 // are all gone from the hot path.
 type shard struct {
+	idx  int // position in Engine.shards, for flight-event attribution
 	ring *ring
 
 	// target is the adaptive drain limit: how many packets the worker
@@ -135,6 +137,12 @@ func (e *Engine) run(s *shard) {
 		case s.countOnly:
 			for i := 0; i < n; i++ {
 				it := buf[i]
+				// sp is nil for every unsampled packet, so tracing costs the
+				// count-only path one pointer load and compare.
+				sp := it.p.Span
+				if sp != nil {
+					sp.Stamp(trace.StageDrain)
+				}
 				leak := len(cs.eng.MatchInto(it.p, &sc)) > 0
 				s.processed.Add(1)
 				if leak {
@@ -143,12 +151,22 @@ func (e *Engine) run(s *shard) {
 				if it.enq != 0 {
 					s.lat.record(time.Duration(time.Now().UnixNano() - it.enq))
 				}
+				if sp != nil {
+					sp.Stamp(trace.StageMatch)
+				}
 				s.sink.Count(leak)
+				if sp != nil {
+					sp.Stamp(trace.StageSink)
+					sp.Finish()
+				}
 			}
 		case s.batchSink != nil:
 			vb := vbatchPool.Get().(*VerdictBatch)
 			for i := 0; i < n; i++ {
 				it := buf[i]
+				if sp := it.p.Span; sp != nil {
+					sp.Stamp(trace.StageDrain)
+				}
 				ids := cs.eng.MatchInto(it.p, &sc)
 				s.processed.Add(1)
 				if len(ids) > 0 {
@@ -159,6 +177,9 @@ func (e *Engine) run(s *shard) {
 					lat = time.Duration(time.Now().UnixNano() - it.enq)
 					s.lat.record(lat)
 				}
+				if sp := it.p.Span; sp != nil {
+					sp.Stamp(trace.StageMatch)
+				}
 				vb.add(Verdict{
 					Packet:  it.p,
 					Seq:     it.seq,
@@ -168,11 +189,24 @@ func (e *Engine) run(s *shard) {
 			}
 			vb.seal()
 			s.batchSink.Batch(vb)
+			// Sink delivery done: stamp and release every sampled span in the
+			// batch. Consumers that retain packets past the callback must use
+			// the Trace ID, not the Span (recycled here).
+			for i := 0; i < n; i++ {
+				if sp := buf[i].p.Span; sp != nil {
+					sp.Stamp(trace.StageSink)
+					sp.Finish()
+				}
+			}
 			vb.reset()
 			vbatchPool.Put(vb)
 		default:
 			for i := 0; i < n; i++ {
 				it := buf[i]
+				sp := it.p.Span
+				if sp != nil {
+					sp.Stamp(trace.StageDrain)
+				}
 				ids := cs.eng.MatchInto(it.p, &sc)
 				// The scratch-backed slice is reused next packet; verdicts
 				// escape to retaining consumers, so only a leak pays for a
@@ -190,6 +224,9 @@ func (e *Engine) run(s *shard) {
 					lat = time.Duration(time.Now().UnixNano() - it.enq)
 					s.lat.record(lat)
 				}
+				if sp != nil {
+					sp.Stamp(trace.StageMatch)
+				}
 				if e.onVerdict != nil || s.sink != nil {
 					v := Verdict{
 						Packet:  it.p,
@@ -202,11 +239,23 @@ func (e *Engine) run(s *shard) {
 						e.onVerdict(v)
 					}
 					if s.sink != nil {
+						// A retaining sink (the learner intake) Holds the span
+						// inside Verdict; the engine's reference ends here.
 						s.sink.Verdict(v)
 					}
 				}
+				if sp != nil {
+					sp.Stamp(trace.StageSink)
+					sp.Finish()
+				}
 			}
 		}
+		t0 := s.target.Load()
 		s.adapt(n, s.ring.len(), e.cfg)
+		if t1 := s.target.Load(); t1 != t0 {
+			e.cfg.Flight.Record(trace.FlightEvent{
+				Kind: trace.KindBatchTarget, Shard: s.idx, Value: int64(t1),
+			})
+		}
 	}
 }

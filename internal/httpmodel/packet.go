@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"leaksig/internal/ipaddr"
+	"leaksig/internal/obs/trace"
 )
 
 // Header is one HTTP header field.
@@ -43,6 +44,13 @@ type Packet struct {
 	Proto   string   `json:"proto"`             // e.g. "HTTP/1.1"
 	Headers []Header `json:"headers,omitempty"` // all headers except Host
 	Body    []byte   `json:"body,omitempty"`
+
+	// Tracing. Trace is the cross-process trace ID ("" for unsampled
+	// packets) and survives NDJSON hops; Span is the live in-process span
+	// and never leaves the process. Both are nil/empty on the unsampled
+	// fast path.
+	Trace string      `json:"trace,omitempty"`
+	Span  *trace.Span `json:"-"`
 }
 
 // RequestLine returns the HTTP request line without the trailing CRLF,
@@ -189,12 +197,46 @@ func (p *Packet) QueryValue(key string) (string, bool) {
 	return "", false
 }
 
-// Clone returns a deep copy of the packet.
+// Clone returns a deep copy of the packet. The clone keeps the trace ID
+// but not the live span — span ownership stays with the original.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Headers = append([]Header(nil), p.Headers...)
 	q.Body = append([]byte(nil), p.Body...)
+	q.Span = nil
 	return &q
+}
+
+// BeginTrace attaches tracing to a freshly ingested packet: a packet
+// arriving with a trace ID from upstream adopts it; otherwise the tracer
+// makes its head-sampling decision and, when sampled, the packet gets a
+// fresh span stamped at ingest. Unsampled packets (and a nil tracer)
+// leave both fields zero at the cost of one atomic add.
+func (p *Packet) BeginTrace(t *trace.Tracer) {
+	if p.Span != nil {
+		return
+	}
+	if p.Trace != "" {
+		if sp := t.Adopt(p.Trace); sp != nil {
+			p.Span = sp
+			sp.Stamp(trace.StageIngest)
+		}
+		return
+	}
+	if sp := t.Start(); sp != nil {
+		p.Span = sp
+		p.Trace = sp.ID()
+		sp.Stamp(trace.StageIngest)
+	}
+}
+
+// EndTrace finishes and detaches the packet's span (keeping the trace
+// ID), for owners done with per-packet staging.
+func (p *Packet) EndTrace() {
+	if p.Span != nil {
+		p.Span.Finish()
+		p.Span = nil
+	}
 }
 
 // Validate checks structural invariants: method is GET or POST, path is

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"leaksig/internal/engine"
+	"leaksig/internal/obs/trace"
 	"leaksig/internal/siggen"
 	"leaksig/internal/sigserver"
 )
@@ -164,6 +165,43 @@ func SigserverCollector(snap func() sigserver.ServerStats) Collector {
 		for _, k := range names {
 			emit(k, s.Sets[k])
 		}
+	})
+}
+
+// TracerCollector projects a tracer's per-stage latency histograms into
+// the leaksig_stage_seconds family, one stage label per pipeline station,
+// plus the tracer's own span accounting. The stage set is fixed, so the
+// series catalog never grows, and only sampled spans ever feed the
+// histograms — the families cost the hot path nothing.
+func TracerCollector(t *trace.Tracer) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		if t == nil {
+			return
+		}
+		for _, s := range t.Snapshot() {
+			m.Histogram("leaksig_stage_seconds", "Sampled per-stage pipeline latency, by stage.",
+				s.Bounds, s.Counts, s.Count, s.SumSeconds, L("stage", s.Stage))
+		}
+		st := t.Stats()
+		m.Counter("leaksig_trace_spans_started_total", "Spans head-sampled in this process.", float64(st.Started))
+		m.Counter("leaksig_trace_spans_adopted_total", "Spans continued from an upstream trace ID.", float64(st.Adopted))
+		m.Counter("leaksig_trace_spans_finished_total", "Spans flushed into the stage histograms.", float64(st.Finished))
+	})
+}
+
+// FlightCollector projects a flight recorder's accounting into
+// leaksig_flight_* families — how much it has seen, holds, and how often
+// its dump trigger fired or was rate-limited.
+func FlightCollector(f *trace.Flight) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		if f == nil {
+			return
+		}
+		st := f.Stats()
+		m.Counter("leaksig_flight_events_total", "Flight-recorder events ever recorded.", float64(st.Recorded))
+		m.Gauge("leaksig_flight_events_held", "Events currently held in the flight rings.", float64(st.Held))
+		m.Counter("leaksig_flight_triggers_total", "Flight dump-trigger firings.", float64(st.Triggers))
+		m.Counter("leaksig_flight_triggers_throttled_total", "Trigger conditions suppressed by the rate limit.", float64(st.Throttled))
 	})
 }
 

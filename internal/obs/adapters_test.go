@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"leaksig/internal/engine"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs/trace"
+	"leaksig/internal/signature"
+)
+
+// expose renders one collector through a fresh registry.
+func expose(c Collector) string {
+	reg := NewRegistry()
+	reg.Register(c)
+	return reg.Expose()
+}
+
+func TestEngineCollectorPerShardFamilies(t *testing.T) {
+	eng := engine.New(&signature.Set{}, engine.Config{Shards: 2, Sink: engine.NewCountSink()})
+	defer eng.Close()
+	for i := 0; i < 32; i++ {
+		p := httpmodel.Get("example.com", fmt.Sprintf("/p/%d", i)).App("app.a").Build()
+		if err := eng.Submit(p); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	eng.Flush()
+
+	out := expose(EngineCollector(eng.Metrics, eng.ShardStats))
+	// Every shard gets its own series in each per-shard family.
+	for shard := 0; shard < 2; shard++ {
+		for _, fam := range []string{
+			"leaksig_engine_shard_processed_total",
+			"leaksig_engine_shard_matched_total",
+			"leaksig_engine_shard_batch_target",
+			"leaksig_engine_shard_ring_depth",
+		} {
+			want := fmt.Sprintf(`%s{shard="%d"}`, fam, shard)
+			if !strings.Contains(out, want) {
+				t.Errorf("exposition missing %s; got:\n%s", want, out)
+			}
+		}
+	}
+	// The shard-summed processed counter must agree with the aggregate.
+	stats := eng.ShardStats()
+	var sum uint64
+	for _, s := range stats {
+		sum += s.Processed
+	}
+	if m := eng.Metrics(); sum != m.Processed || m.Processed != 32 {
+		t.Errorf("shard processed sum %d vs aggregate %d (want 32)", sum, m.Processed)
+	}
+}
+
+func TestPoolCollectorExposesUpgradedAndTenants(t *testing.T) {
+	snap := func() engine.PoolSnapshot {
+		return engine.PoolSnapshot{
+			Tenants:  2,
+			Created:  5,
+			Evicted:  3,
+			Upgraded: 4,
+			PerTenant: map[string]engine.Snapshot{
+				"app.b": {Processed: 7},
+				"app.a": {Processed: 9},
+			},
+		}
+	}
+	out := expose(PoolCollector(snap))
+	for _, want := range []string{
+		"leaksig_pool_upgraded_total 4",
+		`leaksig_engine_processed_total{tenant="app.a"} 9`,
+		`leaksig_engine_processed_total{tenant="app.b"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	// Tenant series are emitted in sorted order for diff-stable scrapes.
+	if strings.Index(out, `tenant="app.a"`) > strings.Index(out, `tenant="app.b"`) {
+		t.Error("tenant series not sorted")
+	}
+}
+
+func TestTracerCollectorStageFamilies(t *testing.T) {
+	tr := trace.NewTracer(1)
+	sp := tr.Start()
+	if sp == nil {
+		t.Fatal("sample-1 tracer did not start a span")
+	}
+	sp.Stamp(trace.StageIngest)
+	sp.Stamp(trace.StageEnqueue)
+	sp.Stamp(trace.StageMatch)
+	sp.Finish()
+	tr.Observe(trace.StageDistill, 2*time.Millisecond)
+
+	out := expose(TracerCollector(tr))
+	for _, want := range []string{
+		`leaksig_stage_seconds_count{stage="enqueue"} 1`,
+		`leaksig_stage_seconds_count{stage="match"} 1`,
+		`leaksig_stage_seconds_count{stage="distill"} 1`,
+		"leaksig_trace_spans_started_total 1",
+		"leaksig_trace_spans_finished_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	// Every pipeline stage appears in the catalog even when unfed: fixed
+	// cardinality is the contract that keeps scrapes diff-stable.
+	for _, st := range trace.Stages() {
+		want := fmt.Sprintf(`leaksig_stage_seconds_count{stage=%q}`, st)
+		if !strings.Contains(out, want) {
+			t.Errorf("stage %q missing from catalog", st)
+		}
+	}
+	// A nil tracer contributes nothing rather than panicking.
+	if out := expose(TracerCollector(nil)); strings.Contains(out, "leaksig_stage_seconds") {
+		t.Error("nil tracer emitted stage families")
+	}
+}
+
+func TestFlightCollectorFamilies(t *testing.T) {
+	f := trace.NewFlight(2, 8)
+	f.SetTrigger(func(string, trace.FlightEvent) {})
+	f.Record(trace.FlightEvent{Kind: trace.KindReloadIssue, Shard: -1, Value: 1})
+	f.Record(trace.FlightEvent{Kind: trace.KindBatchTarget, Shard: 1, Value: 64})
+	f.Trigger("test", trace.FlightEvent{Kind: trace.KindSinkStall, Shard: 0})
+
+	out := expose(FlightCollector(f))
+	for _, want := range []string{
+		"leaksig_flight_events_total 3",
+		"leaksig_flight_events_held 3",
+		"leaksig_flight_triggers_total 1",
+		"leaksig_flight_triggers_throttled_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	if out := expose(FlightCollector(nil)); strings.Contains(out, "leaksig_flight") {
+		t.Error("nil flight emitted families")
+	}
+}
+
+func TestDebugHandlerFlightDump(t *testing.T) {
+	f := trace.NewFlight(1, 8)
+	f.Record(trace.FlightEvent{Kind: trace.KindDrop, Shard: 0, Trace: "00000000deadbeef"})
+	srv := httptest.NewServer(DebugHandler(NewRegistry(), f))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var dump struct {
+		Stats  trace.FlightStats   `json:"stats"`
+		Events []trace.FlightEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding dump: %v", err)
+	}
+	if len(dump.Events) != 1 || dump.Events[0].Trace != "00000000deadbeef" {
+		t.Fatalf("dump events = %+v", dump.Events)
+	}
+	if dump.Stats.Recorded != 1 {
+		t.Errorf("recorded = %d, want 1", dump.Stats.Recorded)
+	}
+}
+
+func TestDebugHandlerFlightDumpNilRecorder(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Events []trace.FlightEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding dump: %v", err)
+	}
+	if len(dump.Events) != 0 {
+		t.Fatalf("nil recorder dumped events: %+v", dump.Events)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+
+	"leaksig/internal/obs/trace"
 )
 
 // WriteJSON writes v as the response body with the headers every /stats
@@ -19,17 +21,28 @@ func WriteJSON(w http.ResponseWriter, v any) {
 }
 
 // DebugHandler is the operator side-channel every daemon mounts on its
-// -debug-addr: pprof under /debug/pprof/, the registry's /metrics, and a
-// /healthz. It deliberately uses a private mux — importing net/http/pprof
-// for its DefaultServeMux side effect would expose profiling on whatever
-// mux the daemon serves traffic on.
-func DebugHandler(reg *Registry) http.Handler {
+// -debug-addr: pprof under /debug/pprof/, the registry's /metrics, a
+// /healthz, and — when a flight recorder is wired — GET /debug/flight
+// dumping its recent events. It deliberately uses a private mux —
+// importing net/http/pprof for its DefaultServeMux side effect would
+// expose profiling on whatever mux the daemon serves traffic on.
+func DebugHandler(reg *Registry, flight *trace.Flight) http.Handler {
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.Handle("GET /metrics", reg.Handler())
 	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		events := flight.Dump() // nil-safe: no recorder → empty dump
+		if events == nil {
+			events = []trace.FlightEvent{}
+		}
+		WriteJSON(w, struct {
+			Stats  trace.FlightStats   `json:"stats"`
+			Events []trace.FlightEvent `json:"events"`
+		}{flight.Stats(), events})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

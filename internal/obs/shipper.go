@@ -25,6 +25,7 @@ type Event struct {
 	App     string    `json:"app,omitempty"`
 	Host    string    `json:"host,omitempty"`
 	Matched []int     `json:"matched,omitempty"` // signature IDs, for verdict events
+	Trace   string    `json:"trace,omitempty"`   // cross-process trace ID, when sampled
 	Detail  string    `json:"detail,omitempty"`
 }
 

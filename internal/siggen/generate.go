@@ -28,6 +28,33 @@ type candidate struct {
 	sig     *signature.Signature
 	sources map[uint64]int // source cluster ID → member count
 	tenants map[string]int // member count per tenant across those clusters
+	traces  []string       // sampled trace IDs of contributing packets (bounded)
+}
+
+// maxProvenanceTraces bounds how many sampled trace IDs ride along as
+// provenance per candidate and per published set — enough to find the
+// originating misses, small enough to never bloat a publish body.
+const maxProvenanceTraces = 8
+
+// mergeTraces appends the new IDs up to the provenance cap, skipping
+// duplicates.
+func mergeTraces(dst, add []string) []string {
+	for _, id := range add {
+		if len(dst) >= maxProvenanceTraces {
+			break
+		}
+		dup := false
+		for _, have := range dst {
+			if have == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, id)
+		}
+	}
+	return dst
 }
 
 // distill turns tagged cluster groups into publishable conjunction
@@ -61,6 +88,18 @@ func distill(groups []Group, benignTrain, benignHold []*httpmodel.Packet,
 		gopts := opts
 		gopts.BenignSample = benignTrain
 		set := signature.Generate([][]*httpmodel.Packet{g.Packets}, gopts)
+		// Trace provenance: the sampled members' trace IDs, harvested once
+		// per group, tie the published signature back to the misses that
+		// taught it.
+		var gtraces []string
+		for _, p := range g.Packets {
+			if p.Trace != "" {
+				gtraces = mergeTraces(gtraces, []string{p.Trace})
+				if len(gtraces) >= maxProvenanceTraces {
+					break
+				}
+			}
+		}
 		for _, sig := range set.Signatures {
 			key := sig.Key()
 			if i, ok := byKey[key]; ok {
@@ -71,6 +110,7 @@ func distill(groups []Group, benignTrain, benignHold []*httpmodel.Packet,
 				for tenant, n := range g.Tenants {
 					c.tenants[tenant] += n
 				}
+				c.traces = mergeTraces(c.traces, gtraces)
 				if sig.ClusterSize > c.sig.ClusterSize {
 					c.sig.ClusterSize = sig.ClusterSize
 				}
@@ -85,6 +125,7 @@ func distill(groups []Group, benignTrain, benignHold []*httpmodel.Packet,
 				sig:     sig,
 				sources: map[uint64]int{g.ID: len(g.Packets)},
 				tenants: tenants,
+				traces:  mergeTraces(nil, gtraces),
 			})
 		}
 	}

@@ -3,6 +3,7 @@ package siggen
 import (
 	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs/trace"
 )
 
 // sample is one suspect flow in flight from an engine shard to the
@@ -70,11 +71,17 @@ func (s *Service) Observe(tenant string, p *httpmodel.Packet) bool {
 	if s.cfg.SuspectFilter != nil && !s.cfg.SuspectFilter(p) {
 		return false
 	}
+	// Hold the packet's span before handing it off: Observe runs on the
+	// producer's goroutine (often an engine shard, which finishes its own
+	// reference right after sink delivery), and the hold keeps the span
+	// alive until the learner's side of the trace ends.
+	p.Span.Hold()
 	select {
 	case s.intake <- sample{tenant: tenant, p: p}:
 		s.observed.Add(1)
 		return true
 	default:
+		p.Span.Finish() // release the hold; the sample never entered
 		s.sinkDropped.Add(1)
 		return false
 	}
@@ -95,6 +102,7 @@ func (s *Service) admit(smp sample) {
 			s.reservoirs[smp.tenant] = r
 		}
 	}
+	smp.p.Span.Stamp(trace.StageReservoir)
 	if r.offer(smp, s.rng) {
 		s.sampled.Add(1)
 	}

@@ -31,9 +31,14 @@ func (r *reservoir) offer(smp sample, rng *rand.Rand) bool {
 		return true
 	}
 	if j := rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+		// The evicted sample leaves the pipeline here: release its span
+		// hold before the slot is overwritten.
+		r.buf[j].p.EndTrace()
 		r.buf[j] = smp
 		return true
 	}
+	// Not stored: the offered sample's journey ends at the reservoir door.
+	smp.p.EndTrace()
 	return false
 }
 

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"leaksig/internal/httpmodel"
+	"leaksig/internal/obs/trace"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
@@ -154,6 +155,13 @@ type Config struct {
 
 	// Seed fixes the reservoir and medoid-election randomness; default 1.
 	Seed int64
+
+	// Tracer, when non-nil, receives the learner's stage latencies:
+	// sampled packet spans end at the cluster-feed stamp, and the
+	// epoch-granular distill and publish stages report their durations
+	// directly. Nil disables tracing (spans still flow through correctly
+	// if an upstream engine attached them).
+	Tracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +196,7 @@ type publishedSig struct {
 	sig     *signature.Signature
 	sources map[uint64]int // live source cluster ID → member count when distilled
 	tenants map[string]int // member count per tenant across those clusters
+	traces  []string       // sampled trace IDs of contributing packets (bounded)
 }
 
 // pubState tracks one published name's delivery state: the version
@@ -369,11 +378,18 @@ func (s *Service) epochLocked(ctx context.Context) (*signature.Set, error) {
 	// MaxTenantReservoirs slots for everyone who comes later.
 	for key, r := range s.reservoirs {
 		for _, smp := range r.take() {
+			// The cluster feed is a sampled packet's last per-packet
+			// station: stamp it and end the span here, so packets the
+			// clusterer retains across epochs carry only the trace ID.
+			smp.p.Span.Stamp(trace.StageCluster)
+			smp.p.EndTrace()
 			s.clusterer.ObserveTenant(smp.p, smp.tenant)
 		}
 		delete(s.reservoirs, key)
 	}
 	for _, smp := range s.overflow.take() {
+		smp.p.Span.Stamp(trace.StageCluster)
+		smp.p.EndTrace()
 		s.clusterer.ObserveTenant(smp.p, smp.tenant)
 	}
 	s.lastCompact = s.clusterer.Compact()
@@ -387,10 +403,17 @@ func (s *Service) epochLocked(ctx context.Context) (*signature.Set, error) {
 	groups := s.clusterer.TaggedGroups(s.cfg.MinClusterSize)
 	opts := s.cfg.Signature
 	opts.MinClusterSize = s.cfg.MinClusterSize
+	distillStart := time.Now()
 	cands, dst := distill(groups, s.benignTrain, s.benignHold, opts, s.cfg.Bayes, s.cfg.MaxHoldoutFP)
+	s.cfg.Tracer.Observe(trace.StageDistill, time.Since(distillStart))
 	s.lastDistill = dst
 	for _, c := range cands {
-		s.catalog[c.sig.Key()] = &publishedSig{sig: c.sig, sources: c.sources, tenants: c.tenants}
+		key := c.sig.Key()
+		traces := c.traces
+		if prev := s.catalog[key]; prev != nil {
+			traces = mergeTraces(prev.traces, c.traces)
+		}
+		s.catalog[key] = &publishedSig{sig: c.sig, sources: c.sources, tenants: c.tenants, traces: traces}
 	}
 
 	// Publish whatever changed. A silhouette below the quality gate
@@ -507,12 +530,14 @@ func sortBatch(batch []namedPublish) {
 // counts once). Callers hold s.mu.
 func (s *Service) assembleLocked(keep func(*publishedSig) bool) *signature.Set {
 	var sigs []*signature.Signature
+	var traces []string
 	clusters := make(map[uint64]int)
 	for _, ps := range s.catalog {
 		if !keep(ps) {
 			continue
 		}
 		sigs = append(sigs, ps.sig)
+		traces = mergeTraces(traces, ps.traces)
 		for id, size := range ps.sources {
 			if size > clusters[id] {
 				clusters[id] = size
@@ -523,7 +548,12 @@ func (s *Service) assembleLocked(keep func(*publishedSig) bool) *signature.Set {
 	for _, size := range clusters {
 		training += size
 	}
-	return assemble(sigs, training)
+	set := assemble(sigs, training)
+	// Trace provenance rides the set but never its fingerprint, so a
+	// stable catalog under new trace IDs republishes nothing.
+	sort.Strings(traces)
+	set.Traces = traces
+	return set
 }
 
 // catalogTenantsLocked lists every tenant named in the catalog's
@@ -666,7 +696,9 @@ func (s *Service) publishOneLocked(ctx context.Context, item namedPublish) (*sig
 		}
 	}
 	set.Version = version
+	pubStart := time.Now()
 	v, err := publish(pubCtx, set)
+	s.cfg.Tracer.Observe(trace.StagePublish, time.Since(pubStart))
 	var cur int64
 	var curErr error
 	if err != nil {

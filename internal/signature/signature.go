@@ -64,6 +64,11 @@ type Set struct {
 	// Version increases monotonically when a distribution server reissues
 	// the set (Figure 3a).
 	Version int64 `json:"version"`
+	// Traces carries the sampled trace IDs of packets whose misses
+	// contributed to this generation (bounded; provenance only — excluded
+	// from fingerprinting, so identical signatures under different traces
+	// never republish).
+	Traces []string `json:"traces,omitempty"`
 }
 
 // Len returns the number of signatures.

@@ -521,10 +521,19 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// TraceHeader carries a trace ID across the pipeline's HTTP hops: the
+// publisher sets it from the set's first provenance trace, the server
+// stores it into the set and echoes it on fetches, so a watcher's reload
+// can adopt the trace of the miss that started the generation.
+const TraceHeader = "X-Leaksig-Trace"
+
 // writeSetJSON serves one signature set with the ETag/If-None-Match
 // conditional-request contract shared by the default and named endpoints.
 func writeSetJSON(w http.ResponseWriter, r *http.Request, set *signature.Set, version int64) {
 	etag := fmt.Sprintf("%q", strconv.FormatInt(version, 10))
+	if len(set.Traces) > 0 {
+		w.Header().Set(TraceHeader, set.Traces[0])
+	}
 	if r.Header.Get("If-None-Match") == etag {
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -620,6 +629,11 @@ func (s *Server) servePublish(w http.ResponseWriter, r *http.Request, name, toke
 		http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
 		return
 	}
+	// A publisher that carries trace context only in the header (older
+	// bodies, hand-rolled curl publishes) still gets provenance stored.
+	if id := r.Header.Get(TraceHeader); id != "" && len(set.Traces) == 0 {
+		set.Traces = []string{id}
+	}
 	v, err := s.PublishNamedSet(name, set)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -707,6 +721,9 @@ func (c *Client) publishPath(ctx context.Context, name string, set *signature.Se
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if len(set.Traces) > 0 {
+		req.Header.Set(TraceHeader, set.Traces[0])
+	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}

@@ -40,6 +40,7 @@ import (
 	"leaksig/internal/engine"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/obs"
+	"leaksig/internal/obs/trace"
 	"leaksig/internal/sensitive"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
@@ -300,6 +301,52 @@ type IntakeLimiterConfig = obs.RateLimiterConfig
 // NewIntakeLimiter builds a limiter; Rate <= 0 yields a pass-through
 // limiter that still keeps per-tenant intake accounting.
 func NewIntakeLimiter(cfg IntakeLimiterConfig) *IntakeLimiter { return obs.NewRateLimiter(cfg) }
+
+// Tracer head-samples packets into pipeline spans: 1 in N submitted
+// packets gets a Span whose nanosecond stage timestamps (ingest →
+// rate-limit → enqueue → drain → match → sink; on the miss path
+// reservoir → cluster → distill → publish → reload apply) feed the
+// leaksig_stage_seconds histograms on finish. Unsampled packets pay one
+// nil check. A nil *Tracer is fully inert (see internal/obs/trace).
+type Tracer = trace.Tracer
+
+// Span is one sampled packet's journey through the pipeline. Stamp
+// records a stage timestamp; Hold/Finish manage the reference count
+// across ownership handoffs (engine → learner); the last Finish flushes
+// stage deltas into the tracer's histograms and recycles the span.
+type Span = trace.Span
+
+// TraceStage identifies one pipeline stage a Span can stamp.
+type TraceStage = trace.Stage
+
+// NewTracer builds a tracer sampling 1 in every packets (0 disables
+// head sampling; Adopt and Observe still work, so cross-process trace
+// continuation is independent of the local sampling rate).
+func NewTracer(every int) *Tracer { return trace.NewTracer(every) }
+
+// FlightRecorder is the always-on bounded ring of structured pipeline
+// events (drops, sink stalls, reload tickets, batch-target changes) with
+// trigger-based dumping — the post-hoc "what just happened" plane that
+// complements sampled tracing (see internal/obs/trace). Attach one via
+// StreamConfig.Flight and mount its dump via DebugHandler's
+// GET /debug/flight.
+type FlightRecorder = trace.Flight
+
+// FlightEvent is one recorded flight event.
+type FlightEvent = trace.FlightEvent
+
+// NewFlightRecorder builds a recorder striped across shards engine
+// shards (stripe 0 holds engine-scope events); depth <= 0 selects the
+// default per-stripe ring depth.
+func NewFlightRecorder(shards, depth int) *FlightRecorder { return trace.NewFlight(shards, depth) }
+
+// TracerMetrics projects a Tracer's per-stage histograms and span
+// accounting into the leaksig_stage_seconds and leaksig_trace_* families.
+func TracerMetrics(t *Tracer) MetricsCollector { return obs.TracerCollector(t) }
+
+// FlightMetrics projects a FlightRecorder's accounting into the
+// leaksig_flight_* families.
+func FlightMetrics(f *FlightRecorder) MetricsCollector { return obs.FlightCollector(f) }
 
 // Dataset is a synthetic capture with its device and ground truth.
 type Dataset struct {

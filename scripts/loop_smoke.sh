@@ -10,6 +10,7 @@ set -euo pipefail
 
 PORT="${LOOP_SMOKE_PORT:-8701}"
 MPORT="${LOOP_SMOKE_METRICS_PORT:-8702}"
+DPORT="${LOOP_SMOKE_DEBUG_PORT:-8703}"
 dir="$(mktemp -d)"
 cleanup() {
   [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true
@@ -37,9 +38,9 @@ curl -fs "http://127.0.0.1:$PORT/healthz" >/dev/null
 v0="$(curl -fs "http://127.0.0.1:$PORT/version")"
 echo "== sigserver starts at version $v0"
 
-echo "== streaming the trace through leakstream -learn -learn-tenants"
+echo "== streaming the trace through leakstream -learn -learn-tenants -trace-sample 1"
 "$dir/bin/leakstream" -server "http://127.0.0.1:$PORT" -learn -learn-tenants \
-  -tenant-by app -learn-min-cluster 2 \
+  -tenant-by app -learn-min-cluster 2 -trace-sample 1 \
   <"$dir/trace.jsonl" >"$dir/verdicts.jsonl" 2>"$dir/stream.log"
 
 echo "== leakstream log (packets/s in the engine stats line):"
@@ -66,6 +67,23 @@ if [ "$named" -lt 1 ]; then
   exit 1
 fi
 echo "PASS: closed loop published global version $v1 plus $named per-tenant named set(s)"
+
+echo "== trace plane: one trace ID from miss verdict to published signature"
+if ! grep -q '"trace":"' "$dir/verdicts.jsonl"; then
+  echo "FAIL: no verdict line carries a trace ID at -trace-sample 1" >&2
+  exit 1
+fi
+hdr_trace="$(curl -fsD - -o /dev/null "http://127.0.0.1:$PORT/signatures" \
+  | tr -d '\r' | awk -F': ' 'tolower($1)=="x-leaksig-trace"{print $2}')"
+if [ -z "$hdr_trace" ]; then
+  echo "FAIL: published set fetch carries no X-Leaksig-Trace provenance header" >&2
+  exit 1
+fi
+if ! grep -q "\"trace\":\"$hdr_trace\"" "$dir/verdicts.jsonl"; then
+  echo "FAIL: provenance trace $hdr_trace never appeared as a miss verdict" >&2
+  exit 1
+fi
+echo "PASS: trace $hdr_trace spans miss verdict -> published set -> fetch header"
 
 echo "== streaming the FULL trafficgen trace through leakstream (perf smoke)"
 "$dir/bin/leakgen" -seed 1 -out "$dir/full.jsonl" -device "$dir/device_full.json"
@@ -108,6 +126,7 @@ metric leaksig_build_info '1' "$dir/sigserver.metrics"
 echo "== daemon-mode leakstream with a tight per-tenant intake limit on :$MPORT"
 "$dir/bin/leakstream" -server "http://127.0.0.1:$PORT" -listen "127.0.0.1:$MPORT" \
   -tenant-rate 5 -tenant-burst 5 -rate-policy drop \
+  -trace-sample 1 -debug-addr "127.0.0.1:$DPORT" \
   </dev/null >/dev/null 2>"$dir/daemon.log" &
 stream_pid=$!
 for _ in $(seq 1 50); do
@@ -133,3 +152,17 @@ metric leaksig_intake_limited_total '[1-9]' "$dir/leakstream.metrics"
 metric leaksig_build_info '1' "$dir/leakstream.metrics"
 limited="$(awk '$1 == "leaksig_intake_limited_total" {print $2}' "$dir/leakstream.metrics")"
 echo "PASS: ops plane live — sigserver publishes scraped, leakstream shed $limited over-limit packets"
+
+echo "== flight recorder: the shedding storm above must have recorded a drop burst"
+curl -fs "http://127.0.0.1:$DPORT/debug/flight" >"$dir/flight.json"
+python3 - "$dir/flight.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+kinds = [e["kind"] for e in d["events"]]
+assert d["stats"]["recorded"] > 0, f"flight recorder saw nothing: {d['stats']}"
+assert "drop_burst" in kinds, f"no drop_burst event in the dump; kinds={kinds}"
+print(f"flight dump: {len(d['events'])} events held, kinds={sorted(set(kinds))}")
+PY
+# The daemon's watch adopted the learned set's provenance trace on reload.
+metric leaksig_trace_spans_adopted_total '[1-9]' "$dir/leakstream.metrics"
+echo "PASS: flight recorder dumped the drop burst; reload adopted the provenance trace"
