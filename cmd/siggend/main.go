@@ -52,6 +52,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -67,14 +69,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("siggend: ")
 	var (
-		server   = flag.String("server", "", "sigserver base URL to auto-publish into (empty: generate only, log what would publish)")
-		token    = flag.String("token", "", "bearer token for the publish endpoint")
-		listen   = flag.String("listen", "", "HTTP intake address (empty: stdin only)")
-		obsToken = flag.String("observe-token", "", "bearer token required on POST /observe (empty: unauthenticated — keep -listen on loopback)")
-		interval = flag.Duration("interval", 30*time.Second, "generation epoch cadence (0: only the final stdin epoch)")
-		benignIn = flag.String("benign", "", "benign capture (JSONL) for the Bayes and held-out FP gates")
-		tenantBy = flag.String("tenant-by", "app", "reservoir tenant key: app | host | none")
-		tenants  = flag.Bool("tenant-sets", false, "publish one named set per tenant alongside the global set")
+		server       = flag.String("server", "", "sigserver base URL to auto-publish into (empty: generate only, log what would publish)")
+		token        = flag.String("token", "", "bearer token for the publish endpoint")
+		listen       = flag.String("listen", "", "HTTP intake address (empty: stdin only)")
+		obsToken     = flag.String("observe-token", "", "bearer token required on POST /observe (empty: unauthenticated — keep -listen on loopback)")
+		interval     = flag.Duration("interval", 30*time.Second, "generation epoch cadence (0: only the final stdin epoch)")
+		benignIn     = flag.String("benign", "", "benign capture (JSONL) for the Bayes and held-out FP gates")
+		tenantBenign = tenantCaptureFlag{}
+		tenantBy     = flag.String("tenant-by", "app", "reservoir tenant key: app | host | none")
+		tenants      = flag.Bool("tenant-sets", false, "publish one named set per tenant alongside the global set")
 
 		reservoir   = flag.Int("reservoir", 256, "per-tenant reservoir size")
 		maxTenants  = flag.Int("max-tenants", 64, "tenants with private reservoirs; the rest share one")
@@ -93,6 +96,8 @@ func main() {
 
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N locally-originated packets for stage tracing; forwarded trace IDs are always adopted (0: adopt only)")
 	)
+	flag.Var(&tenantBenign, "benign-tenant",
+		"per-tenant benign capture as name=path (repeatable); candidates attributed to the named tenant must also clear that corpus' FP gate")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -129,6 +134,18 @@ func main() {
 		benign = set.Packets
 		log.Printf("benign corpus: %d packets (half train, half held out)", len(benign))
 	}
+	var tenantCorpora map[string][]*httpmodel.Packet
+	if len(tenantBenign) > 0 {
+		tenantCorpora = make(map[string][]*httpmodel.Packet, len(tenantBenign))
+		for tenant, path := range tenantBenign {
+			set, err := capture.LoadJSONL(path)
+			if err != nil {
+				log.Fatalf("loading benign capture for tenant %q: %v", tenant, err)
+			}
+			tenantCorpora[tenant] = set.Packets
+			log.Printf("tenant %q benign corpus: %d packets (held out in full)", tenant, set.Len())
+		}
+	}
 
 	var keyFn func(*httpmodel.Packet) string
 	switch *tenantBy {
@@ -152,6 +169,7 @@ func main() {
 		MaxTenantReservoirs: *maxTenants,
 		MinClusterSize:      *minCluster,
 		Benign:              benign,
+		TenantBenign:        tenantCorpora,
 		MaxHoldoutFP:        *maxFP,
 		GenerateInterval:    *interval,
 		MinNewSamples:       *minSamples,
@@ -286,6 +304,30 @@ func observeNDJSON(r io.Reader, svc *siggen.Service, keyFn func(*httpmodel.Packe
 		log.Printf("reading stdin: %v", err)
 	}
 	return observed, dropped
+}
+
+// tenantCaptureFlag collects repeated -benign-tenant name=path pairs.
+type tenantCaptureFlag map[string]string
+
+func (f tenantCaptureFlag) String() string {
+	parts := make([]string, 0, len(f))
+	for tenant, path := range f {
+		parts = append(parts, tenant+"="+path)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f tenantCaptureFlag) Set(v string) error {
+	tenant, path, ok := strings.Cut(v, "=")
+	if !ok || tenant == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	if _, dup := f[tenant]; dup {
+		return fmt.Errorf("tenant %q given twice", tenant)
+	}
+	f[tenant] = path
+	return nil
 }
 
 // firstTrace is the provenance trace ID a published set carries, if any.

@@ -67,6 +67,15 @@ type Engine struct {
 	emptyBucket int32
 	numBuckets  int
 
+	// Per-kind programs beyond the fast conjunction path (kinds.go).
+	// viewMask is the union of every signature's decode views; when it
+	// is zero the scan never touches the view machinery, and when both
+	// program lists are empty matchExtInto is never called — a legacy
+	// conjunction-only set compiles to exactly the PR 5 engine.
+	viewMask httpmodel.ViewMask
+	extConj  []extProgram
+	subseq   []subseqProgram
+
 	// scratchPool feeds the compatibility entry points (MatchPacket,
 	// Matches); the pool lives on the engine, so a pooled scratch can
 	// never outlive or cross generations.
@@ -122,10 +131,11 @@ func NewEngine(set *signature.Set) *Engine {
 		}
 		e.sigBucket[si] = bucket
 	}
+	e.compileKinds(set, perSig)
 	e.postings = make([][]int32, len(patterns))
 	for si, ids := range perSig {
 		if e.needed[si] == 0 {
-			continue // token-less signatures never match
+			continue // token-less and non-fast-path signatures: no postings
 		}
 		for _, id := range ids {
 			e.postings[id] = append(e.postings[id], int32(si))
@@ -183,7 +193,11 @@ func (e *Engine) MatchInto(p *httpmodel.Packet, sc *Scratch) []int {
 		sc.init(e)
 	}
 	sc.begin()
-	p.VisitContent(sc)
+	if e.viewMask == 0 {
+		p.VisitContent(sc)
+	} else {
+		p.VisitContentViews(sc, e.viewMask, &sc.views)
+	}
 	e.markBuckets(p.Host, sc)
 
 	// Postings-list conjunction resolution: walk only the tokens whose
@@ -207,6 +221,9 @@ func (e *Engine) MatchInto(p *httpmodel.Packet, sc *Scratch) []int {
 				}
 			}
 		}
+	}
+	if len(e.extConj) > 0 || len(e.subseq) > 0 {
+		e.matchExtInto(p, sc)
 	}
 	// Candidates surface in token-discovery order; restore signature-set
 	// order (insertion sort: the list is almost always 0–2 entries).

@@ -1,0 +1,233 @@
+package detect
+
+// Per-kind match programs beyond the fast conjunction path. The compiler
+// partitions the set three ways:
+//
+//   - view-less conjunctions stay on the PR 5 postings path, untouched;
+//   - conjunctions with decode views become extended programs: a token
+//     counts as present when its bit is set in the raw occurrence bitset
+//     or in any opted view's bitset;
+//   - subsequence signatures get a two-stage program: a bitset prefilter
+//     (every token present somewhere in one stream — raw or one opted
+//     view) followed by an ordered verify over that stream's materialized
+//     content, which reproduces signature.MatchesOrdered exactly.
+//
+// All kinds share one automaton pass per stream; the extra programs run
+// only when the compiled set actually contains them, so a legacy
+// conjunction-only set pays nothing.
+
+import (
+	"bytes"
+
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+)
+
+// extProgram is one conjunction signature with decode views.
+type extProgram struct {
+	si     int32
+	tokens []int32 // distinct token IDs
+	views  httpmodel.ViewMask
+}
+
+// subseqProgram is one subsequence signature: distinct token IDs for the
+// bitset prefilter plus the ordered token bytes for the verify walk.
+type subseqProgram struct {
+	si     int32
+	tokens []int32  // distinct token IDs (prefilter)
+	toks   [][]byte // tokens in signature order (verify)
+	views  httpmodel.ViewMask
+}
+
+// bitSet reports whether token tok's bit is set in occ.
+func bitSet(occ []uint64, tok int32) bool {
+	return occ[tok>>6]&(1<<(tok&63)) != 0
+}
+
+// allBits reports whether every token's bit is set in occ.
+func allBits(occ []uint64, tokens []int32) bool {
+	for _, t := range tokens {
+		if !bitSet(occ, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchExtInto resolves the extended-conjunction and subsequence
+// programs into sc.cand. The fast postings loop has already run; ext
+// signatures are absent from every postings list, so no candidate can
+// duplicate.
+func (e *Engine) matchExtInto(p *httpmodel.Packet, sc *Scratch) {
+	for i := range e.extConj {
+		pr := &e.extConj[i]
+		if sc.bucketGen[e.sigBucket[pr.si]] != sc.cur {
+			continue
+		}
+		ok := true
+		for _, t := range pr.tokens {
+			if bitSet(sc.occ, t) {
+				continue
+			}
+			found := false
+			for v := httpmodel.View(0); v < httpmodel.NumViews; v++ {
+				if pr.views.Has(v) && bitSet(sc.occView[v], t) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sc.cand = append(sc.cand, pr.si)
+		}
+	}
+	for i := range e.subseq {
+		pr := &e.subseq[i]
+		if sc.bucketGen[e.sigBucket[pr.si]] != sc.cur {
+			continue
+		}
+		if allBits(sc.occ, pr.tokens) && e.verifyOrdered(p, pr, rawStream, sc) {
+			sc.cand = append(sc.cand, pr.si)
+			continue
+		}
+		for v := httpmodel.View(0); v < httpmodel.NumViews; v++ {
+			if pr.views.Has(v) && allBits(sc.occView[v], pr.tokens) &&
+				e.verifyOrdered(p, pr, v, sc) {
+				sc.cand = append(sc.cand, pr.si)
+				break
+			}
+		}
+	}
+}
+
+// rawStream selects the undecoded content stream in verifyOrdered.
+const rawStream = httpmodel.NumViews
+
+// verifyOrdered materializes one stream of the packet — the raw content
+// ('\n'-joined fields, exactly Packet.Content) or one decode view's
+// spans '\n'-joined — into scratch and runs the ordered token walk over
+// it. It only runs after the prefilter saw every token in the stream, so
+// it is the rare path.
+func (e *Engine) verifyOrdered(p *httpmodel.Packet, pr *subseqProgram, stream httpmodel.View, sc *Scratch) bool {
+	buf := sc.content[:0]
+	if stream == rawStream {
+		buf = append(buf, p.Method...)
+		buf = append(buf, ' ')
+		buf = append(buf, p.Path...)
+		buf = append(buf, ' ')
+		buf = append(buf, p.Proto...)
+		buf = append(buf, '\n')
+		buf = appendCookie(buf, p)
+		buf = append(buf, '\n')
+		buf = append(buf, p.Body...)
+	} else {
+		// Decoded spans join with the same separator as fields, so a
+		// token can never straddle two spans — matching the prefilter,
+		// which scanned each span in isolation.
+		sc.fieldBuf = sc.fieldBuf[:0]
+		sc.fieldBuf = append(sc.fieldBuf, p.Method...)
+		sc.fieldBuf = append(sc.fieldBuf, ' ')
+		sc.fieldBuf = append(sc.fieldBuf, p.Path...)
+		sc.fieldBuf = append(sc.fieldBuf, ' ')
+		sc.fieldBuf = append(sc.fieldBuf, p.Proto...)
+		buf = appendDecodedSpans(buf, stream, sc.fieldBuf, &sc.views)
+		sc.fieldBuf = appendCookie(sc.fieldBuf[:0], p)
+		buf = appendDecodedSpans(buf, stream, sc.fieldBuf, &sc.views)
+		buf = appendDecodedSpans(buf, stream, p.Body, &sc.views)
+	}
+	sc.content = buf
+	pos := 0
+	for _, tok := range pr.toks {
+		idx := bytes.Index(buf[pos:], tok)
+		if idx < 0 {
+			return false
+		}
+		pos += idx + len(tok)
+	}
+	return true
+}
+
+func appendCookie(buf []byte, p *httpmodel.Packet) []byte {
+	first := true
+	for i := range p.Headers {
+		if equalFoldCookie(p.Headers[i].Name) {
+			if !first {
+				buf = append(buf, "; "...)
+			}
+			buf = append(buf, p.Headers[i].Value...)
+			first = false
+		}
+	}
+	return buf
+}
+
+// equalFoldCookie is strings.EqualFold(name, "Cookie") without the
+// generic fold machinery.
+func equalFoldCookie(name string) bool {
+	if len(name) != 6 {
+		return false
+	}
+	const lower = "cookie"
+	for i := 0; i < 6; i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendDecodedSpans appends every decoded span of field under view,
+// each terminated by '\n'.
+func appendDecodedSpans(buf []byte, view httpmodel.View, field []byte, vs *httpmodel.ViewScratch) []byte {
+	httpmodel.VisitDecodedView(view, field, vs, func(dec []byte) {
+		buf = append(buf, dec...)
+		buf = append(buf, '\n')
+	})
+	return buf
+}
+
+// compileKinds partitions the set into per-kind programs. perSig holds
+// each signature's distinct token IDs. Fast conjunctions keep their
+// postings; extended and subsequence signatures are pulled out of the
+// postings index (needed[si] = 0) and resolved by matchExtInto.
+func (e *Engine) compileKinds(set *signature.Set, perSig [][]int32) {
+	for si, sig := range set.Signatures {
+		if !signature.ValidKind(sig.Kind) {
+			// Unknown kind: never matches (and never reaches postings).
+			e.needed[si] = 0
+			continue
+		}
+		vm := httpmodel.ViewMaskOf(sig.Views)
+		kind := sig.EffectiveKind()
+		if kind == signature.KindConjunction && vm == 0 {
+			continue // fast path, already wired
+		}
+		e.needed[si] = 0 // keep out of the postings index
+		if len(perSig[si]) == 0 {
+			continue // token-less signatures never match
+		}
+		e.viewMask |= vm
+		switch kind {
+		case signature.KindConjunction:
+			e.extConj = append(e.extConj, extProgram{
+				si: int32(si), tokens: perSig[si], views: vm,
+			})
+		case signature.KindSubsequence:
+			toks := make([][]byte, len(sig.Tokens))
+			for i, t := range sig.Tokens {
+				toks[i] = []byte(t)
+			}
+			e.subseq = append(e.subseq, subseqProgram{
+				si: int32(si), tokens: perSig[si], toks: toks, views: vm,
+			})
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package detect
 
+import "leaksig/internal/httpmodel"
+
 // Scratch holds every piece of per-packet mutable state one matching call
 // needs: the automaton state, the token-occurrence bitset, the
 // remaining-token counters, the host-bucket marks, and the matched-ID
@@ -14,7 +16,21 @@ type Scratch struct {
 	owner *Engine
 
 	state int32    // automaton state threaded across chunks of one field
-	occ   []uint64 // token-occurrence bitset, matcher.BitsetWords() words
+	occ   []uint64 // raw-content token-occurrence bitset, matcher.BitsetWords() words
+
+	// Decode-view state, allocated only when the engine's set opts into
+	// views: occView[v] is the occurrence bitset for view v's decoded
+	// spans, occCur is the bitset the scan is currently filling (the raw
+	// occ between Field and the first ViewField), and views holds the
+	// decoder's reusable buffers.
+	occView [httpmodel.NumViews][]uint64
+	occCur  []uint64
+	views   httpmodel.ViewScratch
+
+	// Subsequence-verify buffers (kinds.go): the materialized stream
+	// content and the raw-field staging area for view decoding.
+	content  []byte
+	fieldBuf []byte
 
 	// Per-signature countdown of tokens still missing, lazily reset via
 	// the generation stamp: a signature whose gen is stale is implicitly
@@ -36,6 +52,14 @@ type Scratch struct {
 func (sc *Scratch) init(e *Engine) {
 	sc.owner = e
 	sc.occ = make([]uint64, e.matcher.BitsetWords())
+	sc.occCur = sc.occ
+	for v := httpmodel.View(0); v < httpmodel.NumViews; v++ {
+		if e.viewMask.Has(v) {
+			sc.occView[v] = make([]uint64, e.matcher.BitsetWords())
+		} else {
+			sc.occView[v] = nil
+		}
+	}
 	sc.rem = make([]int32, len(e.needed))
 	sc.gen = make([]uint32, len(e.needed))
 	sc.bucketGen = make([]uint32, e.numBuckets)
@@ -63,22 +87,42 @@ func (sc *Scratch) begin() {
 	for i := range sc.occ {
 		sc.occ[i] = 0
 	}
+	if sc.owner.viewMask != 0 {
+		for v := range sc.occView {
+			for i := range sc.occView[v] {
+				sc.occView[v][i] = 0
+			}
+		}
+	}
+	sc.occCur = sc.occ
 	sc.state = 0
 }
 
-// Field, Text and Bytes implement httpmodel.ContentVisitor: the automaton
-// state resets at each field boundary and threads across the chunks
-// within a field, so tokens may span chunks but never fields.
+// Field, Text, Bytes and ViewField implement httpmodel.ViewVisitor: the
+// automaton state resets at each field (and decoded-span) boundary and
+// threads across the chunks within one, so tokens may span chunks but
+// never fields, and never two decoded spans.
 
-// Field resets the automaton at a content-field boundary.
-func (sc *Scratch) Field() { sc.state = 0 }
+// Field resets the automaton at a content-field boundary and retargets
+// the scan at the raw occurrence bitset.
+func (sc *Scratch) Field() {
+	sc.state = 0
+	sc.occCur = sc.occ
+}
+
+// ViewField resets the automaton at a decoded-span boundary and
+// retargets the scan at the view's occurrence bitset.
+func (sc *Scratch) ViewField(v httpmodel.View) {
+	sc.state = 0
+	sc.occCur = sc.occView[v]
+}
 
 // Text scans one string chunk of the current field.
 func (sc *Scratch) Text(s string) {
-	sc.state = sc.owner.matcher.ScanString(sc.state, s, sc.occ)
+	sc.state = sc.owner.matcher.ScanString(sc.state, s, sc.occCur)
 }
 
 // Bytes scans one byte chunk of the current field.
 func (sc *Scratch) Bytes(b []byte) {
-	sc.state = sc.owner.matcher.ScanBytes(sc.state, b, sc.occ)
+	sc.state = sc.owner.matcher.ScanBytes(sc.state, b, sc.occCur)
 }

@@ -14,9 +14,15 @@ import (
 type DistillStats struct {
 	Groups        int // clusters large enough to generate from
 	Candidates    int // signatures emitted by the conjunction generator
-	RejectedBayes int // dropped by the Bayes log-likelihood gate
-	RejectedFP    int // dropped by the held-out false-positive gate
-	Accepted      int // candidates surviving every gate
+	RejectedBayes int // dropped by the Bayes log-likelihood gate (both kinds)
+	RejectedFP    int // dropped by a held-out false-positive gate (both kinds)
+	Accepted      int // candidates surviving every gate (both kinds)
+
+	// Subsequence fallback: groups whose conjunction candidates all
+	// failed the gates (or yielded none) retry as ordered-token
+	// signatures, which are strictly harder to fire by accident.
+	SubseqCandidates int // fallback signatures generated and gated
+	SubseqAccepted   int // fallback signatures surviving every gate
 }
 
 // candidate is one gate-surviving signature with its provenance: the
@@ -57,92 +63,71 @@ func mergeTraces(dst, add []string) []string {
 	return dst
 }
 
-// distill turns tagged cluster groups into publishable conjunction
-// candidates. Three filters run in sequence, mirroring the paper's §VI
-// concerns about careless signatures:
-//
-//  1. signature.Generate's own stoplist + benign-frequency token filters
-//     (benignTrain feeds the frequency filter);
-//  2. a Bayes gate: a model trained on the groups versus benignTrain
-//     scores each candidate's token set, and candidates whose summed
-//     log-likelihood ratio does not clear the calibrated threshold —
-//     token material as common in benign traffic as in suspect traffic —
-//     are dropped;
-//  3. a held-out false-positive gate: candidates matching more than
-//     maxHoldFP of benignHold (packets never seen during training) are
-//     dropped.
-//
-// Gates 2 and 3 need benign corpora to calibrate against and pass
-// everything when theirs is empty.
-//
-// Generation runs one group at a time so each candidate knows exactly
-// which cluster produced it; two clusters distilling identical signatures
-// collapse into one candidate whose provenance names both.
-func distill(groups []Group, benignTrain, benignHold []*httpmodel.Packet,
-	opts signature.Options, bayesOpts signature.BayesOptions, maxHoldFP float64) ([]candidate, DistillStats) {
-
-	st := DistillStats{Groups: len(groups)}
-	var cands []candidate
-	byKey := make(map[string]int) // signature key → index in cands
-	for _, g := range groups {
-		gopts := opts
-		gopts.BenignSample = benignTrain
-		set := signature.Generate([][]*httpmodel.Packet{g.Packets}, gopts)
-		// Trace provenance: the sampled members' trace IDs, harvested once
-		// per group, tie the published signature back to the misses that
-		// taught it.
-		var gtraces []string
-		for _, p := range g.Packets {
-			if p.Trace != "" {
-				gtraces = mergeTraces(gtraces, []string{p.Trace})
-				if len(gtraces) >= maxProvenanceTraces {
-					break
-				}
+// groupTraces harvests the sampled members' trace IDs of one group —
+// provenance tying a published signature back to the misses that taught
+// it.
+func groupTraces(g *Group) []string {
+	var gtraces []string
+	for _, p := range g.Packets {
+		if p.Trace != "" {
+			gtraces = mergeTraces(gtraces, []string{p.Trace})
+			if len(gtraces) >= maxProvenanceTraces {
+				break
 			}
-		}
-		for _, sig := range set.Signatures {
-			key := sig.Key()
-			if i, ok := byKey[key]; ok {
-				// Another cluster distilled the same signature: merge
-				// provenance, largest cluster wins the size tag.
-				c := &cands[i]
-				c.sources[g.ID] = len(g.Packets)
-				for tenant, n := range g.Tenants {
-					c.tenants[tenant] += n
-				}
-				c.traces = mergeTraces(c.traces, gtraces)
-				if sig.ClusterSize > c.sig.ClusterSize {
-					c.sig.ClusterSize = sig.ClusterSize
-				}
-				continue
-			}
-			byKey[key] = len(cands)
-			tenants := make(map[string]int, len(g.Tenants))
-			for tenant, n := range g.Tenants {
-				tenants[tenant] = n
-			}
-			cands = append(cands, candidate{
-				sig:     sig,
-				sources: map[uint64]int{g.ID: len(g.Packets)},
-				tenants: tenants,
-				traces:  mergeTraces(nil, gtraces),
-			})
 		}
 	}
-	st.Candidates = len(cands)
+	return gtraces
+}
+
+// foldCandidate merges one freshly generated signature into cands,
+// deduplicating on the kind-aware key: two clusters distilling identical
+// signatures collapse into one candidate whose provenance names both.
+func foldCandidate(cands []candidate, byKey map[string]int, sig *signature.Signature,
+	g *Group, gtraces []string) []candidate {
+
+	key := sig.Key()
+	if i, ok := byKey[key]; ok {
+		c := &cands[i]
+		c.sources[g.ID] = len(g.Packets)
+		for tenant, n := range g.Tenants {
+			c.tenants[tenant] += n
+		}
+		c.traces = mergeTraces(c.traces, gtraces)
+		if sig.ClusterSize > c.sig.ClusterSize {
+			c.sig.ClusterSize = sig.ClusterSize
+		}
+		return cands
+	}
+	byKey[key] = len(cands)
+	tenants := make(map[string]int, len(g.Tenants))
+	for tenant, n := range g.Tenants {
+		tenants[tenant] = n
+	}
+	return append(cands, candidate{
+		sig:     sig,
+		sources: map[uint64]int{g.ID: len(g.Packets)},
+		tenants: tenants,
+		traces:  mergeTraces(nil, gtraces),
+	})
+}
+
+// applyGates runs the Bayes and held-out false-positive gates over the
+// candidates, any kind. The FP gate compiles the candidates into a probe
+// engine — the same kinded compiler production matching uses — and
+// scores the shared held-out corpus plus, for each candidate, every
+// contributing tenant's private corpus (tenants without one are covered
+// by the shared gate alone). An empty corpus passes everything.
+func applyGates(cands []candidate, bayes *signature.BayesSignature,
+	benignHold []*httpmodel.Packet, tenantHold map[string][]*httpmodel.Packet,
+	maxHoldFP float64, st *DistillStats) []candidate {
+
 	if len(cands) == 0 {
-		return nil, st
+		return cands
 	}
-
-	if len(benignTrain) > 0 {
-		packetGroups := make([][]*httpmodel.Packet, len(groups))
-		for i, g := range groups {
-			packetGroups[i] = g.Packets
-		}
-		bayes := signature.GenerateBayes(packetGroups, benignTrain, bayesOpts)
+	if bayes != nil {
 		kept := cands[:0]
 		for _, c := range cands {
-			// A packet matching the conjunction contains every token, so
+			// A packet matching the signature contains every token, so
 			// the score of the joined tokens lower-bounds any matching
 			// packet's Bayes score; below threshold means the signature
 			// can only fire on Bayes-benign content.
@@ -156,31 +141,145 @@ func distill(groups []Group, benignTrain, benignHold []*httpmodel.Packet,
 		cands = kept
 	}
 
-	if len(benignHold) > 0 && len(cands) > 0 {
-		probe := &signature.Set{Signatures: make([]*signature.Signature, len(cands))}
-		for i, c := range cands {
-			cp := *c.sig
-			cp.ID = i
-			probe.Signatures[i] = &cp
-		}
-		eng := detect.NewEngine(probe)
+	if len(cands) == 0 {
+		return cands
+	}
+	corpora := 0
+	if len(benignHold) > 0 {
+		corpora++
+	}
+	corpora += len(tenantHold)
+	if corpora == 0 {
+		return cands
+	}
+	probe := &signature.Set{Signatures: make([]*signature.Signature, len(cands))}
+	for i, c := range cands {
+		cp := *c.sig
+		cp.ID = i
+		probe.Signatures[i] = &cp
+	}
+	eng := detect.NewEngine(probe)
+	countHits := func(corpus []*httpmodel.Packet) map[int]int {
 		hits := make(map[int]int, len(cands))
-		for _, p := range benignHold {
+		for _, p := range corpus {
 			for _, id := range eng.MatchPacket(p) {
 				hits[id]++
 			}
 		}
-		limit := maxHoldFP * float64(len(benignHold))
-		kept := cands[:0]
-		for i, c := range cands {
-			if float64(hits[i]) > limit {
-				st.RejectedFP++
+		return hits
+	}
+	sharedHits := countHits(benignHold)
+	tenantHits := make(map[string]map[int]int, len(tenantHold))
+	for tenant, corpus := range tenantHold {
+		if len(corpus) > 0 {
+			tenantHits[tenant] = countHits(corpus)
+		}
+	}
+	limit := maxHoldFP * float64(len(benignHold))
+	kept := cands[:0]
+	for i, c := range cands {
+		if len(benignHold) > 0 && float64(sharedHits[i]) > limit {
+			st.RejectedFP++
+			continue
+		}
+		rejected := false
+		for tenant := range c.tenants {
+			hits, ok := tenantHits[tenant]
+			if !ok {
 				continue
 			}
+			if float64(hits[i]) > maxHoldFP*float64(len(tenantHold[tenant])) {
+				st.RejectedFP++
+				rejected = true
+				break
+			}
+		}
+		if !rejected {
 			kept = append(kept, c)
 		}
-		cands = kept
 	}
+	return kept
+}
+
+// distill turns tagged cluster groups into publishable candidates.
+// Conjunction signatures distill first, through three filters mirroring
+// the paper's §VI concerns about careless signatures:
+//
+//  1. signature.Generate's own stoplist + benign-frequency token filters
+//     (benignTrain feeds the frequency filter);
+//  2. a Bayes gate: a model trained on the groups versus benignTrain
+//     scores each candidate's token set, and candidates whose summed
+//     log-likelihood ratio does not clear the calibrated threshold —
+//     token material as common in benign traffic as in suspect traffic —
+//     are dropped;
+//  3. held-out false-positive gates: candidates matching more than
+//     maxHoldFP of benignHold (packets never seen during training) — or
+//     of any contributing tenant's private corpus in tenantHold — are
+//     dropped.
+//
+// Groups whose conjunction candidates all fail the gates (or never
+// produce one — every token benign-frequent, say) fall back to
+// subsequence candidates: the same extracted tokens, but matched in
+// order. Order is strictly harder to satisfy by accident, so an ordered
+// signature can clear the very FP gate its unordered form failed; the
+// fallback runs through the same Bayes/FP gates and publishes with the
+// same provenance machinery, just with Kind set on the wire.
+//
+// Gates 2 and 3 need benign corpora to calibrate against and pass
+// everything when theirs is empty.
+func distill(groups []Group, benignTrain, benignHold []*httpmodel.Packet,
+	tenantHold map[string][]*httpmodel.Packet,
+	opts signature.Options, bayesOpts signature.BayesOptions, maxHoldFP float64) ([]candidate, DistillStats) {
+
+	st := DistillStats{Groups: len(groups)}
+	var cands []candidate
+	byKey := make(map[string]int) // signature key → index in cands
+	for gi := range groups {
+		g := &groups[gi]
+		gopts := opts
+		gopts.BenignSample = benignTrain
+		set := signature.Generate([][]*httpmodel.Packet{g.Packets}, gopts)
+		gtraces := groupTraces(g)
+		for _, sig := range set.Signatures {
+			cands = foldCandidate(cands, byKey, sig, g, gtraces)
+		}
+	}
+	st.Candidates = len(cands)
+
+	var bayes *signature.BayesSignature
+	if len(benignTrain) > 0 && len(groups) > 0 {
+		packetGroups := make([][]*httpmodel.Packet, len(groups))
+		for i, g := range groups {
+			packetGroups[i] = g.Packets
+		}
+		bayes = signature.GenerateBayes(packetGroups, benignTrain, bayesOpts)
+	}
+	cands = applyGates(cands, bayes, benignHold, tenantHold, maxHoldFP, &st)
+
+	// Subsequence fallback for the groups no surviving candidate covers.
+	surviving := make(map[uint64]bool)
+	for i := range cands {
+		for src := range cands[i].sources {
+			surviving[src] = true
+		}
+	}
+	var fallback []candidate
+	fbKey := make(map[string]int)
+	for gi := range groups {
+		g := &groups[gi]
+		if surviving[g.ID] {
+			continue
+		}
+		sset := signature.GenerateSubsequence([][]*httpmodel.Packet{g.Packets}, opts)
+		gtraces := groupTraces(g)
+		for _, ssig := range sset.Signatures {
+			fallback = foldCandidate(fallback, fbKey, ssig.AsKinded(), g, gtraces)
+		}
+	}
+	st.SubseqCandidates = len(fallback)
+	fallback = applyGates(fallback, bayes, benignHold, tenantHold, maxHoldFP, &st)
+	st.SubseqAccepted = len(fallback)
+	cands = append(cands, fallback...)
 
 	st.Accepted = len(cands)
 	return cands, st

@@ -101,6 +101,14 @@ type Config struct {
 	// the held-out false-positive corpus. Empty disables both gates.
 	Benign []*httpmodel.Packet
 
+	// TenantBenign supplies per-tenant benign corpora for the held-out
+	// false-positive gate: a candidate signature whose source clusters
+	// include tenant T's traffic must also clear MaxHoldoutFP against
+	// T's corpus. Tenants absent here fall back to the shared Benign
+	// corpus alone. Unlike Benign, these corpora are never trained on,
+	// so each is used held-out in full.
+	TenantBenign map[string][]*httpmodel.Packet
+
 	// MaxHoldoutFP is the held-out benign fraction a candidate signature
 	// may match before it is dropped; default 0.01.
 	MaxHoldoutFP float64
@@ -404,7 +412,7 @@ func (s *Service) epochLocked(ctx context.Context) (*signature.Set, error) {
 	opts := s.cfg.Signature
 	opts.MinClusterSize = s.cfg.MinClusterSize
 	distillStart := time.Now()
-	cands, dst := distill(groups, s.benignTrain, s.benignHold, opts, s.cfg.Bayes, s.cfg.MaxHoldoutFP)
+	cands, dst := distill(groups, s.benignTrain, s.benignHold, s.cfg.TenantBenign, opts, s.cfg.Bayes, s.cfg.MaxHoldoutFP)
 	s.cfg.Tracer.Observe(trace.StageDistill, time.Since(distillStart))
 	s.lastDistill = dst
 	for _, c := range cands {

@@ -26,28 +26,56 @@ import (
 	"leaksig/internal/suffix"
 )
 
-// Signature is one conjunction signature.
+// Signature is one published signature of any kind.
 type Signature struct {
-	ID          int      `json:"id"`
-	Tokens      []string `json:"tokens"`                // all must occur in packet content
+	ID int `json:"id"`
+	// Kind selects the matching discipline (KindConjunction,
+	// KindSubsequence). Empty means conjunction — the legacy wire
+	// spelling, so sets published before kinds existed parse unchanged.
+	Kind        string   `json:"kind,omitempty"`
+	Tokens      []string `json:"tokens"`                // conjunction: all must occur; subsequence: in this order
 	HostSuffix  string   `json:"host_suffix,omitempty"` // optional destination constraint (label-aligned)
 	ClusterSize int      `json:"cluster_size"`          // provenance: member count of the source cluster
+	// Views lists the decode views (KnownViews) the matcher scans in
+	// addition to the raw content. Opt-in per signature: decoding costs,
+	// so only signatures hunting encoded payloads pay it.
+	Views []string `json:"views,omitempty"`
 }
 
-// Key returns a canonical identity for deduplication: the sorted token
-// multiset plus the host constraint.
+// Key returns a canonical identity for deduplication. Conjunction keys
+// sort the token multiset; subsequence keys preserve order (order is the
+// signature). A kind-absent signature keys identically to an explicit
+// conjunction, and the legacy key format is preserved verbatim for
+// view-less conjunctions so pre-kind set fingerprints never shift.
 func (s *Signature) Key() string {
-	toks := append([]string(nil), s.Tokens...)
-	sort.Strings(toks)
-	return s.HostSuffix + "\x00" + strings.Join(toks, "\x00")
+	toks := s.Tokens
+	if s.EffectiveKind() == KindConjunction {
+		sorted := append([]string(nil), s.Tokens...)
+		sort.Strings(sorted)
+		toks = sorted
+	}
+	key := s.HostSuffix + "\x00" + strings.Join(toks, "\x00")
+	if k := s.EffectiveKind(); k != KindConjunction {
+		key = "\x02" + k + "\x01" + key
+	}
+	if len(s.Views) > 0 {
+		key += "\x03" + viewsKey(s.Views)
+	}
+	return key
 }
 
 // String renders a compact human-readable form.
 func (s *Signature) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sig#%d", s.ID)
+	if s.Kind != "" && s.Kind != KindConjunction {
+		fmt.Fprintf(&b, " kind=%s", s.Kind)
+	}
 	if s.HostSuffix != "" {
 		fmt.Fprintf(&b, " host~%s", s.HostSuffix)
+	}
+	if len(s.Views) > 0 {
+		fmt.Fprintf(&b, " views=%s", viewsKey(s.Views))
 	}
 	for _, t := range s.Tokens {
 		fmt.Fprintf(&b, " %q", t)

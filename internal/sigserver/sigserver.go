@@ -629,6 +629,13 @@ func (s *Server) servePublish(w http.ResponseWriter, r *http.Request, name, toke
 		http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
 		return
 	}
+	// Reject unknown kinds and views here, at the wire boundary: a
+	// typo'd kind accepted into the fleet would compile to a signature
+	// that silently never matches.
+	if err := set.Validate(); err != nil {
+		http.Error(w, fmt.Sprintf("bad signature set: %v", err), http.StatusBadRequest)
+		return
+	}
 	// A publisher that carries trace context only in the header (older
 	// bodies, hand-rolled curl publishes) still gets provenance stored.
 	if id := r.Header.Get(TraceHeader); id != "" && len(set.Traces) == 0 {

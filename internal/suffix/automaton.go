@@ -103,44 +103,11 @@ func (a *Automaton) Contains(t []byte) bool {
 // matchLengths streams t through the automaton and returns, for each state,
 // the length of the longest substring of t whose traversal ends at that
 // state (capped at the state's own length), propagated down suffix links.
+// It is the one-shot face of Stream: one Feed of the whole string.
 func (a *Automaton) matchLengths(t []byte) []int32 {
-	match := make([]int32, len(a.next))
-	var v, l int32
-	for _, c := range t {
-		for {
-			if nv, ok := a.next[v][c]; ok {
-				v = nv
-				l++
-				break
-			}
-			if a.link[v] == -1 {
-				l = 0
-				break
-			}
-			v = a.link[v]
-			l = a.length[v]
-		}
-		if l > match[v] {
-			match[v] = l
-		}
-	}
-	// Propagate to suffix-link ancestors in order of decreasing state length.
-	order := a.statesByLength()
-	for i := len(order) - 1; i >= 0; i-- {
-		s := order[i]
-		p := a.link[s]
-		if p < 0 || match[s] == 0 {
-			continue
-		}
-		m := match[s]
-		if m > a.length[p] {
-			m = a.length[p]
-		}
-		if m > match[p] {
-			match[p] = m
-		}
-	}
-	return match
+	s := a.NewStream()
+	s.Feed(t)
+	return s.Finish()
 }
 
 // statesByLength returns state indices sorted by increasing length using a

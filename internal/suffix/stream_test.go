@@ -1,0 +1,129 @@
+package suffix
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestStreamChunkedEquivalence proves the streaming contract: feeding a
+// string in arbitrary chunk splits yields exactly the BestLen and Finish
+// result of one whole-string Feed.
+func TestStreamChunkedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alphabet := []byte("abcx=&0123")
+	randText := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return b
+	}
+	for iter := 0; iter < 50; iter++ {
+		src := randText(5 + rng.Intn(60))
+		text := randText(5 + rng.Intn(60))
+		a := New(src)
+
+		whole := a.NewStream()
+		whole.Feed(text)
+		wantBest := whole.BestLen()
+		wantMatch := append([]int32(nil), whole.Finish()...)
+
+		chunked := a.NewStream()
+		for pos := 0; pos < len(text); {
+			n := 1 + rng.Intn(len(text)-pos)
+			if rng.Intn(2) == 0 {
+				chunked.FeedString(string(text[pos : pos+n]))
+			} else {
+				chunked.Feed(text[pos : pos+n])
+			}
+			pos += n
+		}
+		if got := chunked.BestLen(); got != wantBest {
+			t.Fatalf("iter %d: chunked BestLen=%d whole=%d (src=%q text=%q)",
+				iter, got, wantBest, src, text)
+		}
+		gotMatch := chunked.Finish()
+		for i := range wantMatch {
+			if gotMatch[i] != wantMatch[i] {
+				t.Fatalf("iter %d: Finish()[%d]=%d whole=%d", iter, i, gotMatch[i], wantMatch[i])
+			}
+		}
+
+		// Reset reuses the stream for a fresh text with no carry-over.
+		chunked.Reset()
+		chunked.Feed(text)
+		if got := chunked.BestLen(); got != wantBest {
+			t.Fatalf("iter %d: BestLen after Reset=%d want %d", iter, got, wantBest)
+		}
+	}
+}
+
+// TestStreamMatchesMatchLengths pins the production refactor: the
+// internal matchLengths (now built on Stream) agrees with a hand-rolled
+// longest-common-substring check via BestLen.
+func TestStreamMatchesMatchLengths(t *testing.T) {
+	src := []byte("udid=f3a9c1d2&zone=1")
+	a := New(src)
+	for _, text := range []string{
+		"xxudid=f3a9yy", "zone=1", "nothing shared??", "", "udid=f3a9c1d2&zone=1",
+	} {
+		s := a.NewStream()
+		s.FeedString(text)
+		want := 0
+		for i := 0; i < len(text); i++ {
+			for j := i + want + 1; j <= len(text); j++ {
+				if a.Contains([]byte(text[i:j])) {
+					want = j - i
+				} else {
+					break
+				}
+			}
+		}
+		if got := s.BestLen(); got != want {
+			t.Errorf("BestLen(%q)=%d, naive=%d", text, got, want)
+		}
+	}
+}
+
+// TestStreamsShareAutomatonConcurrently runs many Streams over one
+// Automaton from concurrent goroutines under -race: the automaton is
+// immutable after New, so per-stream state is the only mutation.
+func TestStreamsShareAutomatonConcurrently(t *testing.T) {
+	src := []byte("imei=356938035643809&aid=9774d56d682e549c&sess=abcdef")
+	a := New(src)
+	texts := [][]byte{
+		[]byte("p=imei=356938035643809&x=1"),
+		[]byte("nothing in common AT ALL"),
+		[]byte("aid=9774d56d682e549c"),
+		src,
+	}
+	wants := make([]int, len(texts))
+	for i, txt := range texts {
+		s := a.NewStream()
+		s.Feed(txt)
+		wants[i] = s.BestLen()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := a.NewStream()
+			for iter := 0; iter < 200; iter++ {
+				i := (g + iter) % len(texts)
+				s.Reset()
+				// Split each text at a goroutine-dependent boundary.
+				cut := (g*7 + iter) % (len(texts[i]) + 1)
+				s.Feed(texts[i][:cut])
+				s.Feed(texts[i][cut:])
+				if got := s.BestLen(); got != wants[i] {
+					t.Errorf("g%d text %d: BestLen=%d want %d", g, i, got, wants[i])
+					return
+				}
+				s.Finish()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -20,7 +20,12 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== building binaries"
-go build -o "$dir/bin/" ./cmd/leakgen ./cmd/sigserver ./cmd/leakstream
+go build -o "$dir/bin/" ./cmd/leakgen ./cmd/sigserver ./cmd/leakstream ./cmd/leakeval
+
+echo "== adversarial encodings: decode views vs base64/hex/url/gzip leak bodies"
+"$dir/bin/leakeval" -adversarial | tee "$dir/adversarial.log"
+grep -q '^PASS: decode views' "$dir/adversarial.log" \
+  || { echo "FAIL: adversarial decode-view scenario did not pass" >&2; exit 1; }
 
 echo "== generating the example trace"
 "$dir/bin/leakgen" -seed 7 -apps 40 -packets 3000 \
