@@ -37,17 +37,38 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"leaksig/internal/engine"
+	"leaksig/internal/faultinject"
 	"leaksig/internal/flowcontrol"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/obs"
 	"leaksig/internal/obs/trace"
+	"leaksig/internal/resilience"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
+
+// loadFaults builds the chaos injector from -faults or, when the flag is
+// empty, the LEAKSIG_FAULTS/FAULT_SEED environment.
+func loadFaults(spec string) *faultinject.Injector {
+	if spec != "" {
+		cfg, err := faultinject.Parse(spec)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		return faultinject.New(cfg)
+	}
+	inj, err := faultinject.FromEnv()
+	if err != nil {
+		log.Fatalf("LEAKSIG_FAULTS: %v", err)
+	}
+	return inj
+}
 
 func main() {
 	log.SetFlags(0)
@@ -64,6 +85,7 @@ func main() {
 		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
 		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
 		debugAddr   = flag.String("debug-addr", "", "private ops listener: /metrics, /stats, /healthz, /readyz, /debug/pprof, /debug/flight")
+		faults      = flag.String("faults", "", `chaos injection spec for outbound HTTP, e.g. "seed=7,reset=0.1,latency_p=0.1,latency=20ms" (empty: read LEAKSIG_FAULTS)`)
 
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N learn-forwarded misses with a trace ID, so the signature each one seeds can be followed back here (0: off)")
 	)
@@ -71,9 +93,17 @@ func main() {
 
 	reg := obs.NewRegistry()
 	reg.Register(obs.BuildInfoCollector())
+	inj := loadFaults(*faults)
+	if inj != nil {
+		log.Printf("chaos: %s", inj)
+		reg.Register(obs.FaultCollector(inj))
+	}
 	var shipper *obs.Shipper
 	if *eventsURL != "" {
-		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "flowproxy"})
+		shipper = obs.NewShipper(obs.ShipperConfig{
+			URL: *eventsURL, Token: *eventsToken, Node: "flowproxy",
+			HTTPClient: inj.Client(nil),
+		})
 		defer shipper.Close()
 		reg.Register(shipper)
 	}
@@ -156,8 +186,9 @@ func main() {
 	var be flowcontrol.Backend = eng
 	var fwd *missForwarder
 	if *learn != "" {
-		fwd = newMissForwarder(*learn, *learnToken, tracer, flight)
+		fwd = newMissForwarder(*learn, *learnToken, inj.Client(nil), tracer, flight)
 		be = flowcontrol.NewObservedBackend(eng, fwd.offer)
+		reg.Register(obs.BreakerCollector("learn_forward", fwd.br))
 	}
 	proxy := flowcontrol.NewProxyWith(be, pol, nil)
 	fmt.Printf("flow control proxy on %s with %d signatures (policy: %s)\n",
@@ -207,13 +238,15 @@ func main() {
 		}()
 	}
 
+	watchCtx, watchStop := context.WithCancel(context.Background())
+	defer watchStop()
 	if *server != "" {
-		client := sigserver.NewClient(*server, nil)
+		client := sigserver.NewClient(*server, inj.Client(nil))
 		go func() {
 			// Watch long-polls the server's /wait endpoint, so updates
 			// land within one round trip; -refresh only bounds the retry
 			// and fallback cadence.
-			err := client.Watch(context.Background(), *refresh, func(newSet *signature.Set) {
+			err := client.Watch(watchCtx, *refresh, func(newSet *signature.Set) {
 				// Adopt the set's provenance trace, if it carries one, so
 				// the reload apply closes that trace's loop in this process.
 				var id string
@@ -248,9 +281,29 @@ func main() {
 		}
 	}()
 
-	if err := http.ListenAndServe(*addr, proxy); err != nil {
+	hs := &http.Server{Addr: *addr, Handler: proxy}
+	ctx, sigStop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer sigStop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	sigStop()
+	log.Printf("shutting down: draining proxied requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	hs.Shutdown(sctx)
+	cancel()
+	watchStop()
+	if fwd != nil {
+		// Ship whatever misses are still buffered before the learner
+		// loses them.
+		fwd.close()
+	}
+	eng.Close()
+	// Deferred shipper.Close flushes pending event batches.
 }
 
 // missForwarder batches unmatched packets and ships them to a siggend
@@ -263,10 +316,14 @@ type missForwarder struct {
 	url     string
 	token   string
 	hc      *http.Client
+	br      *resilience.Breaker
 	tracer  *trace.Tracer
 	flight  *trace.Flight
 	sent    atomic.Int64
 	dropped atomic.Int64
+	shed    atomic.Int64
+	stop    chan struct{}
+	done    chan struct{}
 }
 
 // forwarderBatch bounds one POST; forwarderLinger bounds how long a
@@ -278,17 +335,32 @@ const (
 	forwarderTimeout = 10 * time.Second
 )
 
-func newMissForwarder(base, token string, tracer *trace.Tracer, flight *trace.Flight) *missForwarder {
+func newMissForwarder(base, token string, hc *http.Client, tracer *trace.Tracer, flight *trace.Flight) *missForwarder {
+	if hc == nil {
+		hc = &http.Client{Timeout: forwarderTimeout}
+	} else if hc.Timeout == 0 {
+		hc.Timeout = forwarderTimeout
+	}
 	f := &missForwarder{
 		ch:     make(chan *httpmodel.Packet, 1024),
 		url:    base + "/observe",
 		token:  token,
-		hc:     &http.Client{Timeout: forwarderTimeout},
+		hc:     hc,
+		br:     resilience.NewBreaker(resilience.BreakerConfig{}),
 		tracer: tracer,
 		flight: flight,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	go f.run()
 	return f
+}
+
+// close drains whatever is already buffered into a final batch, ships it
+// once, and stops the forwarder goroutine. Safe to call once.
+func (f *missForwarder) close() {
+	close(f.stop)
+	<-f.done
 }
 
 func (f *missForwarder) offer(p *httpmodel.Packet) {
@@ -312,11 +384,20 @@ func (f *missForwarder) stats() (sent, dropped int64) {
 }
 
 func (f *missForwarder) run() {
+	defer close(f.done)
 	t := time.NewTicker(forwarderLinger)
 	defer t.Stop()
 	batch := make([]*httpmodel.Packet, 0, forwarderBatch)
 	ship := func() {
 		if len(batch) == 0 {
+			return
+		}
+		if !f.br.Allow() {
+			// Learner known-dead: shed the batch without dialing so the
+			// forwarder goroutine never queues behind connect timeouts.
+			f.dropped.Add(int64(len(batch)))
+			f.shed.Add(int64(len(batch)))
+			batch = batch[:0]
 			return
 		}
 		var buf bytes.Buffer
@@ -340,6 +421,7 @@ func (f *missForwarder) run() {
 		case err != nil:
 			log.Printf("learn forward: %v", err)
 			f.dropped.Add(int64(len(batch)))
+			f.br.Record(err)
 		default:
 			// Drain before closing so the connection returns to the
 			// keep-alive pool instead of being torn down per batch.
@@ -351,6 +433,9 @@ func (f *missForwarder) run() {
 			} else {
 				f.sent.Add(int64(len(batch)))
 			}
+			// Any HTTP status means the learner answered; only transport
+			// failures push the breaker toward open.
+			f.br.Record(nil)
 		}
 		batch = batch[:0]
 	}
@@ -363,6 +448,22 @@ func (f *missForwarder) run() {
 			}
 		case <-t.C:
 			ship()
+		case <-f.stop:
+			// Final flush: drain what is already buffered, ship, exit.
+			for {
+				select {
+				case p := <-f.ch:
+					batch = append(batch, p)
+					if len(batch) >= forwarderBatch {
+						ship()
+					}
+					continue
+				default:
+				}
+				break
+			}
+			ship()
+			return
 		}
 	}
 }

@@ -60,6 +60,16 @@
 // ships leak verdicts, reloads, and publishes as batched NDJSON events
 // without ever blocking intake, and -debug-addr opens a private
 // listener with /metrics and /debug/pprof for operators.
+//
+// Robustness flags: -sig-cache persists every watch delivery as a
+// last-known-good file, and a boot against an unreachable -server
+// serves the cached sets immediately — /readyz answers 200
+// "ready-degraded" and the leaksig_degraded gauge holds 1 until the
+// server answers again. -checkpoint (with -learn) makes the embedded
+// learner crash-safe. -faults (or LEAKSIG_FAULTS) injects deterministic
+// chaos into outbound HTTP. SIGTERM drains the intake listener and
+// engine rings, runs a final learn epoch, checkpoints, and flushes the
+// event shipper before exit.
 package main
 
 import (
@@ -73,19 +83,41 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"leaksig/internal/capture"
+	"leaksig/internal/durable"
 	"leaksig/internal/engine"
+	"leaksig/internal/faultinject"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/obs"
 	"leaksig/internal/obs/trace"
+	"leaksig/internal/resilience"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
 	"leaksig/internal/sigserver"
 )
+
+// loadFaults builds the chaos injector from -faults or, when the flag is
+// empty, the LEAKSIG_FAULTS/FAULT_SEED environment.
+func loadFaults(spec string) *faultinject.Injector {
+	if spec != "" {
+		cfg, err := faultinject.Parse(spec)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		return faultinject.New(cfg)
+	}
+	inj, err := faultinject.FromEnv()
+	if err != nil {
+		log.Fatalf("LEAKSIG_FAULTS: %v", err)
+	}
+	return inj
+}
 
 func main() {
 	log.SetFlags(0)
@@ -93,6 +125,7 @@ func main() {
 	var (
 		server   = flag.String("server", "", "signature server base URL (hot reload via long poll)")
 		sigsIn   = flag.String("sigs", "", "signature set file (static alternative to -server)")
+		sigCache = flag.String("sig-cache", "", "last-known-good signature cache file: every watch delivery is persisted, and a boot against an unreachable -server serves the cached sets in degraded mode instead of refusing traffic")
 		listen   = flag.String("listen", "", "HTTP ingest address (empty: stdin only)")
 		shards   = flag.Int("shards", 0, "worker shards per engine (0: GOMAXPROCS)")
 		batch    = flag.Int("batch", 0, "initial packets batched per dispatch (0: default; adapts between min/max)")
@@ -117,6 +150,8 @@ func main() {
 		learnMinCluster = flag.Int("learn-min-cluster", 3, "cluster size a -learn signature needs")
 		learnToken      = flag.String("learn-token", "", "bearer token for the -learn publish endpoint")
 		learnTenants    = flag.Bool("learn-tenants", false, "with -learn: publish one named set per tenant (keyed by -tenant-by) alongside the global set")
+		checkpoint      = flag.String("checkpoint", "", "with -learn: learner checkpoint file, restored on start and rewritten each epoch")
+		faults          = flag.String("faults", "", `chaos injection spec for outbound HTTP, e.g. "seed=7,reset=0.1,latency_p=0.1,latency=20ms" (empty: read LEAKSIG_FAULTS)`)
 
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant sustained intake limit in packets/sec (0: account only, never limit)")
 		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant intake burst depth (0: one second of -tenant-rate)")
@@ -153,11 +188,19 @@ func main() {
 	// first signature set is live.
 	reg := obs.NewRegistry()
 	reg.Register(obs.BuildInfoCollector())
+	inj := loadFaults(*faults)
+	if inj != nil {
+		log.Printf("chaos: %s", inj)
+		reg.Register(obs.FaultCollector(inj))
+	}
 	limiter := obs.NewRateLimiter(obs.RateLimiterConfig{Rate: *tenantRate, Burst: *tenantBurst})
 	reg.Register(limiter)
 	var shipper *obs.Shipper
 	if *eventsURL != "" {
-		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "leakstream"})
+		shipper = obs.NewShipper(obs.ShipperConfig{
+			URL: *eventsURL, Token: *eventsToken, Node: "leakstream",
+			HTTPClient: inj.Client(nil),
+		})
 		defer shipper.Close()
 		reg.Register(shipper)
 	}
@@ -181,15 +224,26 @@ func main() {
 		})
 	}
 
-	var ready atomic.Bool
+	// ready latches once any signature set is live; degraded is raised
+	// while the live sets came from the -sig-cache fallback rather than
+	// the server, and clears on the first genuine watch delivery.
+	var ready, degraded atomic.Bool
+	reg.Register(obs.CollectorFunc(func(m *obs.MetricWriter) {
+		var v float64
+		if degraded.Load() {
+			v = 1
+		}
+		m.Gauge("leaksig_degraded", "1 while serving cached signatures because the signature server is unreachable.", v)
+	}))
 	ops := &opsState{
-		limiter: limiter,
-		keyFn:   tenantKeyFn(*tenantBy),
-		reject:  *ratePolicy == "reject",
-		reg:     reg,
-		ready:   &ready,
-		tracer:  tracer,
-		flight:  flight,
+		limiter:  limiter,
+		keyFn:    tenantKeyFn(*tenantBy),
+		reject:   *ratePolicy == "reject",
+		reg:      reg,
+		ready:    &ready,
+		degraded: &degraded,
+		tracer:   tracer,
+		flight:   flight,
 	}
 
 	set := &signature.Set{}
@@ -231,8 +285,14 @@ func main() {
 			}
 			benign = bset.Packets
 		}
+		pubClient := sigserver.NewClient(*server, inj.Client(nil))
+		pubClient.SetToken(*learnToken)
+		pubBreaker := resilience.NewBreaker(resilience.BreakerConfig{})
+		pubClient.SetBreaker(pubBreaker)
+		reg.Register(obs.BreakerCollector("publish", pubBreaker))
 		lcfg := siggen.Config{
-			Publisher:        siggen.NewHTTPPublisher(*server, *learnToken),
+			Publisher:        siggen.NewHTTPPublisherFrom(pubClient),
+			CheckpointPath:   *checkpoint,
 			Benign:           benign,
 			MinClusterSize:   *learnMinCluster,
 			GenerateInterval: *learnInterval,
@@ -258,6 +318,9 @@ func main() {
 		svc = siggen.NewService(lcfg)
 		defer svc.Close()
 		reg.Register(obs.SiggenCollector(svc.Stats))
+		if *checkpoint != "" && svc.Stats().CheckpointRestored {
+			log.Printf("learn: checkpoint %s restored", *checkpoint)
+		}
 	}
 
 	// Leak verdicts are ops-plane events: ship them (clean traffic is
@@ -330,8 +393,70 @@ func main() {
 		// it will ever be.
 		ready.Store(true)
 	}
+
+	// The last-known-good cache: boot serving whatever the previous run
+	// saw published, so a dead sigserver degrades this daemon instead of
+	// blanking it. The watch below overwrites both the engines and the
+	// cache the moment the server answers.
+	var cache *durable.SetCache
+	if *sigCache != "" {
+		var loaded bool
+		var err error
+		cache, loaded, err = durable.OpenSetCache(*sigCache)
+		if err != nil {
+			log.Fatalf("opening -sig-cache: %v", err)
+		}
+		if !loaded && cache.Len() == 0 {
+			log.Printf("sig-cache %s: empty (first run or unreadable); nothing to serve until the server answers", *sigCache)
+		}
+		if *server != "" && cache.Len() > 0 {
+			applied := 0
+			for _, name := range cache.Names() {
+				cached, ok := cache.Get(name)
+				if !ok {
+					continue
+				}
+				if name == "" {
+					be.reload(cached)
+				} else {
+					be.reloadTenant(name, cached)
+				}
+				applied++
+			}
+			if applied > 0 {
+				ready.Store(true)
+				degraded.Store(true)
+				log.Printf("sig-cache %s: serving %d cached set(s) in degraded mode until the server answers", *sigCache, applied)
+				flight.Trigger(trace.KindDegraded, trace.FlightEvent{
+					Kind: trace.KindDegraded, Shard: -1, Value: int64(applied),
+					Detail: "booted from sig-cache; sigserver not yet confirmed",
+				})
+				if shipper != nil {
+					shipper.Ship(obs.Event{Type: "degraded", Detail: fmt.Sprintf("serving %d cached set(s) from %s", applied, *sigCache)})
+				}
+			}
+		}
+	}
+
+	// liveDelivery is what every watch callback runs first: persist the
+	// set, and if this is the first server contact since boot, clear the
+	// degraded latch.
+	liveDelivery := func(name string, set *signature.Set) {
+		if cache != nil {
+			if err := cache.Put(name, set); err != nil {
+				log.Printf("sig-cache write: %v", err)
+			}
+		}
+		if degraded.CompareAndSwap(true, false) {
+			log.Printf("sigserver reachable again: leaving degraded mode")
+			if shipper != nil {
+				shipper.Ship(obs.Event{Type: "degraded", Version: set.Version, Set: name, Detail: "recovered: live set delivered"})
+			}
+		}
+	}
+
 	if *server != "" {
-		client := sigserver.NewClient(*server, nil)
+		client := sigserver.NewClient(*server, inj.Client(nil))
 		if *pool {
 			// Pool mode follows the server's whole set catalog: the
 			// default set rolls unpinned tenants, each named set pins its
@@ -339,6 +464,7 @@ func main() {
 			go func() {
 				err := client.WatchSets(ctx, *poll, func(name string, set *signature.Set) {
 					ready.Store(true)
+					liveDelivery(name, set)
 					if name == "" {
 						applyReload(be, set, tracer, shipper, "")
 						log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
@@ -360,6 +486,7 @@ func main() {
 			go func() {
 				err := client.Watch(ctx, *poll, func(set *signature.Set) {
 					ready.Store(true)
+					liveDelivery("", set)
 					applyReload(be, set, tracer, shipper, "")
 					log.Printf("signatures reloaded: version %d, %d entries", set.Version, set.Len())
 				})
@@ -409,11 +536,12 @@ func main() {
 		}()
 	}
 
+	var ingest *http.Server
 	if *listen != "" {
-		srv := &http.Server{Addr: *listen, Handler: ingestHandler(be, ops)}
+		ingest = &http.Server{Addr: *listen, Handler: ingestHandler(be, ops)}
 		go func() {
 			log.Printf("HTTP ingest on %s (/ingest, /match, /stats, /metrics, /healthz, /readyz)", *listen)
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := ingest.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Fatal(err)
 			}
 		}()
@@ -430,8 +558,8 @@ func main() {
 	// Stdin is always consumed: in pipe mode it is the packet source; in
 	// daemon mode it typically hits EOF immediately and only -listen feeds
 	// the engine.
-	accepted, rejected := streamNDJSON(os.Stdin, ops.submitter(be, ""))
 	if *listen == "" {
+		accepted, rejected := streamNDJSON(os.Stdin, ops.submitter(be, ""))
 		// Closing the backend drains every queued packet through the
 		// matcher — and, with -learn, through the miss sink — so the
 		// final learn epoch below sees the complete stream.
@@ -449,7 +577,35 @@ func main() {
 		log.Print(be.statsLine())
 		return
 	}
-	select {} // daemon mode: serve until killed
+
+	// Daemon mode: stdin off the main goroutine so SIGTERM is answered
+	// even mid-stream, then serve until signalled. Shutdown order is the
+	// reverse of the data flow: stop intake, drain the engine rings, run
+	// a final learn epoch, then let the deferred closes checkpoint the
+	// learner and flush the event shipper.
+	go func() {
+		accepted, rejected := streamNDJSON(os.Stdin, ops.submitter(be, ""))
+		log.Printf("stdin done: %d accepted, %d rejected lines", accepted, rejected)
+	}()
+	sigCtx, sigStop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer sigStop()
+	<-sigCtx.Done()
+	sigStop()
+	log.Printf("shutting down: draining intake and engine rings")
+	if ingest != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ingest.Shutdown(sctx)
+		scancel()
+	}
+	cancel()   // end the signature watch
+	be.close() // drain every queued packet through the matcher
+	out.flush()
+	if svc != nil {
+		if _, err := svc.RunEpoch(context.Background()); err != nil {
+			log.Printf("learn: final epoch: %v", err)
+		}
+	}
+	log.Print(be.statsLine())
 }
 
 // backend abstracts the single-engine and multi-tenant postures for the
@@ -527,13 +683,14 @@ func reloadOutcome(be backend) string {
 // around every submit path, the metrics registry behind /metrics, and
 // the readiness latch behind /readyz.
 type opsState struct {
-	limiter *obs.RateLimiter
-	keyFn   func(*httpmodel.Packet) string
-	reject  bool // -rate-policy reject (vs drop)
-	reg     *obs.Registry
-	ready   *atomic.Bool
-	tracer  *trace.Tracer
-	flight  *trace.Flight
+	limiter  *obs.RateLimiter
+	keyFn    func(*httpmodel.Packet) string
+	reject   bool // -rate-policy reject (vs drop)
+	reg      *obs.Registry
+	ready    *atomic.Bool
+	degraded *atomic.Bool // serving cached signatures, server unreachable
+	tracer   *trace.Tracer
+	flight   *trace.Flight
 }
 
 // submitter wraps the backend's queueing function with per-tenant intake
@@ -834,6 +991,13 @@ func ingestHandler(be backend, ops *opsState) http.Handler {
 		// set is live would vet packets against nothing.
 		if !ops.ready.Load() {
 			http.Error(w, "no signature set yet", http.StatusServiceUnavailable)
+			return
+		}
+		if ops.degraded != nil && ops.degraded.Load() {
+			// Still 200 — cached signatures are real signatures — but the
+			// body tells the balancer (and the smoke test) which mode this
+			// is.
+			io.WriteString(w, "ready-degraded")
 			return
 		}
 		io.WriteString(w, "ready")

@@ -34,6 +34,15 @@
 // -events-url ships publish and retirement events as batched NDJSON;
 // -debug-addr opens a private listener with /metrics and /debug/pprof.
 //
+// -checkpoint makes the learner crash-safe: reservoirs, clusters, the
+// published catalog, and per-set version counters are written through an
+// atomic checkpoint each epoch and restored on start, so a restarted
+// daemon resumes its version sequences instead of being 409'd by the
+// server. -faults (or LEAKSIG_FAULTS) injects deterministic chaos into
+// every outbound HTTP call; publishes ride a jittered-retry client with
+// a circuit breaker either way. SIGTERM drains the intake, runs a final
+// epoch, checkpoints, and flushes the event shipper.
+//
 // /observe is a write path into fleet signature generation: whoever can
 // reach it influences what the learner clusters and ultimately
 // publishes. Without -observe-token, bind -listen to loopback (or front
@@ -52,18 +61,40 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"leaksig/internal/capture"
+	"leaksig/internal/faultinject"
 	"leaksig/internal/httpmodel"
 	"leaksig/internal/obs"
 	"leaksig/internal/obs/trace"
+	"leaksig/internal/resilience"
 	"leaksig/internal/siggen"
 	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
 )
+
+// loadFaults builds the chaos injector from -faults or, when the flag is
+// empty, the LEAKSIG_FAULTS/FAULT_SEED environment.
+func loadFaults(spec string) *faultinject.Injector {
+	if spec != "" {
+		cfg, err := faultinject.Parse(spec)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		return faultinject.New(cfg)
+	}
+	inj, err := faultinject.FromEnv()
+	if err != nil {
+		log.Fatalf("LEAKSIG_FAULTS: %v", err)
+	}
+	return inj
+}
 
 func main() {
 	log.SetFlags(0)
@@ -89,6 +120,8 @@ func main() {
 		minSamples  = flag.Int("min-samples", 8, "new samples required before a timed epoch generates")
 		seed        = flag.Int64("seed", 1, "sampling seed")
 		statsInt    = flag.Duration("stats", 0, "stats reporting interval on stderr (0: off)")
+		checkpoint  = flag.String("checkpoint", "", "learner checkpoint file: restore on start, rewrite each epoch and at shutdown (empty: learner state dies with the process)")
+		faults      = flag.String("faults", "", `chaos injection spec for outbound HTTP, e.g. "seed=7,reset=0.1,latency_p=0.1,latency=20ms" (empty: read LEAKSIG_FAULTS)`)
 
 		eventsURL   = flag.String("events-url", "", "ship structured events as batched NDJSON POSTs to this endpoint")
 		eventsToken = flag.String("events-token", "", "bearer token for -events-url uploads")
@@ -102,9 +135,17 @@ func main() {
 
 	reg := obs.NewRegistry()
 	reg.Register(obs.BuildInfoCollector())
+	inj := loadFaults(*faults)
+	if inj != nil {
+		log.Printf("chaos: %s", inj)
+		reg.Register(obs.FaultCollector(inj))
+	}
 	var shipper *obs.Shipper
 	if *eventsURL != "" {
-		shipper = obs.NewShipper(obs.ShipperConfig{URL: *eventsURL, Token: *eventsToken, Node: "siggend"})
+		shipper = obs.NewShipper(obs.ShipperConfig{
+			URL: *eventsURL, Token: *eventsToken, Node: "siggend",
+			HTTPClient: inj.Client(nil),
+		})
 		defer shipper.Close()
 		reg.Register(shipper)
 	}
@@ -204,12 +245,21 @@ func main() {
 			}
 		}
 	}
+	cfg.CheckpointPath = *checkpoint
 	if *server != "" {
-		cfg.Publisher = siggen.NewHTTPPublisher(*server, *token)
+		pc := sigserver.NewClient(*server, inj.Client(nil))
+		pc.SetToken(*token)
+		br := resilience.NewBreaker(resilience.BreakerConfig{})
+		pc.SetBreaker(br)
+		reg.Register(obs.BreakerCollector("publish", br))
+		cfg.Publisher = siggen.NewHTTPPublisherFrom(pc)
 	}
 	svc := siggen.NewService(cfg)
 	defer svc.Close()
 	reg.Register(obs.SiggenCollector(svc.Stats))
+	if *checkpoint != "" && svc.Stats().CheckpointRestored {
+		log.Printf("checkpoint %s: learner state restored", *checkpoint)
+	}
 
 	if *statsInt > 0 {
 		go func() {
@@ -224,11 +274,12 @@ func main() {
 		}()
 	}
 
+	var intake *http.Server
 	if *listen != "" {
-		srv := &http.Server{Addr: *listen, Handler: handler(svc, keyFn, *obsToken, reg, &ready, tracer)}
+		intake = &http.Server{Addr: *listen, Handler: handler(svc, keyFn, *obsToken, reg, &ready, tracer)}
 		go func() {
 			log.Printf("HTTP intake on %s (/observe, /stats, /metrics, /healthz, /readyz)", *listen)
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := intake.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Fatal(err)
 			}
 		}()
@@ -242,8 +293,8 @@ func main() {
 		}()
 	}
 
-	observed, dropped := observeNDJSON(os.Stdin, svc, keyFn, tracer)
 	if *listen == "" {
+		observed, dropped := observeNDJSON(os.Stdin, svc, keyFn, tracer)
 		set, err := svc.RunEpoch(context.Background())
 		if err != nil {
 			log.Printf("final epoch: %v", err)
@@ -259,7 +310,28 @@ func main() {
 		log.Printf("stdin done: %d observed, %d dropped/filtered", observed, dropped)
 		return
 	}
-	select {} // daemon mode: serve until killed
+
+	// Daemon mode: stdin intake off the main goroutine so SIGTERM is
+	// answered even mid-stream, then serve until signalled.
+	go func() {
+		observed, dropped := observeNDJSON(os.Stdin, svc, keyFn, tracer)
+		log.Printf("stdin done: %d observed, %d dropped/filtered", observed, dropped)
+	}()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("shutting down: draining intake, final epoch")
+	if intake != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		intake.Shutdown(sctx)
+		cancel()
+	}
+	if _, err := svc.RunEpoch(context.Background()); err != nil {
+		log.Printf("final epoch: %v", err)
+	}
+	// Deferred svc.Close writes the final checkpoint; shipper.Close
+	// flushes pending event batches.
 }
 
 // observeNDJSON offers every NDJSON packet on r to the learner. Packets

@@ -1,0 +1,340 @@
+package leaksig
+
+// Crash-safety end to end: a journal-backed sigserver is SIGKILLed in
+// the middle of a publish burst, restarted against the same journal, and
+// must come back with every acknowledged set at a version at least as
+// high as the one it acknowledged — versions monotonic, no set lost.
+// The server runs as a re-exec of this test binary (TestHelperSigserver)
+// so the kill is a real SIGKILL of a real process, not a simulated one.
+//
+// The second test is the degraded-boot path in-process: an engine boots
+// from a last-known-good signature cache while the server is down, keeps
+// matching, and converges back to the live set (updating the cache) the
+// moment the server answers.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"leaksig/internal/durable"
+	"leaksig/internal/engine"
+	"leaksig/internal/httpmodel"
+	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
+)
+
+// TestHelperSigserver is not a test: it is the child process of
+// TestKillRestartPublishBurst — a journal-backed sigserver that serves
+// until killed. Gated on an env var so a plain `go test` skips it.
+func TestHelperSigserver(t *testing.T) {
+	if os.Getenv("LEAKSIG_CRASH_HELPER") != "1" {
+		t.Skip("helper process for TestKillRestartPublishBurst")
+	}
+	srv := sigserver.New()
+	if _, err := durable.AttachServerJournal(srv, os.Getenv("LEAKSIG_CRASH_JOURNAL"), durable.JournalConfig{}); err != nil {
+		fmt.Fprintf(os.Stderr, "helper: journal: %v\n", err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", os.Getenv("LEAKSIG_CRASH_ADDR"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper: listen: %v\n", err)
+		os.Exit(1)
+	}
+	// The parent polls /version to know the helper is up.
+	http.Serve(l, srv.HandlerWithPublish(""))
+}
+
+// crashTestSet builds a small distinguishable set for one publish.
+func crashTestSet(name string, version int64) *signature.Set {
+	return &signature.Set{
+		Version: version,
+		Signatures: []*signature.Signature{{
+			ID:     1,
+			Kind:   signature.KindConjunction,
+			Tokens: []string{"uid=", fmt.Sprintf("%s-v%d", name, version)},
+		}},
+	}
+}
+
+// startHelper spawns the re-exec'd sigserver and waits until it serves.
+func startHelper(t *testing.T, addr, journal string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperSigserver$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"LEAKSIG_CRASH_HELPER=1",
+		"LEAKSIG_CRASH_ADDR="+addr,
+		"LEAKSIG_CRASH_JOURNAL="+journal,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting helper: %v", err)
+	}
+	c := sigserver.NewClient("http://"+addr, nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+		_, err := c.Version(ctx)
+		cancel()
+		if err == nil {
+			return cmd
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("helper never served on %s: %v", addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestKillRestartPublishBurst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and SIGKILLs a child process")
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "publish.journal")
+
+	// A fixed port the restarted server can reuse: grab a free one, free
+	// it, and hand the address to both helper runs.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	helper := startHelper(t, addr, journal)
+	base := "http://" + addr
+
+	// The burst: one publisher goroutine per set, each driving explicit
+	// strictly-increasing versions and recording the highest version the
+	// server ACKNOWLEDGED. After the kill, only acknowledged versions
+	// are owed to us — an unacked publish may legitimately be lost.
+	names := []string{"", "tenant-a", "tenant-b", "tenant-c"}
+	acked := make([]atomic.Int64, len(names))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			c := sigserver.NewClient(base, nil)
+			for v := int64(1); ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				var got int64
+				var err error
+				if name == "" {
+					got, err = c.Publish(ctx, crashTestSet("default", v))
+				} else {
+					got, err = c.PublishNamed(ctx, name, crashTestSet(name, v))
+				}
+				cancel()
+				if err != nil {
+					// Post-kill connection errors: keep spinning until the
+					// test says stop; the burst must be mid-flight at kill
+					// time, so we do not exit on first failure.
+					continue
+				}
+				acked[i].Store(got)
+			}
+		}(i, name)
+	}
+
+	// Let the burst land some publishes, then SIGKILL mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		landed := 0
+		for i := range names {
+			if acked[i].Load() >= 3 {
+				landed++
+			}
+		}
+		if landed == len(names) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("burst never landed 3 versions per set; acked=%v", ackSnapshot(acked))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := helper.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	helper.Wait()
+	close(stop)
+	wg.Wait()
+	ackedAtKill := ackSnapshot(acked)
+
+	// Restart against the same journal: every acknowledged version must
+	// still be there (or newer — an in-flight publish may have committed
+	// to the journal after the ack we saw).
+	helper2 := startHelper(t, addr, journal)
+	defer func() {
+		helper2.Process.Kill()
+		helper2.Wait()
+	}()
+	c := sigserver.NewClient(base, nil)
+	ctx := context.Background()
+	for i, name := range names {
+		var v int64
+		var err error
+		if name == "" {
+			v, err = c.Version(ctx)
+		} else {
+			v, err = c.VersionNamed(ctx, name)
+		}
+		if err != nil {
+			t.Fatalf("version of %q after restart: %v", name, err)
+		}
+		if v < ackedAtKill[i] {
+			t.Fatalf("set %q rolled back: acked version %d before kill, serving %d after restart", name, ackedAtKill[i], v)
+		}
+		// The set content must have survived, not just the counter.
+		var set *signature.Set
+		var ok bool
+		if name == "" {
+			set, ok, err = c.Fetch(ctx)
+		} else {
+			set, ok, err = c.FetchNamed(ctx, name)
+		}
+		if err != nil || !ok || set.Len() == 0 {
+			t.Fatalf("set %q after restart: ok=%v len-err=%v", name, ok, err)
+		}
+	}
+
+	// And the sequences keep going: a publish one past the restored
+	// version is accepted, a stale one is rejected — the monotonic guard
+	// survived the crash too.
+	v, err := c.VersionNamed(ctx, "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PublishNamed(ctx, "tenant-a", crashTestSet("tenant-a", v)); !errors.Is(err, sigserver.ErrStaleVersion) {
+		t.Fatalf("stale publish after restart: err=%v, want ErrStaleVersion", err)
+	}
+	if got, err := c.PublishNamed(ctx, "tenant-a", crashTestSet("tenant-a", v+1)); err != nil || got != v+1 {
+		t.Fatalf("next publish after restart: got v%d, err=%v, want v%d", got, err, v+1)
+	}
+}
+
+func ackSnapshot(acked []atomic.Int64) []int64 {
+	out := make([]int64, len(acked))
+	for i := range acked {
+		out[i] = acked[i].Load()
+	}
+	return out
+}
+
+// TestDegradedBootFromSignatureCache is the leakstream fallback path in
+// process form: with the server down, a boot from the last-known-good
+// cache still matches traffic; when the server comes back, the watch
+// delivery replaces the cached set and rewrites the cache.
+func TestDegradedBootFromSignatureCache(t *testing.T) {
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "sigs.cache")
+
+	// A previous healthy run persisted version 3.
+	prev, _, err := durable.OpenSetCache(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := &signature.Set{
+		Version: 3,
+		Signatures: []*signature.Signature{{
+			ID: 1, Kind: signature.KindConjunction,
+			Tokens: []string{"imei=", "3579"},
+		}},
+	}
+	if err := prev.Put("", cached); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Boot" with the server down: the cache loads and the engine serves
+	// its set.
+	cache, loaded, err := durable.OpenSetCache(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded || cache.Len() != 1 {
+		t.Fatalf("cache reload: loaded=%v len=%d, want a 1-set cache", loaded, cache.Len())
+	}
+	set, ok := cache.Get("")
+	if !ok || set.Version != 3 {
+		t.Fatalf("cached default set: ok=%v version=%d, want version 3", ok, set.Version)
+	}
+	eng := engine.New(set, engine.Config{Shards: 1})
+	defer eng.Close()
+	leak := httpmodel.Get("x.ads.example", "/a").Query("imei", "3579").Build()
+	if matched := eng.MatchPacket(leak); len(matched) == 0 {
+		t.Fatal("degraded engine did not match against the cached set")
+	}
+
+	// The server comes back with version 4; the watch path applies it
+	// and persists it, exactly as leakstream's liveDelivery does.
+	srv := sigserver.New()
+	live := &signature.Set{
+		Version: 4,
+		Signatures: []*signature.Signature{{
+			ID: 2, Kind: signature.KindConjunction,
+			Tokens: []string{"android_id=", "a1b2"},
+		}},
+	}
+	if _, err := srv.PublishVersioned(live); err != nil {
+		t.Fatal(err)
+	}
+	backend := httptest.NewServer(srv.Handler())
+	defer backend.Close()
+
+	client := sigserver.NewClient(backend.URL, backend.Client())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := make(chan *signature.Set, 1)
+	go client.Watch(ctx, time.Second, func(s *signature.Set) {
+		if err := cache.Put("", s); err != nil {
+			t.Errorf("cache put: %v", err)
+		}
+		eng.Reload(s)
+		select {
+		case delivered <- s:
+		default:
+		}
+	})
+	select {
+	case s := <-delivered:
+		if s.Version != 4 {
+			t.Fatalf("watch delivered version %d, want 4", s.Version)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch never delivered the live set")
+	}
+	if eng.Version() != 4 {
+		t.Fatalf("engine version %d after recovery, want 4", eng.Version())
+	}
+
+	// The cache on disk now holds the live set: the next degraded boot
+	// starts from version 4, not 3.
+	after, loaded, err := durable.OpenSetCache(cachePath)
+	if err != nil || !loaded {
+		t.Fatalf("reopening cache: loaded=%v err=%v", loaded, err)
+	}
+	got, ok := after.Get("")
+	if !ok || got.Version != 4 {
+		t.Fatalf("persisted set version %d (ok=%v), want 4", got.Version, ok)
+	}
+}

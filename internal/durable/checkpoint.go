@@ -1,0 +1,119 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// checkpointMagic heads every checkpoint file.
+const checkpointMagic = "LSCKPT1\n"
+
+// SaveCheckpoint atomically writes payload to path: magic, CRC-32C,
+// length, payload — built in a temp file, synced, renamed into place,
+// directory synced. A crash mid-save leaves the previous checkpoint
+// untouched.
+func SaveCheckpoint(path string, payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("durable: checkpoint of %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("durable: checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := tmp.Write([]byte(checkpointMagic)); err != nil {
+		return fail(fmt.Errorf("durable: checkpoint header: %w", err))
+	}
+	if _, err := tmp.Write(frame[:]); err != nil {
+		return fail(fmt.Errorf("durable: checkpoint frame: %w", err))
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		return fail(fmt.Errorf("durable: checkpoint payload: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("durable: checkpoint sync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: checkpoint rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// LoadCheckpoint reads and authenticates the checkpoint at path.
+// A missing file returns (nil, os.ErrNotExist); a corrupt or foreign
+// file returns ErrCorrupt. Callers treat both as "start fresh".
+func LoadCheckpoint(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	header := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(f, header); err != nil || string(header) != checkpointMagic {
+		return nil, ErrCorrupt
+	}
+	var frame [8]byte
+	if _, err := io.ReadFull(f, frame[:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if n == 0 || n > MaxRecord {
+		return nil, ErrCorrupt
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, ErrCorrupt
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// ErrCorrupt marks a checkpoint or cache file that failed
+// authentication. It is a recoverable condition: callers start fresh.
+var ErrCorrupt = fmt.Errorf("durable: corrupt file")
+
+// SaveJSON marshals v and writes it as an atomic checkpoint.
+func SaveJSON(path string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("durable: marshal checkpoint: %w", err)
+	}
+	return SaveCheckpoint(path, payload)
+}
+
+// LoadJSON loads an atomic checkpoint into v. Missing and corrupt
+// files return their respective errors unchanged so callers can
+// distinguish "first boot" from "damaged state" in logs.
+func LoadJSON(path string, v any) error {
+	payload, err := LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}

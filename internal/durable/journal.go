@@ -1,0 +1,424 @@
+// Package durable is the crash-safety layer of the control plane: an
+// append-only CRC-framed journal (the sigserver publish log), atomic
+// checkpoint files (the siggen learner state), and a last-known-good
+// signature cache (leakstream degraded boot).
+//
+// Everything here shares one recovery philosophy: **never refuse to
+// boot**. A truncated or bit-flipped tail — the normal residue of a
+// crash mid-write — recovers to the last intact record and keeps going.
+// Data that cannot be authenticated by its CRC is discarded, counted,
+// and logged, not fatal. The paper's signatures are expensive to learn
+// and cheap to re-learn incrementally; a process that refuses to start
+// over one torn write loses far more than the torn write did.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// journalMagic heads every journal file; a file that does not start
+// with it is treated as foreign and rebuilt from scratch.
+const journalMagic = "LSJRNL1\n"
+
+// MaxRecord bounds a single journal payload. A corrupt length field
+// would otherwise ask recovery to allocate gigabytes; anything above
+// the bound is treated as tail corruption.
+const MaxRecord = 16 << 20
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FsyncPolicy dictates when appended records are forced to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: no acknowledged record is
+	// ever lost. The default, and the right choice for the publish
+	// journal where each record is one version of a named set.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs lazily, at most once per SyncEvery, checked
+	// on the append path (no background goroutine). Bounded loss window
+	// for high-rate journals.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS. For tests and throwaway
+	// journals only.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps flag spellings to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return FsyncAlways, fmt.Errorf("durable: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// JournalConfig parameterizes Open.
+type JournalConfig struct {
+	// Fsync selects the sync policy; default FsyncAlways.
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval cadence; default 100ms.
+	SyncEvery time.Duration
+	// Replay, when non-nil, receives every intact record's payload in
+	// append order during Open. The slice is reused between calls;
+	// callers keep data by copying or decoding it.
+	Replay func(payload []byte) error
+}
+
+// JournalStats is a point-in-time view of a journal's accounting.
+type JournalStats struct {
+	Appends        uint64 `json:"appends"`
+	FsyncErrors    uint64 `json:"fsync_errors"`
+	Recovered      uint64 `json:"recovered_records"`
+	TruncatedBytes int64  `json:"truncated_bytes"`
+	Compactions    uint64 `json:"compactions"`
+	SizeBytes      int64  `json:"size_bytes"`
+}
+
+// Journal is an append-only record log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	path string
+	cfg  JournalConfig
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	dirty    bool
+	lastSync time.Time
+	closed   bool
+
+	appends     uint64
+	fsyncErrors uint64
+	recovered   uint64
+	truncated   int64
+	compactions uint64
+}
+
+func (c JournalConfig) withDefaults() JournalConfig {
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Open opens (creating if absent) the journal at path, replaying every
+// intact record through cfg.Replay and truncating any corrupt or torn
+// tail. It fails only on real I/O errors or a Replay callback error —
+// corruption alone never prevents opening.
+func Open(path string, cfg JournalConfig) (*Journal, error) {
+	cfg = cfg.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	j := &Journal{path: path, cfg: cfg, f: f}
+	if err := j.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// recover scans the file from the top, replaying intact records and
+// truncating at the first sign of damage. Runs once, at Open, before
+// any appends.
+func (j *Journal) recover() error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("durable: stat journal: %w", err)
+	}
+	total := info.Size()
+
+	if total == 0 {
+		if _, err := j.f.Write([]byte(journalMagic)); err != nil {
+			return fmt.Errorf("durable: write journal header: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("durable: sync journal header: %w", err)
+		}
+		j.size = int64(len(journalMagic))
+		return nil
+	}
+
+	header := make([]byte, len(journalMagic))
+	good := int64(0)
+	if _, err := io.ReadFull(j.f, header); err == nil && string(header) == journalMagic {
+		good = int64(len(header))
+	} else {
+		// Foreign or mangled header: the whole file is unrecoverable.
+		// Rebuild rather than refuse to boot.
+		j.truncated += total
+		if err := j.rewrite(nil); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	var frame [8]byte
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(j.f, frame[:]); err != nil {
+			break // clean end or torn frame header
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if n == 0 || n > MaxRecord {
+			break // corrupt length
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(j.f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break // bit-flipped payload
+		}
+		if j.cfg.Replay != nil {
+			if err := j.cfg.Replay(payload); err != nil {
+				return fmt.Errorf("durable: replay record at offset %d: %w", good, err)
+			}
+		}
+		j.recovered++
+		good += 8 + int64(n)
+	}
+
+	if good < total {
+		j.truncated += total - good
+		if err := j.f.Truncate(good); err != nil {
+			return fmt.Errorf("durable: truncate corrupt tail: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("durable: sync after truncate: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: seek to append position: %w", err)
+	}
+	j.size = good
+	return nil
+}
+
+// Append frames payload and writes it to the journal, syncing per the
+// fsync policy. The payload is copied into the file; the caller keeps
+// ownership of the slice.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("durable: empty record")
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("durable: record of %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("durable: journal closed")
+	}
+	if _, err := j.f.Write(frame[:]); err != nil {
+		return fmt.Errorf("durable: append frame: %w", err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return fmt.Errorf("durable: append payload: %w", err)
+	}
+	j.size += 8 + int64(len(payload))
+	j.appends++
+	j.dirty = true
+	j.maybeSyncLocked()
+	return nil
+}
+
+// maybeSyncLocked applies the fsync policy after a write. Callers hold
+// j.mu. Sync failures are counted (exported for alerting) but do not
+// fail the append: the record is in the page cache and a later sync
+// retries.
+func (j *Journal) maybeSyncLocked() {
+	switch j.cfg.Fsync {
+	case FsyncAlways:
+	case FsyncInterval:
+		now := time.Now()
+		if now.Sub(j.lastSync) < j.cfg.SyncEvery {
+			return
+		}
+		j.lastSync = now
+	case FsyncNever:
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.fsyncErrors++
+		return
+	}
+	j.dirty = false
+}
+
+// Sync forces any buffered appends to stable storage regardless of
+// policy. Used at shutdown.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || !j.dirty {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		j.fsyncErrors++
+		return fmt.Errorf("durable: sync: %w", err)
+	}
+	j.dirty = false
+	return nil
+}
+
+// Compact atomically replaces the journal's contents with records: a
+// temp file in the same directory gets the header plus every record,
+// is synced, and renamed over the live path (directory synced too), so
+// a crash at any point leaves either the old journal or the new one —
+// never a hybrid. The journal stays open for appends afterwards.
+func (j *Journal) Compact(records [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("durable: journal closed")
+	}
+	if err := j.rewrite(records); err != nil {
+		return err
+	}
+	j.compactions++
+	return nil
+}
+
+// rewrite replaces the journal file with header+records via
+// temp+rename. Callers hold j.mu (or run before concurrency starts).
+func (j *Journal) rewrite(records [][]byte) error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("durable: compact temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write([]byte(journalMagic)); err != nil {
+		cleanup()
+		return fmt.Errorf("durable: compact header: %w", err)
+	}
+	size := int64(len(journalMagic))
+	var frame [8]byte
+	for _, rec := range records {
+		if len(rec) == 0 || len(rec) > MaxRecord {
+			cleanup()
+			return fmt.Errorf("durable: compact record of %d bytes out of range", len(rec))
+		}
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec, castagnoli))
+		if _, err := tmp.Write(frame[:]); err != nil {
+			cleanup()
+			return fmt.Errorf("durable: compact write: %w", err)
+		}
+		if _, err := tmp.Write(rec); err != nil {
+			cleanup()
+			return fmt.Errorf("durable: compact write: %w", err)
+		}
+		size += 8 + int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("durable: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: compact close: %w", err)
+	}
+	if err := os.Rename(tmpName, j.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: compact rename: %w", err)
+	}
+	syncDir(dir)
+
+	// Swap the open handle to the new file, positioned for append.
+	f, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: reopen after compact: %w", err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: seek after compact: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	j.size = size
+	j.dirty = false
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power
+// loss. Best-effort: some filesystems refuse directory syncs.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Size returns the journal's current byte length.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Stats returns the journal's accounting.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Appends:        j.appends,
+		FsyncErrors:    j.fsyncErrors,
+		Recovered:      j.recovered,
+		TruncatedBytes: j.truncated,
+		Compactions:    j.compactions,
+		SizeBytes:      j.size,
+	}
+}
+
+// Close syncs outstanding appends and closes the file. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var firstErr error
+	if j.dirty {
+		if err := j.f.Sync(); err != nil {
+			j.fsyncErrors++
+			firstErr = err
+		}
+	}
+	if err := j.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,374 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leaksig/internal/signature"
+	"leaksig/internal/sigserver"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "publish.journal")
+}
+
+func TestJournalAppendAndReplay(t *testing.T) {
+	path := journalPath(t)
+	j, err := Open(path, JournalConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var got [][]byte
+	j2, err := Open(path, JournalConfig{Replay: func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if st := j2.Stats(); st.Recovered != 3 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJournalRecoversTruncatedTail(t *testing.T) {
+	path := journalPath(t)
+	j, err := Open(path, JournalConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	// Tear the last record: chop 3 bytes off the file.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	var got []string
+	j2, err := Open(path, JournalConfig{Replay: func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("reopen after tear: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("recovered %d records, want 4 (torn tail dropped): %v", len(got), got)
+	}
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("truncated bytes not counted")
+	}
+	// The journal must be appendable after tail truncation, and the new
+	// record must replay cleanly.
+	if err := j2.Append([]byte("after-recovery")); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	j2.Close()
+
+	got = got[:0]
+	j3, err := Open(path, JournalConfig{Replay: func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer j3.Close()
+	if len(got) != 5 || got[4] != "after-recovery" {
+		t.Fatalf("after append-on-recovered: %v", got)
+	}
+}
+
+func TestJournalRecoversBitFlip(t *testing.T) {
+	path := journalPath(t)
+	j, _ := Open(path, JournalConfig{Fsync: FsyncNever})
+	j.Append([]byte("first"))
+	j.Append([]byte("second"))
+	j.Close()
+
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-2] ^= 0x40 // flip a bit inside "second"
+	os.WriteFile(path, raw, 0o644)
+
+	var got []string
+	j2, err := Open(path, JournalConfig{Replay: func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("reopen after bit flip: %v", err)
+	}
+	defer j2.Close()
+	if len(got) != 1 || got[0] != "first" {
+		t.Fatalf("recovered %v, want just [first]", got)
+	}
+}
+
+func TestJournalForeignFileRebuilds(t *testing.T) {
+	path := journalPath(t)
+	os.WriteFile(path, []byte("this is not a journal at all"), 0o644)
+	j, err := Open(path, JournalConfig{})
+	if err != nil {
+		t.Fatalf("Open over foreign file: %v", err)
+	}
+	defer j.Close()
+	if err := j.Append([]byte("fresh")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if st := j.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("foreign bytes not counted as truncated")
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := journalPath(t)
+	j, _ := Open(path, JournalConfig{Fsync: FsyncNever})
+	for i := 0; i < 100; i++ {
+		j.Append([]byte(fmt.Sprintf("v%d", i)))
+	}
+	before := j.Size()
+	if err := j.Compact([][]byte{[]byte("v99")}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if j.Size() >= before {
+		t.Fatalf("compaction did not shrink: %d -> %d", before, j.Size())
+	}
+	// Appends continue against the compacted file.
+	if err := j.Append([]byte("v100")); err != nil {
+		t.Fatalf("Append after compact: %v", err)
+	}
+	j.Close()
+
+	var got []string
+	j2, err := Open(path, JournalConfig{Replay: func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if len(got) != 2 || got[0] != "v99" || got[1] != "v100" {
+		t.Fatalf("replay after compact = %v", got)
+	}
+}
+
+func makeSet(version int64, tags ...string) *signature.Set {
+	set := &signature.Set{Version: version}
+	for i, tag := range tags {
+		set.Signatures = append(set.Signatures, &signature.Signature{
+			ID:     i + 1,
+			Kind:   signature.KindConjunction,
+			Tokens: []string{"uid=", tag},
+		})
+	}
+	return set
+}
+
+// sigTag extracts the tag token makeSet stored in a signature.
+func sigTag(set *signature.Set) string {
+	if len(set.Signatures) == 0 || len(set.Signatures[0].Tokens) < 2 {
+		return ""
+	}
+	return set.Signatures[0].Tokens[1]
+}
+
+func TestServerJournalReplayPreservesVersions(t *testing.T) {
+	path := journalPath(t)
+
+	srv := sigserver.New()
+	sj, err := AttachServerJournal(srv, path, JournalConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	// A publish burst across the default and two named sets, with
+	// several generations each.
+	for v := int64(1); v <= 5; v++ {
+		if _, err := srv.PublishVersioned(makeSet(v, "d")); err != nil {
+			t.Fatalf("publish default v%d: %v", v, err)
+		}
+		if _, err := srv.PublishNamedVersioned("tenant-a", makeSet(v, "a")); err != nil {
+			t.Fatalf("publish a v%d: %v", v, err)
+		}
+	}
+	if _, err := srv.PublishNamedVersioned("tenant-b", makeSet(3, "b")); err != nil {
+		t.Fatalf("publish b: %v", err)
+	}
+	if err := sj.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// "Restart": fresh server, same journal.
+	srv2 := sigserver.New()
+	sj2, err := AttachServerJournal(srv2, path, JournalConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	defer sj2.Close()
+
+	if _, v := srv2.Current(); v != 5 {
+		t.Fatalf("default version = %d, want 5", v)
+	}
+	if _, v, ok := srv2.CurrentNamed("tenant-a"); !ok || v != 5 {
+		t.Fatalf("tenant-a version = %d (ok=%v), want 5", v, ok)
+	}
+	set, v, ok := srv2.CurrentNamed("tenant-b")
+	if !ok || v != 3 {
+		t.Fatalf("tenant-b version = %d (ok=%v), want 3", v, ok)
+	}
+	if len(set.Signatures) != 1 || sigTag(set) != "b" {
+		t.Fatalf("tenant-b contents lost: %+v", set)
+	}
+
+	// Strict increase survives the restart: replaying the old version
+	// must be rejected, the next version accepted.
+	if _, err := srv2.PublishNamedVersioned("tenant-a", makeSet(5, "a")); err == nil {
+		t.Fatal("stale republish accepted after replay")
+	}
+	if _, err := srv2.PublishNamedVersioned("tenant-a", makeSet(6, "a")); err != nil {
+		t.Fatalf("next version rejected after replay: %v", err)
+	}
+	restored, _ := sj2.Replayed()
+	if restored == 0 {
+		t.Fatal("Replayed() reports zero restored sets")
+	}
+}
+
+func TestServerJournalSurvivesTornTail(t *testing.T) {
+	path := journalPath(t)
+	srv := sigserver.New()
+	sj, err := AttachServerJournal(srv, path, JournalConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	for v := int64(1); v <= 3; v++ {
+		srv.PublishNamedVersioned("tenant-a", makeSet(v, "a"))
+	}
+	sj.Close()
+
+	// Simulate a crash mid-append: shear the file partway into the
+	// final record.
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)-7], 0o644)
+
+	srv2 := sigserver.New()
+	sj2, err := AttachServerJournal(srv2, path, JournalConfig{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("re-attach over torn journal: %v", err)
+	}
+	defer sj2.Close()
+	if _, v, _ := srv2.CurrentNamed("tenant-a"); v != 2 {
+		t.Fatalf("recovered version = %d, want 2 (last intact record)", v)
+	}
+	// The loop continues from the recovered version.
+	if _, err := srv2.PublishNamedVersioned("tenant-a", makeSet(3, "a")); err != nil {
+		t.Fatalf("publish after recovery: %v", err)
+	}
+}
+
+func TestCheckpointRoundTripAndCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "learner.ckpt")
+	type state struct {
+		Epoch int      `json:"epoch"`
+		Names []string `json:"names"`
+	}
+	if err := SaveJSON(path, state{Epoch: 7, Names: []string{"a", "b"}}); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	var got state
+	if err := LoadJSON(path, &got); err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got.Epoch != 7 || len(got.Names) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+	if err := LoadJSON(path, &got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt checkpoint err = %v, want ErrCorrupt", err)
+	}
+
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing")); !os.IsNotExist(err) {
+		t.Fatalf("missing checkpoint err = %v, want not-exist", err)
+	}
+}
+
+func TestSetCacheRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sigs.cache")
+	c, loaded, err := OpenSetCache(path)
+	if err != nil {
+		t.Fatalf("OpenSetCache: %v", err)
+	}
+	if loaded {
+		t.Fatal("fresh cache claims to have loaded sets")
+	}
+	if err := c.Put("", makeSet(4, "d")); err != nil {
+		t.Fatalf("Put default: %v", err)
+	}
+	if err := c.Put("tenant-a", makeSet(9, "a")); err != nil {
+		t.Fatalf("Put named: %v", err)
+	}
+
+	c2, loaded, err := OpenSetCache(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !loaded || c2.Len() != 2 {
+		t.Fatalf("loaded=%v len=%d, want true/2", loaded, c2.Len())
+	}
+	set, ok := c2.Get("tenant-a")
+	if !ok || set.Version != 9 || sigTag(set) != "a" {
+		t.Fatalf("tenant-a from cache: ok=%v set=%+v", ok, set)
+	}
+
+	// Corrupt cache: boots empty, never errors.
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/2] ^= 0xaa
+	os.WriteFile(path, raw, 0o644)
+	c3, loaded, err := OpenSetCache(path)
+	if err != nil {
+		t.Fatalf("open corrupt cache: %v", err)
+	}
+	if loaded || c3.Len() != 0 {
+		t.Fatalf("corrupt cache: loaded=%v len=%d, want false/0", loaded, c3.Len())
+	}
+	// And is immediately writable again.
+	if err := c3.Put("", makeSet(1, "d")); err != nil {
+		t.Fatalf("Put over corrupt cache: %v", err)
+	}
+}

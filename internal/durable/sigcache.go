@@ -1,0 +1,88 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"sort"
+	"sync"
+
+	"leaksig/internal/signature"
+)
+
+// SetCache is leakstream's last-known-good signature store: every set
+// delivered by a watch is written through to one atomic checkpoint
+// file, and on a boot where sigserver is unreachable the engine loads
+// and serves the cached sets instead of starting blind (degraded mode).
+// Safe for concurrent use.
+type SetCache struct {
+	path string
+
+	mu   sync.Mutex
+	sets map[string]*signature.Set // name ("" = default) → last good set
+}
+
+// cachedSets is the on-disk shape.
+type cachedSets struct {
+	Sets map[string]*signature.Set `json:"sets"`
+}
+
+// OpenSetCache loads the cache at path. Missing and corrupt files both
+// yield an empty, usable cache — corruption is counted by the caller's
+// logs, never fatal. The returned bool reports whether cached sets were
+// actually loaded.
+func OpenSetCache(path string) (*SetCache, bool, error) {
+	c := &SetCache{path: path, sets: map[string]*signature.Set{}}
+	var disk cachedSets
+	err := LoadJSON(path, &disk)
+	switch {
+	case err == nil:
+		if disk.Sets != nil {
+			c.sets = disk.Sets
+		}
+		return c, len(c.sets) > 0, nil
+	case errors.Is(err, os.ErrNotExist):
+		return c, false, nil
+	case errors.Is(err, ErrCorrupt):
+		return c, false, nil
+	default:
+		return nil, false, err
+	}
+}
+
+// Put records set as the last known good for name and persists the
+// whole cache atomically. The write is synchronous — a watch delivery
+// returns only after the cache would survive a crash.
+func (c *SetCache) Put(name string, set *signature.Set) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sets[name] = set
+	return SaveJSON(c.path, cachedSets{Sets: c.sets})
+}
+
+// Get returns the cached set for name, if any.
+func (c *SetCache) Get(name string) (*signature.Set, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.sets[name]
+	return set, ok
+}
+
+// Names returns the cached set names, sorted, "" (the default set)
+// first when present.
+func (c *SetCache) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.sets))
+	for name := range c.sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports how many sets are cached.
+func (c *SetCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sets)
+}

@@ -6,8 +6,11 @@ import (
 	"sort"
 	"strconv"
 
+	"leaksig/internal/durable"
 	"leaksig/internal/engine"
+	"leaksig/internal/faultinject"
 	"leaksig/internal/obs/trace"
+	"leaksig/internal/resilience"
 	"leaksig/internal/siggen"
 	"leaksig/internal/sigserver"
 )
@@ -212,6 +215,66 @@ func ProxyCollector(stats func() (allowed, blocked int64)) Collector {
 		allowed, blocked := stats()
 		m.Counter("leaksig_proxy_decisions_total", "Proxy policy decisions, by action.", float64(allowed), L("action", "allow"))
 		m.Counter("leaksig_proxy_decisions_total", "Proxy policy decisions, by action.", float64(blocked), L("action", "block"))
+	})
+}
+
+// JournalCollector projects a durable journal's accounting into
+// leaksig_journal_* families — append volume, fsync errors (the "your
+// durability is a lie" signal worth alerting on), recovery salvage, and
+// on-disk size.
+func JournalCollector(snap func() durable.JournalStats) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		s := snap()
+		m.Counter("leaksig_journal_appends_total", "Records appended to the publish journal.", float64(s.Appends))
+		m.Counter("leaksig_journal_fsync_errors_total", "Journal fsync failures (appends kept, durability degraded).", float64(s.FsyncErrors))
+		m.Counter("leaksig_journal_recovered_records_total", "Records replayed from the journal at the last open.", float64(s.Recovered))
+		m.Counter("leaksig_journal_truncated_bytes_total", "Bytes discarded as a torn or corrupt tail at the last open.", float64(s.TruncatedBytes))
+		m.Counter("leaksig_journal_compactions_total", "Journal compaction passes.", float64(s.Compactions))
+		m.Gauge("leaksig_journal_size_bytes", "Journal file size.", float64(s.SizeBytes))
+	})
+}
+
+// BreakerCollector projects a circuit breaker's state and accounting
+// under the given breaker label — state as a 0/1/2 gauge
+// (closed/open/half_open) so a flat line at 1 reads as a sustained
+// outage on the dashboard.
+func BreakerCollector(name string, br *resilience.Breaker) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		if br == nil {
+			return
+		}
+		lbl := L("breaker", name)
+		var state float64
+		switch br.State() {
+		case resilience.Open:
+			state = 1
+		case resilience.HalfOpen:
+			state = 2
+		}
+		st := br.Stats()
+		m.Gauge("leaksig_breaker_state", "Circuit breaker state: 0 closed, 1 open, 2 half-open.", state, lbl)
+		m.Counter("leaksig_breaker_opens_total", "Transitions into the open state.", float64(st.Opens), lbl)
+		m.Counter("leaksig_breaker_failures_total", "Attempt outcomes recorded as failures.", float64(st.Failures), lbl)
+		m.Counter("leaksig_breaker_shed_total", "Attempts refused without dialing while open.", float64(st.ShedAttempts), lbl)
+	})
+}
+
+// FaultCollector projects a chaos injector's tallies into the
+// leaksig_faults_injected_total family — so a chaos run's blast radius
+// is measurable from the same scrape as its effects. A nil injector
+// emits nothing.
+func FaultCollector(in *faultinject.Injector) Collector {
+	return CollectorFunc(func(m *MetricWriter) {
+		if in == nil {
+			return
+		}
+		s := in.Stats()
+		const help = "Faults injected by the chaos harness, by kind."
+		m.Counter("leaksig_faults_injected_total", help, float64(s.Latencies), L("kind", "latency"))
+		m.Counter("leaksig_faults_injected_total", help, float64(s.Errors5xx), L("kind", "error_5xx"))
+		m.Counter("leaksig_faults_injected_total", help, float64(s.Resets), L("kind", "reset"))
+		m.Counter("leaksig_faults_injected_total", help, float64(s.Partials), L("kind", "partial"))
+		m.Counter("leaksig_faults_injected_total", help, float64(s.Blackholes), L("kind", "blackhole"))
 	})
 }
 

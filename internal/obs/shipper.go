@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"leaksig/internal/resilience"
 )
 
 // Event is one structured ops-plane record: a leak verdict, a signature
@@ -60,16 +62,29 @@ type ShipperConfig struct {
 	FlushEvents   int
 	FlushInterval time.Duration
 
-	// RetryMin and RetryMax bound the exponential backoff between failed
-	// delivery attempts; defaults 500ms and 30s. MaxAttempts bounds
-	// attempts per batch before the batch is abandoned and counted as
-	// delivery drops; default 5.
+	// RetryMin and RetryMax bound the jittered exponential backoff
+	// between failed delivery attempts; defaults 500ms and 30s.
+	// MaxAttempts bounds attempts per batch before the batch is
+	// abandoned and counted as delivery drops; default 5. RetrySeed
+	// fixes the jitter stream (0 seeds from the clock).
 	RetryMin    time.Duration
 	RetryMax    time.Duration
 	MaxAttempts int
+	RetrySeed   int64
 
 	// UploadTimeout bounds one delivery attempt; default 10s.
 	UploadTimeout time.Duration
+
+	// HTTPClient, when non-nil, replaces the URL sink's internal client
+	// — the slot chaos harnesses use to inject faults into the upload
+	// path. Ignored when Sink is set.
+	HTTPClient *http.Client
+
+	// Breaker, when non-nil, gates delivery attempts: while open, an
+	// attempt is counted as failed without dialing the sink, so a dead
+	// consumer costs the flush goroutine nothing but bookkeeping. Nil
+	// (the default) preserves plain retry behavior.
+	Breaker *resilience.Breaker
 }
 
 func (c ShipperConfig) withDefaults() ShipperConfig {
@@ -136,6 +151,7 @@ type Shipper struct {
 	batches        Counter
 
 	flushSec *Histogram // delivery attempt duration, seconds
+	retry    *resilience.Backoff
 	stop     chan struct{}
 	done     chan struct{}
 }
@@ -144,13 +160,14 @@ type Shipper struct {
 func NewShipper(cfg ShipperConfig) *Shipper {
 	cfg = cfg.withDefaults()
 	if cfg.Sink == nil {
-		cfg.Sink = httpSink(cfg.URL, cfg.Token, cfg.UploadTimeout)
+		cfg.Sink = httpSink(cfg.URL, cfg.Token, cfg.UploadTimeout, cfg.HTTPClient)
 	}
 	s := &Shipper{
 		cfg:      cfg,
 		buf:      make([]Event, 0, cfg.BufferEvents),
 		wake:     make(chan struct{}, 1),
 		flushSec: NewHistogram(ExpBuckets(0.001, 4, 8)), // 1ms .. ~16s
+		retry:    resilience.NewBackoff(cfg.RetryMin, cfg.RetryMax, cfg.RetrySeed),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -159,8 +176,10 @@ func NewShipper(cfg ShipperConfig) *Shipper {
 }
 
 // httpSink POSTs one NDJSON batch per call.
-func httpSink(url, token string, timeout time.Duration) func(context.Context, []byte) error {
-	hc := &http.Client{Timeout: timeout}
+func httpSink(url, token string, timeout time.Duration, hc *http.Client) func(context.Context, []byte) error {
+	if hc == nil {
+		hc = &http.Client{Timeout: timeout}
+	}
 	return func(ctx context.Context, batch []byte) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(batch))
 		if err != nil {
@@ -269,13 +288,22 @@ func (s *Shipper) deliver(batch []Event, attempts int) {
 	for i := range batch {
 		enc.Encode(&batch[i])
 	}
-	backoff := s.cfg.RetryMin
 	for attempt := 1; ; attempt++ {
-		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.UploadTimeout)
-		begin := time.Now()
-		err := s.cfg.Sink(ctx, buf.Bytes())
-		s.flushSec.Observe(time.Since(begin).Seconds())
-		cancel()
+		var err error
+		if br := s.cfg.Breaker; br != nil && !br.Allow() {
+			// Shed without dialing: the consumer is known-dead and the
+			// attempt is accounted like any other failure.
+			err = resilience.ErrOpen
+		} else {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.UploadTimeout)
+			begin := time.Now()
+			err = s.cfg.Sink(ctx, buf.Bytes())
+			s.flushSec.Observe(time.Since(begin).Seconds())
+			cancel()
+			if br := s.cfg.Breaker; br != nil {
+				br.Record(err)
+			}
+		}
 		if err == nil {
 			s.shipped.Add(uint64(len(batch)))
 			s.batches.Inc()
@@ -291,10 +319,7 @@ func (s *Shipper) deliver(batch []Event, attempts int) {
 			// Closing: abandon the retry loop, count the loss.
 			s.droppedUpload.Add(uint64(len(batch)))
 			return
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > s.cfg.RetryMax {
-			backoff = s.cfg.RetryMax
+		case <-time.After(s.retry.Delay(attempt - 1)):
 		}
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"leaksig/internal/resilience"
 )
 
 // collectSink records delivered batches.
@@ -169,6 +171,105 @@ func TestShipperRetriesThenDrops(t *testing.T) {
 	}
 	if st := s.Stats(); st.UploadFailures < 3 {
 		t.Fatalf("upload failures = %d, want >= 3", st.UploadFailures)
+	}
+}
+
+// TestShipperFlushesPendingOnClose: events below the size trigger and
+// ahead of the interval must still reach the sink when the shipper is
+// closed — SIGTERM must not silently abandon the tail of the stream.
+func TestShipperFlushesPendingOnClose(t *testing.T) {
+	var cs collectSink
+	s := NewShipper(ShipperConfig{
+		Sink:          cs.sink,
+		FlushEvents:   256,       // never reached
+		FlushInterval: time.Hour, // never fires
+	})
+	for i := 0; i < 5; i++ {
+		s.Ship(Event{Type: "verdict", Version: int64(i)})
+	}
+	s.Close()
+	if evs := cs.events(t); len(evs) != 5 {
+		t.Fatalf("final flush delivered %d events, want 5", len(evs))
+	}
+	if st := s.Stats(); st.Shipped != 5 || st.DroppedUpload != 0 || st.Buffered != 0 {
+		t.Fatalf("stats after close = %+v, want 5 shipped, nothing dropped or buffered", st)
+	}
+}
+
+// TestShipperCountsFinalFlushFailureAsDropped: when the sink is dead at
+// shutdown, the final single-attempt flush gives up and the loss is
+// visible in dropped_upload rather than vanishing.
+func TestShipperCountsFinalFlushFailureAsDropped(t *testing.T) {
+	s := NewShipper(ShipperConfig{
+		Sink: func(context.Context, []byte) error {
+			return context.DeadlineExceeded
+		},
+		FlushEvents:   256,
+		FlushInterval: time.Hour,
+	})
+	for i := 0; i < 7; i++ {
+		s.Ship(Event{Type: "verdict", Version: int64(i)})
+	}
+	s.Close()
+	st := s.Stats()
+	if st.DroppedUpload != 7 {
+		t.Fatalf("dropped_upload = %d after failed final flush, want 7 (stats %+v)", st.DroppedUpload, st)
+	}
+	if st.Shipped != 0 || st.Buffered != 0 {
+		t.Fatalf("stats after failed final flush = %+v, want nothing shipped or buffered", st)
+	}
+}
+
+// TestShipperBreakerShedsAfterConsecutiveFailures: with a breaker
+// configured, a consistently failing sink opens it and later batches are
+// shed (counted dropped) without dialing.
+func TestShipperBreakerShedsAfterConsecutiveFailures(t *testing.T) {
+	var mu sync.Mutex
+	dials := 0
+	clk := time.Unix(1000, 0)
+	br := resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: 2,
+		OpenFor:          time.Hour,
+		Clock:            func() time.Time { return clk },
+	})
+	s := NewShipper(ShipperConfig{
+		Sink: func(context.Context, []byte) error {
+			mu.Lock()
+			dials++
+			mu.Unlock()
+			return context.DeadlineExceeded
+		},
+		Breaker:       br,
+		FlushEvents:   1,
+		FlushInterval: time.Millisecond,
+		RetryMin:      time.Millisecond,
+		RetryMax:      time.Millisecond,
+		MaxAttempts:   1,
+	})
+	for i := 0; i < 10; i++ {
+		s.Ship(Event{Type: "verdict", Version: int64(i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.DroppedUpload >= 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batches not drained: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Close()
+	if got := br.State(); got != resilience.Open {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if dials > 2 {
+		t.Fatalf("sink dialed %d times with threshold 2; open breaker must shed", dials)
+	}
+	if st := s.Stats(); st.UploadFailures < 10 {
+		t.Fatalf("shed attempts not accounted as failures: %+v", st)
 	}
 }
 

@@ -17,6 +17,7 @@ const (
 	KindReloadApply = "reload_apply" // a compiled set was installed
 	KindBatchTarget = "batch_target" // a shard's adaptive drain target changed
 	KindP99Breach   = "p99_breach"   // watchdog saw stage p99 over its ceiling
+	KindDegraded    = "degraded"     // daemon fell back to cached signatures (control plane unreachable)
 )
 
 // FlightEvent is one structured entry in the flight recorder: what

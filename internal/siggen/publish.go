@@ -78,6 +78,13 @@ func NewHTTPPublisher(base, token string) Publisher {
 	return httpPublisher{client: c}
 }
 
+// NewHTTPPublisherFrom wraps a caller-built sigserver.Client — the hook
+// daemons use to publish through a client that already carries a fault
+// injector, circuit breaker, or custom transport.
+func NewHTTPPublisherFrom(c *sigserver.Client) Publisher {
+	return httpPublisher{client: c}
+}
+
 // CurrentVersion implements Publisher.
 func (p httpPublisher) CurrentVersion(ctx context.Context) (int64, error) {
 	return p.client.Version(ctx)

@@ -164,6 +164,15 @@ type Config struct {
 	// Seed fixes the reservoir and medoid-election randomness; default 1.
 	Seed int64
 
+	// CheckpointPath, when set, makes learner state durable: NewService
+	// restores from it (missing/corrupt files restore nothing and are
+	// not errors), every epoch atomically rewrites it, and Close writes
+	// a final checkpoint — so reservoir samples, cluster medoids+tags,
+	// the published catalog, and retirement bookkeeping survive a
+	// restart. RNG state is not checkpointed; a restored service
+	// reseeds from Seed.
+	CheckpointPath string
+
 	// Tracer, when non-nil, receives the learner's stage latencies:
 	// sampled packet spans end at the cluster-feed stamp, and the
 	// epoch-granular distill and publish stages report their durations
@@ -258,6 +267,9 @@ type Service struct {
 	namedPublishes  atomic.Uint64
 	publishErrors   atomic.Uint64
 	retiredSigs     atomic.Uint64
+	ckptSaves       atomic.Uint64
+	ckptErrors      atomic.Uint64
+	ckptRestored    atomic.Bool
 
 	benignTrain []*httpmodel.Packet
 	benignHold  []*httpmodel.Packet
@@ -285,6 +297,11 @@ func NewService(cfg Config) *Service {
 		loopDone:   make(chan struct{}),
 	}
 	s.benignTrain, s.benignHold = splitBenign(cfg.Benign)
+	if cfg.CheckpointPath != "" {
+		// Restore before the loops start: failure to restore (missing or
+		// corrupt checkpoint) is a fresh start, never a refusal to boot.
+		s.RestoreCheckpoint(cfg.CheckpointPath)
+	}
 	go s.run()
 	return s
 }
@@ -428,7 +445,15 @@ func (s *Service) epochLocked(ctx context.Context) (*signature.Set, error) {
 	// holds back fresh content but still lets cached failed publishes
 	// retry — their content already cleared the gate once.
 	skipFresh := s.cfg.MinSilhouette > 0 && s.lastCompact.Silhouette < s.cfg.MinSilhouette
-	return s.publishLocked(ctx, s.buildBatchLocked(skipFresh))
+	set, err := s.publishLocked(ctx, s.buildBatchLocked(skipFresh))
+
+	// Checkpoint after the publish bookkeeping settles, so the stored
+	// pubState versions and pending sets reflect this epoch's outcome —
+	// including failed publishes parked for retry.
+	if s.cfg.CheckpointPath != "" {
+		s.saveCheckpointLocked(s.cfg.CheckpointPath)
+	}
+	return set, err
 }
 
 // retireLocked applies one compaction's cluster-identity changes to the
@@ -787,6 +812,10 @@ type Stats struct {
 	PublishErrors  uint64 `json:"publish_errors"`
 	LastVersion    int64  `json:"last_version"` // global set
 
+	CheckpointSaves    uint64 `json:"checkpoint_saves,omitempty"`
+	CheckpointErrors   uint64 `json:"checkpoint_errors,omitempty"`
+	CheckpointRestored bool   `json:"checkpoint_restored,omitempty"` // this process booted from a checkpoint
+
 	// NamedVersions is the last published version per tenant set.
 	NamedVersions map[string]int64 `json:"named_versions,omitempty"`
 }
@@ -804,6 +833,10 @@ func (s *Service) Stats() Stats {
 		NamedPublishes:  s.namedPublishes.Load(),
 		PublishErrors:   s.publishErrors.Load(),
 		RetiredSig:      s.retiredSigs.Load(),
+
+		CheckpointSaves:    s.ckptSaves.Load(),
+		CheckpointErrors:   s.ckptErrors.Load(),
+		CheckpointRestored: s.ckptRestored.Load(),
 	}
 	s.mu.Lock()
 	st.Tenants = len(s.reservoirs)
@@ -834,12 +867,19 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Close stops the intake and epoch loops. It does not run a final epoch;
-// callers that want one (pipe-mode daemons) call RunEpoch first. Close
-// is idempotent.
+// Close stops the intake and epoch loops and, with CheckpointPath set,
+// writes a final checkpoint (capturing samples that arrived after the
+// last epoch). It does not run a final epoch; callers that want one
+// (pipe-mode daemons) call RunEpoch first. Close is idempotent.
 func (s *Service) Close() {
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.stop)
 		<-s.loopDone
+		if s.cfg.CheckpointPath != "" {
+			s.mu.Lock()
+			s.drainLocked()
+			s.saveCheckpointLocked(s.cfg.CheckpointPath)
+			s.mu.Unlock()
+		}
 	}
 }

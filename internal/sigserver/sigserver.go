@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"leaksig/internal/resilience"
 	"leaksig/internal/signature"
 )
 
@@ -673,9 +675,16 @@ type setCache struct {
 // set and any named sets, each cached independently for conditional
 // requests.
 type Client struct {
-	base  string
-	hc    *http.Client
-	token string
+	base    string
+	hc      *http.Client
+	token   string
+	breaker *resilience.Breaker
+
+	jmu  sync.Mutex
+	jrng *rand.Rand
+	// sleep parks a watch loop between retries; tests replace it with a
+	// fake clock so backoff behavior is assertable without real time.
+	sleep func(ctx context.Context, d time.Duration) error
 
 	mu     sync.Mutex
 	caches map[string]*setCache // keyed by set name; "" = default
@@ -687,13 +696,49 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: base, hc: httpClient, caches: make(map[string]*setCache)}
+	return &Client{
+		base:   base,
+		hc:     httpClient,
+		jrng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:  sleepCtx,
+		caches: make(map[string]*setCache),
+	}
 }
 
 // SetToken installs the bearer token sent on Publish ("" sends none).
 // Call before the first Publish; it is not synchronized with in-flight
 // requests.
 func (c *Client) SetToken(token string) { c.token = token }
+
+// SetBreaker gates the publish path behind a circuit breaker: while it
+// is open, Publish and PublishNamed fail immediately with an error
+// wrapping resilience.ErrOpen instead of dialing a dead server. Fetch
+// and watch paths are NOT gated — serving stale signatures beats
+// serving none, so reads keep probing. Call before concurrent use.
+func (c *Client) SetBreaker(br *resilience.Breaker) { c.breaker = br }
+
+// SetRetrySeed fixes the watch-retry jitter stream — for tests and
+// chaos harnesses that need reproducible retry timing. Call before
+// concurrent use.
+func (c *Client) SetRetrySeed(seed int64) {
+	c.jmu.Lock()
+	c.jrng = rand.New(rand.NewSource(seed))
+	c.jmu.Unlock()
+}
+
+// retrySleep parks a watch loop for a jittered interval drawn uniformly
+// from [d/2, d]. The jitter is the point: thousands of watchers that
+// all lost the same restarted server would otherwise retry in lockstep
+// forever, re-flooding it at exactly the fallback cadence.
+func (c *Client) retrySleep(ctx context.Context, d time.Duration) error {
+	if d > 1 {
+		c.jmu.Lock()
+		f := c.jrng.Float64()
+		c.jmu.Unlock()
+		d -= time.Duration(f * 0.5 * float64(d))
+	}
+	return c.sleep(ctx, d)
+}
 
 // pathPrefix maps a set name to its URL prefix: "" (default set) stays at
 // the root, named sets live under /sets/{name}.
@@ -719,6 +764,25 @@ func (c *Client) PublishNamed(ctx context.Context, name string, set *signature.S
 }
 
 func (c *Client) publishPath(ctx context.Context, name string, set *signature.Set) (int64, error) {
+	if c.breaker != nil {
+		if !c.breaker.Allow() {
+			return 0, fmt.Errorf("sigserver: publish %q: %w", name, resilience.ErrOpen)
+		}
+		v, err := c.publishOnce(ctx, name, set)
+		// A stale-version conflict proves the server is alive and
+		// deciding; only transport and server-side failures count
+		// against the breaker.
+		if errors.Is(err, ErrStaleVersion) {
+			c.breaker.Record(nil)
+		} else {
+			c.breaker.Record(err)
+		}
+		return v, err
+	}
+	return c.publishOnce(ctx, name, set)
+}
+
+func (c *Client) publishOnce(ctx context.Context, name string, set *signature.Set) (int64, error) {
 	var buf bytes.Buffer
 	if err := set.WriteJSON(&buf); err != nil {
 		return 0, fmt.Errorf("sigserver: encoding set: %w", err)
@@ -945,7 +1009,7 @@ func (c *Client) watchSet(ctx context.Context, name string, fallback time.Durati
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			if err := sleepCtx(ctx, fallback); err != nil {
+			if err := c.retrySleep(ctx, fallback); err != nil {
 				return err
 			}
 			continue
@@ -956,7 +1020,7 @@ func (c *Client) watchSet(ctx context.Context, name string, fallback time.Durati
 		last := set.Version
 
 		if !longPoll {
-			if err := sleepCtx(ctx, fallback); err != nil {
+			if err := c.retrySleep(ctx, fallback); err != nil {
 				return err
 			}
 			continue
@@ -976,7 +1040,7 @@ func (c *Client) watchSet(ctx context.Context, name string, fallback time.Durati
 				if errors.Is(err, ErrNoWait) {
 					longPoll = false
 				}
-				if err := sleepCtx(ctx, fallback); err != nil {
+				if err := c.retrySleep(ctx, fallback); err != nil {
 					return err
 				}
 				break
@@ -1013,7 +1077,7 @@ func (c *Client) WatchSets(ctx context.Context, fallback time.Duration, fn func(
 				// the only set such a server distributes.
 				return c.watchSet(ctx, "", fallback, func(set *signature.Set) { fn("", set) })
 			}
-			if err := sleepCtx(ctx, fallback); err != nil {
+			if err := c.retrySleep(ctx, fallback); err != nil {
 				return err
 			}
 			continue
@@ -1044,14 +1108,14 @@ func (c *Client) WatchSets(ctx context.Context, fallback time.Duration, fn func(
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			if err := sleepCtx(ctx, fallback); err != nil {
+			if err := c.retrySleep(ctx, fallback); err != nil {
 				return err
 			}
 			continue
 		}
 
 		if !longPoll {
-			if err := sleepCtx(ctx, fallback); err != nil {
+			if err := c.retrySleep(ctx, fallback); err != nil {
 				return err
 			}
 			continue
@@ -1067,7 +1131,7 @@ func (c *Client) WatchSets(ctx context.Context, fallback time.Duration, fn func(
 				if errors.Is(err, ErrNoWait) {
 					longPoll = false
 				}
-				if err := sleepCtx(ctx, fallback); err != nil {
+				if err := c.retrySleep(ctx, fallback); err != nil {
 					return err
 				}
 				break

@@ -19,6 +19,12 @@
 //	internal/flowcontrol— the on-device vetting proxy (Figure 3b)
 //	internal/obs        — the ops plane: Prometheus exposition, event
 //	                      shipping, per-tenant intake accounting
+//	internal/durable    — crash safety: publish journal, learner
+//	                      checkpoints, last-known-good signature cache
+//	internal/resilience — jittered backoff + circuit breakers for every
+//	                      HTTP write path
+//	internal/faultinject— deterministic seedable chaos injection for
+//	                      failure drills
 //
 // Detection comes in two modes. The offline mode (Detect, Evaluate)
 // scores a fully materialized capture — the paper's evaluation posture.

@@ -11,10 +11,14 @@ set -euo pipefail
 PORT="${LOOP_SMOKE_PORT:-8701}"
 MPORT="${LOOP_SMOKE_METRICS_PORT:-8702}"
 DPORT="${LOOP_SMOKE_DEBUG_PORT:-8703}"
+CPORT="${LOOP_SMOKE_CHAOS_PORT:-8704}"
+CLPORT="${LOOP_SMOKE_CHAOS_STREAM_PORT:-8705}"
 dir="$(mktemp -d)"
 cleanup() {
   [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null || true
   [ -n "${stream_pid:-}" ] && kill "$stream_pid" 2>/dev/null || true
+  [ -n "${chaos_server_pid:-}" ] && kill "$chaos_server_pid" 2>/dev/null || true
+  [ -n "${chaos_stream_pid:-}" ] && kill "$chaos_stream_pid" 2>/dev/null || true
   rm -rf "$dir"
 }
 trap cleanup EXIT
@@ -171,3 +175,114 @@ PY
 # The daemon's watch adopted the learned set's provenance trace on reload.
 metric leaksig_trace_spans_adopted_total '[1-9]' "$dir/leakstream.metrics"
 echo "PASS: flight recorder dumped the drop burst; reload adopted the provenance trace"
+
+echo "== chaos phase: faults on the wire, a SIGKILLed journal-backed sigserver, and a degraded cached boot"
+
+# Keep the learned set for the chaos server before tearing the old one down.
+curl -fs "http://127.0.0.1:$PORT/signatures" >"$dir/learned.json"
+
+# Clean SIGTERM: both daemons must exit 0, not die on the signal default.
+kill -TERM "$stream_pid"
+wait "$stream_pid" || { echo "FAIL: leakstream SIGTERM exit was not clean" >&2; exit 1; }
+stream_pid=""
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "FAIL: sigserver SIGTERM exit was not clean" >&2; exit 1; }
+server_pid=""
+echo "PASS: leakstream and sigserver both exited cleanly on SIGTERM"
+
+FAULT_SEED="${FAULT_SEED:-7}"
+journal="$dir/publish.journal"
+sigcache="$dir/sigs.cache"
+
+start_chaos_server() {
+  "$dir/bin/sigserver" -addr "127.0.0.1:$CPORT" -journal "$journal" \
+    >>"$dir/chaos_sigserver.log" 2>&1 &
+  chaos_server_pid=$!
+  for _ in $(seq 1 50); do
+    curl -fs "http://127.0.0.1:$CPORT/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fs "http://127.0.0.1:$CPORT/healthz" >/dev/null
+}
+
+start_chaos_stream() {
+  # 10% connection resets and 10% injected latency on every outbound
+  # HTTP call, deterministically seeded — the watch must still converge.
+  LEAKSIG_FAULTS="seed=$FAULT_SEED,reset=0.1,latency_p=0.1,latency=5ms" FAULT_SEED="$FAULT_SEED" \
+    "$dir/bin/leakstream" -server "http://127.0.0.1:$CPORT" -poll 1s \
+    -listen "127.0.0.1:$CLPORT" -sig-cache "$sigcache" \
+    </dev/null >/dev/null 2>>"$dir/chaos_stream.log" &
+  chaos_stream_pid=$!
+  for _ in $(seq 1 50); do
+    curl -fs "http://127.0.0.1:$CLPORT/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fs "http://127.0.0.1:$CLPORT/healthz" >/dev/null
+}
+
+start_chaos_server
+curl -fs -X POST --data-binary "@$dir/learned.json" "http://127.0.0.1:$CPORT/publish" >/dev/null
+chaos_v="$(curl -fs "http://127.0.0.1:$CPORT/version")"
+start_chaos_stream
+
+# Version convergence through the faults: the engine must reach the
+# server's version despite resets and latency on the watch path.
+converged=""
+for _ in $(seq 1 100); do
+  got="$(curl -fs "http://127.0.0.1:$CLPORT/metrics" 2>/dev/null \
+    | awk '$1 == "leaksig_engine_signature_version" {print int($2)}')" || true
+  if [ "${got:-0}" -ge "$chaos_v" ]; then converged=1; break; fi
+  sleep 0.2
+done
+[ -n "$converged" ] || { echo "FAIL: engine never converged to version $chaos_v under faults" >&2; exit 1; }
+curl -fs "http://127.0.0.1:$CLPORT/metrics" >"$dir/chaos.metrics"
+metric leaksig_degraded '0' "$dir/chaos.metrics"
+faults_hit="$(awk '/^leaksig_faults_injected_total/ {s+=$2} END {print s+0}' "$dir/chaos.metrics")"
+echo "PASS: version $chaos_v converged under chaos (seed $FAULT_SEED, $faults_hit faults injected)"
+
+# SIGKILL the server mid-flight, then boot a FRESH leakstream against the
+# dead address: the sig-cache must carry it to ready-degraded.
+kill -9 "$chaos_server_pid"
+wait "$chaos_server_pid" 2>/dev/null || true
+chaos_server_pid=""
+kill -TERM "$chaos_stream_pid"
+wait "$chaos_stream_pid" || { echo "FAIL: chaos leakstream SIGTERM exit was not clean" >&2; exit 1; }
+chaos_stream_pid=""
+[ -s "$sigcache" ] || { echo "FAIL: sig-cache file was never written" >&2; exit 1; }
+
+start_chaos_stream
+readyz="$(curl -fs "http://127.0.0.1:$CLPORT/readyz")"
+if [ "$readyz" != "ready-degraded" ]; then
+  echo "FAIL: cached boot against a dead server answered /readyz '$readyz', want 'ready-degraded'" >&2
+  exit 1
+fi
+curl -fs "http://127.0.0.1:$CLPORT/metrics" >"$dir/degraded.metrics"
+metric leaksig_degraded '1' "$dir/degraded.metrics"
+echo "PASS: dead-server boot serves cached signatures (ready-degraded, leaksig_degraded 1)"
+
+# Restart the server on its journal: versions replay, the watch reconnects,
+# and the degraded gauge must recover to 0.
+start_chaos_server
+replayed_v="$(curl -fs "http://127.0.0.1:$CPORT/version")"
+if [ "$replayed_v" -lt "$chaos_v" ]; then
+  echo "FAIL: journal replay rolled back: version $replayed_v after restart, had $chaos_v" >&2
+  exit 1
+fi
+recovered=""
+for _ in $(seq 1 100); do
+  dgr="$(curl -fs "http://127.0.0.1:$CLPORT/metrics" 2>/dev/null \
+    | awk '$1 == "leaksig_degraded" {print int($2)}')" || true
+  if [ "${dgr:-1}" -eq 0 ]; then recovered=1; break; fi
+  sleep 0.2
+done
+[ -n "$recovered" ] || { echo "FAIL: leaksig_degraded never recovered to 0 after server restart" >&2; exit 1; }
+readyz="$(curl -fs "http://127.0.0.1:$CLPORT/readyz")"
+[ "$readyz" = "ready" ] || { echo "FAIL: /readyz '$readyz' after recovery, want 'ready'" >&2; exit 1; }
+
+kill -TERM "$chaos_stream_pid"
+wait "$chaos_stream_pid" || { echo "FAIL: recovered leakstream SIGTERM exit was not clean" >&2; exit 1; }
+chaos_stream_pid=""
+kill -TERM "$chaos_server_pid"
+wait "$chaos_server_pid" || { echo "FAIL: journal sigserver SIGTERM exit was not clean" >&2; exit 1; }
+chaos_server_pid=""
+echo "PASS: chaos phase — journal replayed to v$replayed_v, degraded recovered to 0, clean exits all around"
